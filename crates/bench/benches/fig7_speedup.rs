@@ -1,0 +1,36 @@
+//! Criterion bench behind Figure 7: wall-clock cost of simulating one
+//! sequential vs. one Spice-parallelized run of each benchmark loop on small
+//! inputs. The figure itself (simulated-cycle speedups) is produced by
+//! `cargo run -p spice-bench --bin fig7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_bench::experiments::{
+    paper_workload_factories, run_workload_sequential, run_workload_spice,
+};
+use spice_core::pipeline::predictor_options_with_estimate;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for (name, factory) in paper_workload_factories(true) {
+        group.bench_function(format!("{name}/sequential"), |b| {
+            b.iter(|| {
+                let mut wl = factory();
+                run_workload_sequential(wl.as_mut()).expect("sequential run")
+            })
+        });
+        group.bench_function(format!("{name}/spice4"), |b| {
+            b.iter(|| {
+                let mut wl = factory();
+                let est = wl.expected_iterations();
+                run_workload_spice(wl.as_mut(), 4, predictor_options_with_estimate(est))
+                    .expect("spice run")
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind the §2 / Figure 8 predictor comparison: throughput
+//! of the value predictors over recorded live-in traces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice_core::valuepred::{
+    evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
+};
+
+fn traces() -> Vec<Vec<Vec<i64>>> {
+    // Two invocations of a 512-node pointer chase with a small mutation.
+    let a: Vec<Vec<i64>> = (0..512).map(|i| vec![1000 + i * 16]).collect();
+    let mut b = a.clone();
+    b.remove(40);
+    b.insert(200, vec![99_999]);
+    vec![a, b]
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let t = traces();
+    let mut group = c.benchmark_group("predictors");
+    group.bench_function("last_value", |bch| {
+        bch.iter(|| evaluate_predictor(&mut LastValuePredictor::new(), &t))
+    });
+    group.bench_function("stride", |bch| {
+        bch.iter(|| evaluate_predictor(&mut StridePredictor::new(), &t))
+    });
+    group.bench_function("spice_memo", |bch| {
+        bch.iter(|| SpiceMemoPredictor::new(3).evaluate(&t))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

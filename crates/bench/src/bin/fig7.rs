@@ -1,0 +1,6 @@
+//! Reproduces Figure 7: loop speedups with 2 and 4 threads.
+fn main() {
+    let small = spice_bench::small_requested();
+    let rows = spice_bench::experiments::fig7(small).expect("fig7");
+    print!("{}", spice_bench::experiments::format_fig7(&rows));
+}

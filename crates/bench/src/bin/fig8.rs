@@ -1,0 +1,6 @@
+//! Reproduces Figure 8: loop live-in predictability bins over the corpus.
+fn main() {
+    let small = spice_bench::small_requested();
+    let bars = spice_bench::experiments::fig8(small).expect("fig8");
+    print!("{}", spice_bench::experiments::format_fig8(&bars));
+}

@@ -1,0 +1,7 @@
+//! Reproduces Table 1: the simulated machine configuration.
+fn main() {
+    println!("Table 1 — machine details (4-core Itanium 2 CMP model)");
+    for (k, v) in spice_bench::experiments::table1() {
+        println!("{k:<28} {v}");
+    }
+}

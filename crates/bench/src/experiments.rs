@@ -1,0 +1,717 @@
+//! Implementations of every table and figure of the paper's evaluation.
+//!
+//! Each function returns plain data structures; the binaries in `src/bin/`
+//! print them. Reduced-size variants (`small = true`) run the same code on
+//! smaller inputs so the whole suite stays test-friendly.
+
+use spice_core::analysis::LoopAnalysis;
+use spice_core::baseline::{render_schedule, LoopTimingModel, ScheduleKind};
+use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::predictor::PredictorOptions;
+use spice_core::transform::{SpiceOptions, SpiceTransform};
+use spice_core::valuepred::{
+    evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
+};
+use spice_ir::interp::LocalSys;
+use spice_profiler::{measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin};
+use spice_sim::{Machine, MachineConfig};
+use spice_workloads::{
+    fig8_corpus, KsConfig, KsWorkload, McfConfig, McfWorkload, OtterConfig, OtterWorkload,
+    SjengConfig, SjengWorkload, SpiceWorkload, Suite,
+};
+
+/// Factory for a fresh instance of one of the paper's four benchmark loops.
+type WorkloadFactory = Box<dyn Fn() -> Box<dyn SpiceWorkload>>;
+
+/// Returns `(name, factory)` pairs for the Table 2 / Figure 7 benchmarks.
+///
+/// The full-size configurations are chosen so the traversed data structures
+/// do not fit in the private caches of the Table 1 machine — the regime the
+/// paper's loops run in, where the pointer-chasing load dominates each
+/// iteration — while the `small` configurations keep unit tests fast.
+#[must_use]
+pub fn paper_workload_factories(small: bool) -> Vec<(&'static str, WorkloadFactory)> {
+    // Working-set sizes (full): ks 6000×3 words ≈ 144 KB, otter 8000×2 ≈
+    // 128 KB, mcf 6000×6 ≈ 288 KB — all at or past the 256 KB L2.
+    let (ks_modules, otter_len, mcf_nodes, sjeng_pieces) = if small {
+        (150usize, 130usize, 160usize, 24usize)
+    } else {
+        (6_000, 8_000, 6_000, 64)
+    };
+    let invocations = if small { 10 } else { 14 };
+    let sjeng_invocations = if small { 20 } else { 60 };
+    vec![
+        (
+            "ks",
+            Box::new(move || {
+                Box::new(KsWorkload::new(KsConfig {
+                    modules: ks_modules,
+                    invocations,
+                    d_updates_per_invocation: 8,
+                    seed: 0x6b73,
+                })) as Box<dyn SpiceWorkload>
+            }) as WorkloadFactory,
+        ),
+        (
+            "otter",
+            Box::new(move || {
+                Box::new(OtterWorkload::new(OtterConfig {
+                    initial_len: otter_len,
+                    inserts_per_invocation: 3,
+                    invocations,
+                    seed: 0x07734,
+                })) as Box<dyn SpiceWorkload>
+            }) as WorkloadFactory,
+        ),
+        (
+            "181.mcf",
+            Box::new(move || {
+                Box::new(McfWorkload::new(McfConfig {
+                    nodes: mcf_nodes,
+                    invocations,
+                    cost_updates_per_invocation: 12,
+                    reparents_per_invocation: 2,
+                    seed: 0x6d6366,
+                })) as Box<dyn SpiceWorkload>
+            }) as WorkloadFactory,
+        ),
+        (
+            "458.sjeng",
+            Box::new(move || {
+                Box::new(SjengWorkload::new(SjengConfig {
+                    pieces: sjeng_pieces,
+                    invocations: sjeng_invocations,
+                    mutate_probability: if small { 0.30 } else { 0.12 },
+                    seed: 0x736a,
+                })) as Box<dyn SpiceWorkload>
+            }) as WorkloadFactory,
+        ),
+    ]
+}
+
+/// Total sequential cycles over all invocations of a workload.
+///
+/// # Errors
+///
+/// Returns a description of any simulation failure.
+pub fn run_workload_sequential(workload: &mut dyn SpiceWorkload) -> Result<u64, String> {
+    let built = workload.build();
+    let config = MachineConfig::itanium2_cmp().with_cores(1);
+    let mut machine = Machine::new(config, built.program);
+    let mut args = workload.init(machine.mem_mut());
+    let mut total = 0u64;
+    let mut inv = 0usize;
+    loop {
+        let expected = workload.expected_result(machine.mem());
+        let (cycles, ret) =
+            run_sequential(&mut machine, built.kernel, &args).map_err(|e| e.to_string())?;
+        if let Some(e) = expected {
+            if ret != Some(e) {
+                return Err(format!(
+                    "{}: sequential run returned {ret:?}, expected {e}",
+                    workload.name()
+                ));
+            }
+        }
+        total += cycles;
+        match workload.next_invocation(machine.mem_mut(), inv) {
+            Some(a) => {
+                args = a;
+                inv += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(total)
+}
+
+/// Result of running a workload under Spice.
+#[derive(Debug, Clone)]
+pub struct SpiceRunResult {
+    /// Total simulated cycles over all invocations.
+    pub cycles: u64,
+    /// Fraction of invocations with at least one squashed worker.
+    pub misspeculation_rate: f64,
+    /// Mean coefficient of variation of per-core work.
+    pub load_imbalance: f64,
+    /// Number of invocations executed.
+    pub invocations: usize,
+}
+
+/// Runs a workload under the Spice transformation with `threads` threads.
+///
+/// # Errors
+///
+/// Returns a description of any analysis, transformation or simulation
+/// failure, including result mismatches against the host-computed expectation.
+pub fn run_workload_spice(
+    workload: &mut dyn SpiceWorkload,
+    threads: usize,
+    predictor: PredictorOptions,
+) -> Result<SpiceRunResult, String> {
+    let built = workload.build();
+    let mut program = built.program;
+    let analysis =
+        LoopAnalysis::analyze_outermost(&program, built.kernel).map_err(|e| e.to_string())?;
+    let spice = SpiceTransform::new(SpiceOptions {
+        threads,
+        predictor,
+    })
+    .apply(&mut program, &analysis)
+    .map_err(|e| e.to_string())?;
+
+    let config = MachineConfig::itanium2_cmp().with_cores(threads);
+    let mut machine = Machine::new(config, program);
+    let mut args = workload.init(machine.mem_mut());
+    let mut options = predictor;
+    if options.initial_work_estimate.is_none() {
+        options = PredictorOptions {
+            initial_work_estimate: Some(workload.expected_iterations()),
+            ..options
+        };
+    }
+    let mut runner = SpiceRunner::new(spice, options);
+    let mut total = 0u64;
+    let mut inv = 0usize;
+    loop {
+        let expected = workload.expected_result(machine.mem());
+        let report = runner
+            .run_invocation(&mut machine, &args)
+            .map_err(|e| format!("{}: {e}", workload.name()))?;
+        if let Some(e) = expected {
+            if report.return_value != Some(e) {
+                return Err(format!(
+                    "{}: Spice run returned {:?}, expected {e} (invocation {inv})",
+                    workload.name(),
+                    report.return_value
+                ));
+            }
+        }
+        total += report.cycles;
+        match workload.next_invocation(machine.mem_mut(), inv) {
+            Some(a) => {
+                args = a;
+                inv += 1;
+            }
+            None => break,
+        }
+    }
+    let stats = runner.stats();
+    Ok(SpiceRunResult {
+        cycles: total,
+        misspeculation_rate: stats.misspeculation_rate(),
+        load_imbalance: stats.load_imbalance(),
+        invocations: stats.invocations(),
+    })
+}
+
+/// One row of the Figure 7 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Total sequential cycles.
+    pub sequential_cycles: u64,
+    /// Total Spice cycles.
+    pub spice_cycles: u64,
+    /// Loop speedup (sequential / Spice).
+    pub speedup: f64,
+    /// Mis-speculation rate over invocations.
+    pub misspeculation_rate: f64,
+    /// Load-imbalance metric (coefficient of variation of per-core work).
+    pub load_imbalance: f64,
+}
+
+/// Reproduces Figure 7: loop speedups of the four benchmarks with 2 and 4
+/// threads, plus the per-loop diagnostics discussed in §5.
+///
+/// # Errors
+///
+/// Returns the first failure encountered.
+pub fn fig7(small: bool) -> Result<Vec<Fig7Row>, String> {
+    let mut rows = Vec::new();
+    for (name, factory) in paper_workload_factories(small) {
+        let mut seq_wl = factory();
+        let sequential_cycles = run_workload_sequential(seq_wl.as_mut())?;
+        for &threads in &[2usize, 4] {
+            let mut wl = factory();
+            let estimate = wl.expected_iterations();
+            let result = run_workload_spice(
+                wl.as_mut(),
+                threads,
+                predictor_options_with_estimate(estimate),
+            )?;
+            rows.push(Fig7Row {
+                benchmark: name.to_string(),
+                threads,
+                sequential_cycles,
+                spice_cycles: result.cycles,
+                speedup: sequential_cycles as f64 / result.cycles as f64,
+                misspeculation_rate: result.misspeculation_rate,
+                load_imbalance: result.load_imbalance,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Geometric mean of the speedups of a set of Figure 7 rows with the given
+/// thread count.
+#[must_use]
+pub fn fig7_geomean(rows: &[Fig7Row], threads: usize) -> f64 {
+    let v: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.threads == threads)
+        .map(|r| r.speedup)
+        .collect();
+    spice_sim::geomean(&v)
+}
+
+/// Renders Figure 7 rows as a text table.
+#[must_use]
+pub fn format_fig7(rows: &[Fig7Row]) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 7 — loop speedup over single-threaded execution\n");
+    s.push_str(
+        "benchmark    threads  seq cycles     spice cycles   speedup  misspec  imbalance\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>7}  {:>12}  {:>13}  {:>6.2}x  {:>6.1}%  {:>8.3}\n",
+            r.benchmark,
+            r.threads,
+            r.sequential_cycles,
+            r.spice_cycles,
+            r.speedup,
+            r.misspeculation_rate * 100.0,
+            r.load_imbalance
+        ));
+    }
+    s.push_str(&format!(
+        "GeoMean (2 threads): {:.2}x   GeoMean (4 threads): {:.2}x\n",
+        fig7_geomean(rows, 2),
+        fig7_geomean(rows, 4)
+    ));
+    s
+}
+
+/// Reproduces Table 1: the machine model.
+#[must_use]
+pub fn table1() -> Vec<(String, String)> {
+    MachineConfig::itanium2_cmp().table1_rows()
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Benchmark description.
+    pub description: String,
+    /// Parallelized loop.
+    pub loop_name: String,
+    /// Hotness reported by the paper.
+    pub paper_hotness: f64,
+    /// Dynamic instructions per invocation of the loop, measured here.
+    pub measured_loop_instructions: u64,
+    /// Loop hotness within the kernel function (loop instructions over all
+    /// instructions of the kernel run).
+    pub measured_kernel_fraction: f64,
+}
+
+/// Reproduces Table 2: benchmark details. The whole-application hotness
+/// column is taken from the paper (the surrounding applications are not
+/// reproduced); the measured columns characterise the re-implemented
+/// kernels.
+///
+/// # Errors
+///
+/// Returns the first failure encountered.
+pub fn table2(small: bool) -> Result<Vec<Table2Row>, String> {
+    let mut rows = Vec::new();
+    for (_, factory) in paper_workload_factories(small) {
+        let mut wl = factory();
+        let built = wl.build();
+        let mut mem = spice_ir::interp::FlatMemory::for_program(&built.program, 1 << 22);
+        let args = wl.init(&mut mem);
+        let mut sys = LocalSys::new();
+        let report = measure_hotness(
+            &built.program,
+            built.kernel,
+            built.loop_header_hint,
+            &args,
+            &mut mem,
+            &mut sys,
+        )
+        .map_err(|e| e.to_string())?;
+        rows.push(Table2Row {
+            benchmark: wl.name().to_string(),
+            description: wl.description().to_string(),
+            loop_name: wl.loop_name().to_string(),
+            paper_hotness: wl.paper_hotness(),
+            measured_loop_instructions: report.loop_instructions,
+            measured_kernel_fraction: report.fraction(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One benchmark's bar of the Figure 8 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig8Bar {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Which panel it belongs to.
+    pub suite: Suite,
+    /// Percentage of profiled loops in each bin
+    /// `(low, average, good, high)`; loops with no predictable invocation are
+    /// omitted, as in the paper ("missing bars").
+    pub percent: (f64, f64, f64, f64),
+    /// Number of loops profiled.
+    pub loops: usize,
+}
+
+/// Reproduces Figure 8 over the synthetic corpus.
+///
+/// # Errors
+///
+/// Returns the first profiling failure encountered.
+pub fn fig8(small: bool) -> Result<Vec<Fig8Bar>, String> {
+    let invocations = if small { 8 } else { 16 };
+    let list_len = if small { 24 } else { 64 };
+    let mut bars = Vec::new();
+    for bench in fig8_corpus() {
+        let mut counts = [0usize; 4]; // low, average, good, high
+        let mut loops = 0usize;
+        for mut wl in bench.workloads(invocations, list_len) {
+            let verdicts = profile_workload(&mut wl, AnalyzerConfig::default(), None)
+                .map_err(|e| format!("{}: {e}", bench.name))?;
+            for v in verdicts {
+                loops += 1;
+                match v.bin {
+                    PredictabilityBin::Low => counts[0] += 1,
+                    PredictabilityBin::Average => counts[1] += 1,
+                    PredictabilityBin::Good => counts[2] += 1,
+                    PredictabilityBin::High => counts[3] += 1,
+                    PredictabilityBin::None => {}
+                }
+            }
+        }
+        let denom = loops.max(1) as f64;
+        bars.push(Fig8Bar {
+            benchmark: bench.name.to_string(),
+            suite: bench.suite,
+            percent: (
+                100.0 * counts[0] as f64 / denom,
+                100.0 * counts[1] as f64 / denom,
+                100.0 * counts[2] as f64 / denom,
+                100.0 * counts[3] as f64 / denom,
+            ),
+            loops,
+        });
+    }
+    Ok(bars)
+}
+
+/// Renders the Figure 8 bars as two text panels.
+#[must_use]
+pub fn format_fig8(bars: &[Fig8Bar]) -> String {
+    let mut s = String::new();
+    for (suite, title) in [
+        (Suite::SpecInt, "Figure 8(a) — SPEC integer benchmarks"),
+        (
+            Suite::MediabenchAndOthers,
+            "Figure 8(b) — Mediabench and others",
+        ),
+    ] {
+        s.push_str(title);
+        s.push('\n');
+        s.push_str("benchmark        loops   low%  avg%  good%  high%\n");
+        for b in bars.iter().filter(|b| b.suite == suite) {
+            s.push_str(&format!(
+                "{:<16} {:>5}  {:>5.0} {:>5.0} {:>6.0} {:>6.0}\n",
+                b.benchmark, b.loops, b.percent.0, b.percent.1, b.percent.2, b.percent.3
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// The schedules comparison (Figures 2, 3 and 5) plus the §2 analytic
+/// speedups instantiated with parameters measured on the simulated machine.
+#[derive(Debug, Clone)]
+pub struct ScheduleComparison {
+    /// Measured t1/t2/t3 model for the otter loop.
+    pub model: LoopTimingModel,
+    /// Analytic TLS speedup (2 threads).
+    pub tls_speedup: f64,
+    /// Analytic TLS+VP speedup at the measured stride-predictor accuracy.
+    pub tls_vp_speedup: f64,
+    /// Stride-predictor accuracy on the loop's live-in trace.
+    pub stride_accuracy: f64,
+    /// Spice boundary-survival probability measured on the same trace.
+    pub spice_survival: f64,
+    /// Analytic Spice speedup at that survival probability.
+    pub spice_expected_speedup: f64,
+    /// Measured Spice speedup (2 threads) from the simulator.
+    pub spice_measured_speedup: f64,
+    /// ASCII schedules, one per scheme.
+    pub schedules: Vec<(ScheduleKind, Vec<String>)>,
+}
+
+/// Builds the per-iteration live-in traces of the otter loop across its
+/// invocations (node addresses visited), used to feed the §2 value
+/// predictors.
+fn otter_livein_traces(small: bool) -> Vec<Vec<Vec<i64>>> {
+    let mut wl = OtterWorkload::new(OtterConfig {
+        initial_len: if small { 60 } else { 8_000 },
+        inserts_per_invocation: 3,
+        invocations: if small { 8 } else { 12 },
+        seed: 0x07734,
+    });
+    let built = wl.build();
+    let mut program = built.program;
+    let _sites = spice_profiler::instrument_program(&mut program);
+    let mut mem = spice_ir::interp::FlatMemory::for_program(&program, 1 << 20);
+    let mut args = wl.init(&mut mem);
+    let mut traces = Vec::new();
+    let mut inv = 0usize;
+    loop {
+        let mut analyzer = spice_profiler::Analyzer::new(AnalyzerConfig::default());
+        analyzer.new_invocation();
+        let mut trace: Vec<Vec<i64>> = Vec::new();
+        {
+            let mut sys = CollectingSys {
+                inner: spice_profiler::ProfilingSys::new(&mut analyzer),
+                trace: &mut trace,
+            };
+            spice_ir::interp::run_function_with(
+                &program,
+                built.kernel,
+                &args,
+                &mut mem,
+                &mut sys,
+                100_000_000,
+                |_, _, _| {},
+            )
+            .expect("otter trace run");
+        }
+        traces.push(trace);
+        match wl.next_invocation(&mut mem, inv) {
+            Some(a) => {
+                args = a;
+                inv += 1;
+            }
+            None => break,
+        }
+    }
+    traces
+}
+
+struct CollectingSys<'a, 'b> {
+    inner: spice_profiler::ProfilingSys<'a>,
+    trace: &'b mut Vec<Vec<i64>>,
+}
+
+impl spice_ir::interp::SysPort for CollectingSys<'_, '_> {
+    fn send(&mut self, chan: i64, value: i64) {
+        self.inner.send(chan, value);
+    }
+    fn try_recv(&mut self, chan: i64) -> Option<i64> {
+        self.inner.try_recv(chan)
+    }
+    fn resteer(&mut self, core: i64, target: spice_ir::BlockId) {
+        self.inner.resteer(core, target);
+    }
+    fn profile(&mut self, site: u32, values: &[i64]) {
+        if values.iter().any(|&v| v != 0) {
+            self.trace.push(values.to_vec());
+        }
+        self.inner.profile(site, values);
+    }
+}
+
+/// Reproduces the §2 comparison (Figures 2, 3 and 5).
+///
+/// # Errors
+///
+/// Returns the first failure encountered.
+pub fn schedules(small: bool) -> Result<ScheduleComparison, String> {
+    // Measure per-iteration timing of the otter loop on one core.
+    let mut wl = OtterWorkload::new(OtterConfig {
+        initial_len: if small { 60 } else { 8_000 },
+        inserts_per_invocation: 3,
+        invocations: 2,
+        seed: 0x07734,
+    });
+    let built = wl.build();
+    let config = MachineConfig::itanium2_cmp().with_cores(1);
+    let inter_core = config.inter_core_latency as f64;
+    let mut machine = Machine::new(config, built.program);
+    let args = wl.init(machine.mem_mut());
+    machine.spawn(0, built.kernel, &args).map_err(|e| e.to_string())?;
+    let summary = machine.run().map_err(|e| e.to_string())?;
+    let iterations = wl.expected_iterations().max(1) as f64;
+    let per_iter = summary.cycles as f64 / iterations;
+    let mem_share = summary.cores[0].mem_stall_cycles as f64 / iterations;
+    let t1 = mem_share.min(per_iter * 0.9);
+    let t2 = (per_iter - t1).max(1.0);
+    let model = LoopTimingModel::new(t1, t2, inter_core);
+
+    // Predictor accuracies on the live-in traces.
+    let traces = otter_livein_traces(small);
+    let mut stride = StridePredictor::new();
+    let stride_stats = evaluate_predictor(&mut stride, &traces);
+    let mut last = LastValuePredictor::new();
+    let _ = evaluate_predictor(&mut last, &traces);
+    let spice_stats = SpiceMemoPredictor::new(1).evaluate(&traces);
+
+    // Measured Spice speedup with 2 threads.
+    let rows = {
+        let mut seq = OtterWorkload::new(OtterConfig {
+            initial_len: if small { 60 } else { 8_000 },
+            inserts_per_invocation: 3,
+            invocations: if small { 8 } else { 12 },
+            seed: 0x07734,
+        });
+        let seq_cycles = run_workload_sequential(&mut seq)?;
+        let mut par = OtterWorkload::new(OtterConfig {
+            initial_len: if small { 60 } else { 8_000 },
+            inserts_per_invocation: 3,
+            invocations: if small { 8 } else { 12 },
+            seed: 0x07734,
+        });
+        let estimate = par.expected_iterations();
+        let result =
+            run_workload_spice(&mut par, 2, predictor_options_with_estimate(estimate))?;
+        seq_cycles as f64 / result.cycles as f64
+    };
+
+    Ok(ScheduleComparison {
+        model,
+        tls_speedup: model.tls_speedup(2),
+        tls_vp_speedup: model.tls_value_prediction_speedup(2, stride_stats.accuracy()),
+        stride_accuracy: stride_stats.accuracy(),
+        spice_survival: spice_stats.accuracy(),
+        spice_expected_speedup: model.spice_speedup(2, spice_stats.accuracy()),
+        spice_measured_speedup: rows,
+        schedules: vec![
+            (ScheduleKind::Tls, render_schedule(ScheduleKind::Tls, 8)),
+            (
+                ScheduleKind::TlsValuePrediction,
+                render_schedule(ScheduleKind::TlsValuePrediction, 8),
+            ),
+            (ScheduleKind::Spice, render_schedule(ScheduleKind::Spice, 8)),
+        ],
+    })
+}
+
+/// One ablation row: a predictor-configuration variant of the otter loop.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub variant: String,
+    /// Total cycles with 4 threads.
+    pub cycles: u64,
+    /// Mis-speculation rate.
+    pub misspeculation_rate: f64,
+    /// Load imbalance.
+    pub load_imbalance: f64,
+}
+
+/// Ablation of the predictor design choices the paper discusses in §4:
+/// re-memoization every invocation vs. memoize-once, and dynamic load
+/// balancing on/off.
+///
+/// # Errors
+///
+/// Returns the first failure encountered.
+pub fn ablation(small: bool) -> Result<Vec<AblationRow>, String> {
+    let make = || {
+        OtterWorkload::new(OtterConfig {
+            initial_len: if small { 80 } else { 500 },
+            inserts_per_invocation: 5,
+            invocations: if small { 10 } else { 200 },
+            seed: 0xab1a,
+        })
+    };
+    let variants: Vec<(&str, PredictorOptions)> = vec![
+        (
+            "re-memoize + load balance (paper)",
+            PredictorOptions::default(),
+        ),
+        (
+            "memoize once",
+            PredictorOptions {
+                rememoize: false,
+                ..PredictorOptions::default()
+            },
+        ),
+        (
+            "no load balancing",
+            PredictorOptions {
+                load_balance: false,
+                ..PredictorOptions::default()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, mut opts) in variants {
+        let mut wl = make();
+        opts.initial_work_estimate = Some(wl.expected_iterations());
+        let result = run_workload_spice(&mut wl, 4, opts)?;
+        rows.push(AblationRow {
+            variant: name.to_string(),
+            cycles: result.cycles,
+            misspeculation_rate: result.misspeculation_rate,
+            load_imbalance: result.load_imbalance,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_the_machine() {
+        let rows = table1();
+        assert!(rows.iter().any(|(k, _)| k.contains("L1D")));
+        assert!(rows.iter().any(|(_, v)| v.contains("141")));
+    }
+
+    #[test]
+    fn fig7_small_produces_speedups_for_all_benchmarks() {
+        let rows = fig7(true).expect("fig7 small run");
+        assert_eq!(rows.len(), 8);
+        // Every benchmark gets some benefit at 4 threads on the small inputs,
+        // and the text rendering mentions the geomean.
+        let g4 = fig7_geomean(&rows, 4);
+        assert!(g4 > 1.0, "4-thread geomean was {g4}");
+        let txt = format_fig7(&rows);
+        assert!(txt.contains("GeoMean"));
+        assert!(txt.contains("otter"));
+    }
+
+    #[test]
+    fn schedules_small_matches_section2_ordering() {
+        let cmp = schedules(true).expect("schedules");
+        // TLS without value prediction is limited by the traversal chain;
+        // Spice's expected speedup exceeds it, and the Spice boundary
+        // survival probability beats the stride predictor's accuracy.
+        assert!(cmp.tls_speedup < cmp.spice_expected_speedup);
+        assert!(cmp.spice_survival > cmp.stride_accuracy);
+        assert_eq!(cmp.schedules.len(), 3);
+    }
+
+    #[test]
+    fn ablation_small_runs_all_variants() {
+        let rows = ablation(true).expect("ablation");
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.cycles > 0));
+    }
+}

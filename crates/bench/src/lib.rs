@@ -1,0 +1,26 @@
+//! # spice-bench — experiment harness for the Spice reproduction
+//!
+//! One entry point per table and figure of the paper's evaluation:
+//!
+//! | paper artifact | binary | function |
+//! |---|---|---|
+//! | Table 1 (machine) | `cargo run -p spice-bench --bin table1` | [`experiments::table1`] |
+//! | Table 2 (benchmarks) | `cargo run -p spice-bench --bin table2` | [`experiments::table2`] |
+//! | Figures 2/3/5 (schedules) | `cargo run -p spice-bench --bin schedules` | [`experiments::schedules`] |
+//! | Figure 7 (loop speedups) | `cargo run -p spice-bench --bin fig7` | [`experiments::fig7`] |
+//! | Figure 8 (predictability) | `cargo run -p spice-bench --bin fig8` | [`experiments::fig8`] |
+//! | Ablations (§4/§5 discussion) | `cargo run -p spice-bench --bin ablation` | [`experiments::ablation`] |
+//!
+//! Pass `--small` to any binary for a fast, reduced-size run (used by CI and
+//! the crate's own tests).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+/// Returns `true` when the process arguments request a reduced-size run.
+#[must_use]
+pub fn small_requested() -> bool {
+    std::env::args().any(|a| a == "--small")
+}

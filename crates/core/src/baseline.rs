@@ -1,0 +1,234 @@
+//! Baseline TLS execution models (paper §2).
+//!
+//! The paper motivates Spice by comparing, for the loop of Figure 1(a), the
+//! execution schedules of
+//!
+//! * iteration-granular TLS **without** value speculation (Figure 2), where
+//!   the traversal is synchronized and its value forwarded between cores,
+//! * iteration-granular TLS **with** per-iteration value prediction
+//!   (Figure 3), where a mis-predicted iteration is squashed and re-executed,
+//! * Spice's chunked execution (Figure 5).
+//!
+//! Section 2 analyses these schemes with a three-parameter model: `t1` (the
+//! synchronized traversal portion of an iteration), `t2` (the remaining
+//! computation) and `t3` (the inter-core forwarding latency). This module
+//! implements that model so the schedule figures and their expected speedups
+//! can be regenerated with parameters measured on the simulator, alongside
+//! the measured Spice numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// The `t1`/`t2`/`t3` timing model of paper §2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopTimingModel {
+    /// Cycles per iteration spent in the synchronized traversal part (the
+    /// pointer-chasing load and pointer update).
+    pub t1: f64,
+    /// Cycles per iteration spent in the rest of the loop body.
+    pub t2: f64,
+    /// Inter-core value forwarding latency in cycles.
+    pub t3: f64,
+}
+
+impl LoopTimingModel {
+    /// Creates a model from measured per-iteration components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative.
+    #[must_use]
+    pub fn new(t1: f64, t2: f64, t3: f64) -> Self {
+        assert!(t1 >= 0.0 && t2 >= 0.0 && t3 >= 0.0, "latencies must be non-negative");
+        LoopTimingModel { t1, t2, t3 }
+    }
+
+    /// Sequential time per iteration.
+    #[must_use]
+    pub fn sequential_per_iteration(&self) -> f64 {
+        self.t1 + self.t2
+    }
+
+    /// Expected speedup of iteration-granular TLS without value speculation
+    /// on `threads` cores (paper §2.1). The traversal-plus-forwarding chain
+    /// limits the initiation interval to `t1 + t3`; the computation can be
+    /// overlapped across cores.
+    #[must_use]
+    pub fn tls_speedup(&self, threads: usize) -> f64 {
+        let threads = threads.max(1) as f64;
+        let per_iter = self.sequential_per_iteration();
+        let initiation = (per_iter / threads).max(self.t1 + self.t3);
+        per_iter / initiation
+    }
+
+    /// Expected speedup of iteration-granular TLS *with* value prediction of
+    /// accuracy `p` on `threads` cores (paper §2.2: `2 / (2 - p)` for two
+    /// threads; mis-predicted iterations are squashed and re-executed).
+    #[must_use]
+    pub fn tls_value_prediction_speedup(&self, threads: usize, p: f64) -> f64 {
+        let t = threads.max(1) as f64;
+        let p = p.clamp(0.0, 1.0);
+        t / (t - (t - 1.0) * p)
+    }
+
+    /// Expected speedup of Spice on `threads` cores when the probability
+    /// that a memoized chunk boundary is still valid in the next invocation
+    /// is `p` (paper §2.3: the same `2 / (2 - p)` form, but `p` is a
+    /// per-invocation boundary survival probability instead of a
+    /// per-iteration prediction accuracy, and only `threads - 1` predictions
+    /// are needed per invocation).
+    #[must_use]
+    pub fn spice_speedup(&self, threads: usize, p: f64) -> f64 {
+        // Identical algebra; the difference is entirely in how large `p` is.
+        self.tls_value_prediction_speedup(threads, p)
+    }
+}
+
+/// Which scheme an execution schedule illustrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Figure 2: TLS, synchronized traversal, no value speculation.
+    Tls,
+    /// Figure 3: TLS with per-iteration value prediction (one shown
+    /// mis-speculation).
+    TlsValuePrediction,
+    /// Figure 5: Spice chunked execution.
+    Spice,
+}
+
+/// Renders a schematic two-core execution schedule in the style of the
+/// paper's Figures 2, 3 and 5: one line per core, one column per time slot,
+/// with the iteration number occupying the slots it executes in.
+#[must_use]
+pub fn render_schedule(kind: ScheduleKind, iterations: usize) -> Vec<String> {
+    let n = iterations.max(2);
+    let mut core0: Vec<String> = Vec::new();
+    let mut core1: Vec<String> = Vec::new();
+    let pad = |v: &mut Vec<String>, k: usize| {
+        while v.len() < k {
+            v.push("  .".to_string());
+        }
+    };
+    match kind {
+        ScheduleKind::Tls => {
+            // Odd iterations on core 0, even on core 1; each iteration starts
+            // one forwarding slot after its predecessor.
+            for i in 1..=n {
+                let start = i - 1; // one slot of traversal+forwarding skew per iteration
+                let (row, other) = if i % 2 == 1 {
+                    (&mut core0, &mut core1)
+                } else {
+                    (&mut core1, &mut core0)
+                };
+                pad(row, start);
+                row.push(format!("{i:3}"));
+                row.push(format!("{i:3}"));
+                pad(other, row.len());
+            }
+        }
+        ScheduleKind::TlsValuePrediction => {
+            // Iterations start back-to-back thanks to prediction; iteration 4
+            // is shown mis-speculated and re-executed, as in Figure 3.
+            for i in 1..=n {
+                let (row, other) = if i % 2 == 1 {
+                    (&mut core0, &mut core1)
+                } else {
+                    (&mut core1, &mut core0)
+                };
+                let start = (i - 1) / 2 * 2;
+                pad(row, start);
+                row.push(format!("{i:3}"));
+                row.push(format!("{i:3}"));
+                if i == 4 {
+                    row.push(format!("{i:3}")); // squash + re-execute
+                    row.push(format!("{i:3}"));
+                }
+                pad(other, row.len().saturating_sub(2));
+            }
+        }
+        ScheduleKind::Spice => {
+            // The iteration space is split into two chunks executed
+            // concurrently.
+            let half = n / 2;
+            for i in 1..=half {
+                core0.push(format!("{i:3}"));
+                core0.push(format!("{i:3}"));
+            }
+            for i in half + 1..=n {
+                core1.push(format!("{i:3}"));
+                core1.push(format!("{i:3}"));
+            }
+        }
+    }
+    let width = core0.len().max(core1.len());
+    pad(&mut core0, width);
+    pad(&mut core1, width);
+    vec![
+        format!("P1 |{}", core0.join("")),
+        format!("P2 |{}", core1.join("")),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn otterish() -> LoopTimingModel {
+        // Traversal dominated by a cache miss, small body, bus-latency
+        // forwarding — the regime the paper argues TLS handles poorly.
+        LoopTimingModel::new(140.0, 10.0, 16.0)
+    }
+
+    #[test]
+    fn tls_speedup_limited_by_forwarding_chain() {
+        let m = otterish();
+        let s2 = m.tls_speedup(2);
+        // (t1+t2)/(t1+t3) = 150/156 < 1: TLS actually slows this loop down.
+        assert!(s2 < 1.0);
+        // Adding cores does not help once the chain is the bottleneck.
+        assert!((m.tls_speedup(4) - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tls_speedup_reaches_ideal_when_computation_dominates() {
+        let m = LoopTimingModel::new(10.0, 400.0, 16.0);
+        assert!((m.tls_speedup(2) - 2.0).abs() < 1e-9);
+        assert!((m.tls_speedup(4) - 4.0).abs() < 1e-9);
+        // With enough threads the chain eventually binds again.
+        assert!(m.tls_speedup(64) < 64.0);
+    }
+
+    #[test]
+    fn value_prediction_speedup_matches_paper_formula() {
+        let m = otterish();
+        assert!((m.tls_value_prediction_speedup(2, 1.0) - 2.0).abs() < 1e-9);
+        assert!((m.tls_value_prediction_speedup(2, 0.5) - (2.0 / 1.5)).abs() < 1e-9);
+        assert!((m.tls_value_prediction_speedup(2, 0.0) - 1.0).abs() < 1e-9);
+        assert!((m.spice_speedup(4, 1.0) - 4.0).abs() < 1e-9);
+        // Out-of-range accuracies are clamped.
+        assert!((m.spice_speedup(2, 7.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedules_have_two_rows_and_show_iterations() {
+        for kind in [
+            ScheduleKind::Tls,
+            ScheduleKind::TlsValuePrediction,
+            ScheduleKind::Spice,
+        ] {
+            let rows = render_schedule(kind, 8);
+            assert_eq!(rows.len(), 2);
+            assert!(rows[0].starts_with("P1 |"));
+            assert!(rows[1].contains('8') || rows[0].contains('8'));
+        }
+        // Spice splits the space: iteration 1 on P1, iteration 8 on P2.
+        let rows = render_schedule(ScheduleKind::Spice, 8);
+        assert!(rows[0].contains('1') && !rows[0].contains('8'));
+        assert!(rows[1].contains('8'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_latency_rejected() {
+        let _ = LoopTimingModel::new(-1.0, 0.0, 0.0);
+    }
+}

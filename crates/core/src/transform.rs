@@ -1,0 +1,829 @@
+//! The Spice transformation (paper §4, Algorithm 1).
+//!
+//! Given a loop analysis, the transformation rewrites the loop's function
+//! into the *main thread* of a Spice parallel loop and generates `t - 1`
+//! *speculative worker* functions, wiring up:
+//!
+//! 1. communication of invariant live-ins and live-outs over scalar channels,
+//! 2. initialization of the workers' speculated live-ins from the speculated
+//!    values array (`sva`),
+//! 3. per-iteration mis-speculation detection (thread `i` compares its
+//!    current live-ins against thread `i+1`'s predicted starting live-ins),
+//! 4. the distributed half of the value predictor (Algorithm 2): work
+//!    counters and threshold-triggered memoization into the `sva`,
+//! 5. recovery code in every worker (speculative-state abort + acknowledge),
+//!    reached through the remote `resteer` issued by the main thread,
+//! 6. the post-loop merge in the main thread that commits valid workers in
+//!    order, combines reductions and live-outs, and squashes the rest.
+
+use serde::{Deserialize, Serialize};
+
+use spice_ir::builder::FunctionBuilder;
+use spice_ir::reduction::ReductionKind;
+use spice_ir::verify::{verify_program, VerifyError};
+use spice_ir::{BinOp, BlockId, FuncId, Inst, Operand, Program, Reg};
+
+use crate::analysis::{Applicability, LoopAnalysis};
+use crate::predictor::{PredictorLayout, PredictorOptions};
+
+/// Options controlling the transformation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpiceOptions {
+    /// Total number of threads (main + speculative workers). Must be ≥ 2.
+    pub threads: usize,
+    /// Predictor behaviour (re-memoization, load balancing, initial
+    /// estimate) — consumed by [`crate::predictor::HostPredictor`], carried
+    /// here so a single options value configures a whole run.
+    pub predictor: PredictorOptions,
+}
+
+impl SpiceOptions {
+    /// Options for `threads` threads with the default predictor behaviour.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        SpiceOptions {
+            threads,
+            predictor: PredictorOptions::default(),
+        }
+    }
+}
+
+impl Default for SpiceOptions {
+    fn default() -> Self {
+        SpiceOptions::with_threads(4)
+    }
+}
+
+/// Errors produced by the transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// The loop cannot be Spice-parallelized.
+    NotApplicable(Applicability),
+    /// The transformed program failed structural verification — a bug in the
+    /// transformation, reported rather than silently mis-executed.
+    Verification(Vec<VerifyError>),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NotApplicable(a) => write!(f, "loop not applicable: {a}"),
+            TransformError::Verification(errs) => {
+                write!(f, "transformed program failed verification: {} errors", errs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// How the main thread combines one group of live-out values received from a
+/// worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombineKind {
+    /// Accumulate with a reduction operation; the first register of the group
+    /// is the accumulator, the rest are payloads selected under the same
+    /// condition (argmin/argmax).
+    Reduction(ReductionKindSpec),
+    /// Overwrite the main thread's value (later workers overwrite earlier
+    /// ones, so the last valid worker — the one that reached the real loop
+    /// exit — wins).
+    Overwrite,
+}
+
+/// Serializable mirror of [`ReductionKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReductionKindSpec {
+    /// Associative/commutative binop accumulation.
+    Binop(BinOp),
+    /// Select-based minimum.
+    Min,
+    /// Select-based maximum.
+    Max,
+}
+
+impl From<ReductionKind> for ReductionKindSpec {
+    fn from(k: ReductionKind) -> Self {
+        match k {
+            ReductionKind::Binop(op) => ReductionKindSpec::Binop(op),
+            ReductionKind::Min => ReductionKindSpec::Min,
+            ReductionKind::Max => ReductionKindSpec::Max,
+        }
+    }
+}
+
+/// One group of live-out registers communicated from workers to the main
+/// thread, in main-function register numbering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveOutGroup {
+    /// Registers of the group (accumulator first for reductions).
+    pub regs: Vec<Reg>,
+    /// How the group combines.
+    pub kind: CombineKind,
+}
+
+/// Channels connecting the main thread with one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerChannels {
+    /// Main → worker: invariant live-ins, sent once per invocation.
+    pub invariant: i64,
+    /// Worker → main: 1 if the worker observed its successor's predicted
+    /// live-ins during its chunk (successor speculated correctly), 0 if it
+    /// ran to the real loop exit.
+    pub status: i64,
+    /// Main → worker: permission to commit.
+    pub command: i64,
+    /// Worker → main: live-out values, in [`SpiceParallelLoop::liveouts`]
+    /// order.
+    pub liveout: i64,
+    /// Worker → main: acknowledgement that commit or recovery completed.
+    pub ack: i64,
+}
+
+/// One generated speculative worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerInfo {
+    /// The worker's function.
+    pub func: FuncId,
+    /// Thread id (main thread is 0, workers are 1..).
+    pub tid: usize,
+    /// Core the worker is expected to run on (equal to `tid`).
+    pub core: usize,
+    /// Entry block of the worker's recovery code — the target of the remote
+    /// resteer issued on a squash.
+    pub recovery_block: BlockId,
+    /// The channels connecting this worker with the main thread.
+    pub channels: WorkerChannels,
+}
+
+/// The result of applying the Spice transformation to one loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpiceParallelLoop {
+    /// The (rewritten) function containing the original loop; runs as the
+    /// non-speculative main thread on core 0.
+    pub main: FuncId,
+    /// The generated speculative workers, in thread order.
+    pub workers: Vec<WorkerInfo>,
+    /// Shared-memory layout of the value predictor.
+    pub layout: PredictorLayout,
+    /// Total thread count.
+    pub threads: usize,
+    /// The speculated live-in registers (set `S` of Algorithm 1), in the
+    /// main function's register numbering; their order defines the layout of
+    /// one `sva` row.
+    pub speculated: Vec<Reg>,
+    /// Invariant live-ins actually read inside the loop, in the order they
+    /// are sent to each worker.
+    pub invariants_sent: Vec<Reg>,
+    /// Live-out groups, in the order they travel over the live-out channels.
+    pub liveouts: Vec<LiveOutGroup>,
+}
+
+impl SpiceParallelLoop {
+    /// Number of scalar values sent per worker on its live-out channel.
+    #[must_use]
+    pub fn liveout_width(&self) -> usize {
+        self.liveouts.iter().map(|g| g.regs.len()).sum()
+    }
+}
+
+/// The Spice transformation.
+#[derive(Debug, Clone)]
+pub struct SpiceTransform {
+    options: SpiceOptions,
+}
+
+impl SpiceTransform {
+    /// Creates a transformation with the given options.
+    #[must_use]
+    pub fn new(options: SpiceOptions) -> Self {
+        SpiceTransform { options }
+    }
+
+    /// Applies the transformation to the loop described by `analysis`,
+    /// rewriting `program` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NotApplicable`] when fewer than two threads
+    /// are requested and [`TransformError::Verification`] if the generated
+    /// program is structurally broken (a transformation bug).
+    pub fn apply(
+        &self,
+        program: &mut Program,
+        analysis: &LoopAnalysis,
+    ) -> Result<SpiceParallelLoop, TransformError> {
+        let t = self.options.threads;
+        if t < 2 {
+            return Err(TransformError::NotApplicable(Applicability::TooFewThreads));
+        }
+
+        let layout = PredictorLayout::allocate(program, t, analysis.speculated.len());
+
+        // Registers the loop body actually mentions (used to filter invariant
+        // live-ins that are merely live *through* the loop).
+        let src = program.func(analysis.func).clone();
+        let mut loop_regs: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+        for &b in &analysis.blocks {
+            let blk = src.block(b);
+            for inst in &blk.insts {
+                loop_regs.extend(inst.uses());
+                if let Some(d) = inst.def() {
+                    loop_regs.insert(d);
+                }
+            }
+            loop_regs.extend(blk.terminator.uses());
+        }
+        let invariants_sent: Vec<Reg> = analysis
+            .live
+            .invariant
+            .iter()
+            .copied()
+            .filter(|r| loop_regs.contains(r))
+            .collect();
+
+        let liveouts = build_liveout_groups(analysis);
+
+        // Per-worker channels.
+        let mut channels = Vec::new();
+        for _ in 0..t - 1 {
+            channels.push(WorkerChannels {
+                invariant: program.fresh_channel(),
+                status: program.fresh_channel(),
+                command: program.fresh_channel(),
+                liveout: program.fresh_channel(),
+                ack: program.fresh_channel(),
+            });
+        }
+
+        // Generate workers from the pristine copy of the main function.
+        let mut workers = Vec::new();
+        for wi in 0..t - 1 {
+            let (func, recovery_block) = build_worker(
+                program,
+                &src,
+                analysis,
+                &layout,
+                &liveouts,
+                &invariants_sent,
+                wi,
+                t,
+                channels[wi],
+            );
+            workers.push(WorkerInfo {
+                func,
+                tid: wi + 1,
+                core: wi + 1,
+                recovery_block,
+                channels: channels[wi],
+            });
+        }
+
+        // Rewrite the main function in place.
+        rewrite_main(
+            program,
+            analysis,
+            &layout,
+            &liveouts,
+            &invariants_sent,
+            &workers,
+        );
+
+        if let Err(errs) = verify_program(program) {
+            return Err(TransformError::Verification(errs));
+        }
+
+        Ok(SpiceParallelLoop {
+            main: analysis.func,
+            workers,
+            layout,
+            threads: t,
+            speculated: analysis.speculated.clone(),
+            invariants_sent,
+            liveouts,
+        })
+    }
+}
+
+/// Builds the canonical live-out communication order.
+fn build_liveout_groups(analysis: &LoopAnalysis) -> Vec<LiveOutGroup> {
+    let mut groups = Vec::new();
+    let mut covered: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+    let mut reductions = analysis.reductions.reductions.clone();
+    reductions.sort_by_key(|r| r.reg);
+    for red in &reductions {
+        let mut regs = vec![red.reg];
+        regs.extend(red.payloads.iter().copied());
+        covered.extend(regs.iter().copied());
+        groups.push(LiveOutGroup {
+            regs,
+            kind: CombineKind::Reduction(red.kind.into()),
+        });
+    }
+    let mut rest: Vec<Reg> = analysis
+        .live
+        .live_outs
+        .iter()
+        .chain(analysis.speculated.iter())
+        .copied()
+        .filter(|r| !covered.contains(r))
+        .collect();
+    rest.sort();
+    rest.dedup();
+    for r in rest {
+        groups.push(LiveOutGroup {
+            regs: vec![r],
+            kind: CombineKind::Overwrite,
+        });
+    }
+    groups
+}
+
+/// Emits the Algorithm 2 memoization blocks into `b`. Returns
+/// `(memo_entry_block, continue_target_is_set_by_caller)`; the caller must
+/// have positioned `header_target` as the block to continue with.
+#[allow(clippy::too_many_arguments)]
+fn emit_memoization(
+    b: &mut FunctionBuilder,
+    layout: &PredictorLayout,
+    tid: usize,
+    my_work: Reg,
+    memo_idx: Reg,
+    spec_values: &[Reg],
+    memo_bb: BlockId,
+    header_target: BlockId,
+) {
+    let do_memo = b.new_labeled_block("spice.do_memo");
+    b.switch_to(memo_bb);
+    let w2 = b.binop(BinOp::Add, my_work, 1i64);
+    b.copy_into(my_work, w2);
+    let svat_addr = b.binop(BinOp::Add, memo_idx, layout.svat_addr(tid, 0));
+    let thresh = b.load(svat_addr, 0);
+    let fire = b.binop(BinOp::Gt, my_work, thresh);
+    b.cond_br(fire, do_memo, header_target);
+
+    b.switch_to(do_memo);
+    let svai_addr = b.binop(BinOp::Add, memo_idx, layout.svai_addr(tid, 0));
+    let row = b.load(svai_addr, 0);
+    let row_off = b.binop(BinOp::Mul, row, layout.spec_width as i64);
+    let row_addr = b.binop(BinOp::Add, row_off, layout.sva_base);
+    for (j, r) in spec_values.iter().enumerate() {
+        b.store(*r, row_addr, j as i64);
+    }
+    let idx2 = b.binop(BinOp::Add, memo_idx, 1i64);
+    b.copy_into(memo_idx, idx2);
+    b.br(header_target);
+}
+
+/// Emits the live-in comparison of the detection code: `all_eq = (r0 == p0)
+/// && (r1 == p1) && ...`.
+fn emit_compare_all(b: &mut FunctionBuilder, current: &[Reg], predicted: &[Reg]) -> Reg {
+    let mut all_eq = b.binop(BinOp::Eq, current[0], predicted[0]);
+    for (r, p) in current.iter().zip(predicted).skip(1) {
+        let e = b.binop(BinOp::Eq, *r, *p);
+        all_eq = b.binop(BinOp::And, all_eq, e);
+    }
+    all_eq
+}
+
+/// Builds one speculative worker function. Returns its id and the id of its
+/// recovery block.
+#[allow(clippy::too_many_arguments)]
+fn build_worker(
+    program: &mut Program,
+    src: &spice_ir::Function,
+    analysis: &LoopAnalysis,
+    layout: &PredictorLayout,
+    liveouts: &[LiveOutGroup],
+    invariants_sent: &[Reg],
+    wi: usize,
+    threads: usize,
+    chans: WorkerChannels,
+) -> (FuncId, BlockId) {
+    let tid = wi + 1;
+    let is_last = wi == threads - 2;
+    let mut b = FunctionBuilder::new(format!("{}.spice.w{}", src.name, tid));
+
+    // Clone the loop body.
+    let (bmap, rmap) = b.func_mut().import_blocks(src, &analysis.blocks, &[]);
+
+    // Helper: worker-local register for a main-function register, if the loop
+    // body mentions it.
+    let local = |r: Reg| -> Option<Reg> { rmap.get(&r).copied() };
+
+    // Auxiliary blocks.
+    let check_bb = b.new_labeled_block("spice.check");
+    let memo_bb = b.new_labeled_block("spice.memo");
+    let hit_bb = b.new_labeled_block("spice.hit");
+    let exit_bb = b.new_labeled_block("spice.exit");
+    let recovery_bb = b.new_labeled_block("spice.recovery");
+    let cloned_header = bmap[&analysis.header];
+
+    // Fix up the cloned terminators: rebuild them from the source so that
+    // in-loop targets follow the block map and the loop exit leads to the
+    // worker's exit block (out-of-loop targets must not leak stale ids).
+    for &sb in &analysis.blocks {
+        let nb = bmap[&sb];
+        let mut term = src.block(sb).terminator.clone();
+        term.remap_regs(|r| rmap[&r]);
+        term.remap_blocks(|t| bmap.get(&t).copied().unwrap_or(exit_bb));
+        b.func_mut().block_mut(nb).terminator = term;
+    }
+
+    // Preamble (entry block).
+    for r in invariants_sent {
+        if let Some(lr) = local(*r) {
+            b.recv_into(lr, chans.invariant);
+        } else {
+            // Keep channel framing consistent even if this worker's clone
+            // never mentions the register.
+            let _ = b.recv(chans.invariant);
+        }
+    }
+    for (j, r) in analysis.speculated.iter().enumerate() {
+        let lr = local(*r).expect("speculated live-ins are used in the loop");
+        b.load_into(lr, layout.sva_addr(wi, j), 0);
+    }
+    for red in &analysis.reductions.reductions {
+        if let Some(acc) = local(red.reg) {
+            b.copy_into(acc, red.kind.identity());
+        }
+        for p in &red.payloads {
+            if let Some(pl) = local(*p) {
+                b.copy_into(pl, 0i64);
+            }
+        }
+    }
+    let status = b.copy(0i64);
+    let my_work = b.copy(0i64);
+    let memo_idx = b.copy(0i64);
+    // Successor's predicted live-ins (for all but the last worker).
+    let mut pred_regs = Vec::new();
+    if !is_last {
+        for (j, _) in analysis.speculated.iter().enumerate() {
+            pred_regs.push(b.load(layout.sva_addr(wi + 1, j), 0));
+        }
+    }
+    b.push(Inst::SpecBegin);
+    b.br(check_bb);
+
+    // Detection (check) block.
+    let spec_locals: Vec<Reg> = analysis
+        .speculated
+        .iter()
+        .map(|r| local(*r).expect("speculated live-ins are used in the loop"))
+        .collect();
+    b.switch_to(check_bb);
+    if is_last {
+        b.br(memo_bb);
+    } else {
+        let all_eq = emit_compare_all(&mut b, &spec_locals, &pred_regs);
+        b.cond_br(all_eq, hit_bb, memo_bb);
+    }
+
+    // Memoization blocks.
+    emit_memoization(
+        &mut b,
+        layout,
+        tid,
+        my_work,
+        memo_idx,
+        &spec_locals,
+        memo_bb,
+        cloned_header,
+    );
+
+    // Hit block (successor speculated correctly).
+    b.switch_to(hit_bb);
+    b.copy_into(status, 1i64);
+    b.br(exit_bb);
+
+    // Exit block: report status, wait for the commit command, publish state.
+    b.switch_to(exit_bb);
+    b.send(chans.status, status);
+    let _cmd = b.recv(chans.command);
+    b.push(Inst::SpecCommit);
+    b.store(my_work, layout.work_addr(tid), 0);
+    for group in liveouts {
+        for r in &group.regs {
+            match local(*r) {
+                Some(lr) => b.send(chans.liveout, lr),
+                None => b.send(chans.liveout, 0i64),
+            }
+        }
+    }
+    b.send(chans.ack, 1i64);
+    b.push(Inst::Halt);
+    b.ret(None);
+
+    // Recovery block: squash target of the remote resteer.
+    b.switch_to(recovery_bb);
+    b.push(Inst::SpecAbort);
+    b.send(chans.ack, 1i64);
+    b.push(Inst::Halt);
+    b.ret(None);
+
+    // Redirect back edges of the cloned loop through the check block: every
+    // cloned predecessor of the cloned header now branches to `check`.
+    let cloned_blocks: Vec<BlockId> = analysis.blocks.iter().map(|sb| bmap[sb]).collect();
+    for nb in &cloned_blocks {
+        let term = &mut b.func_mut().block_mut(*nb).terminator;
+        term.remap_blocks(|t| if t == cloned_header { check_bb } else { t });
+    }
+
+    let func = program.add_func(b.finish());
+    (func, recovery_bb)
+}
+
+/// Rewrites the main function in place.
+fn rewrite_main(
+    program: &mut Program,
+    analysis: &LoopAnalysis,
+    layout: &PredictorLayout,
+    liveouts: &[LiveOutGroup],
+    invariants_sent: &[Reg],
+    workers: &[WorkerInfo],
+) {
+    let func = analysis.func;
+    let exit_from = analysis.exit_edge.0;
+    let exit_target = analysis.exit_edge.1;
+    let header = analysis.header;
+
+    // Move the main function into a builder so the new blocks can be emitted
+    // with the same API the workers use; it is moved back at the end.
+    let mut owned = std::mem::replace(
+        program.func_mut(func),
+        spice_ir::Function::new("spice.placeholder"),
+    );
+    let mut b = FunctionBuilder::new(owned.name.clone());
+    std::mem::swap(b.func_mut(), &mut owned);
+
+    let success = b.fresh();
+    let my_work = b.fresh();
+    let memo_idx = b.fresh();
+    let valid_count = b.fresh();
+    let still_valid = b.fresh();
+    let pred_regs: Vec<Reg> = analysis.speculated.iter().map(|_| b.fresh()).collect();
+
+    let check_bb = b.new_labeled_block("spice.check");
+    let memo_bb = b.new_labeled_block("spice.memo");
+    let hit_bb = b.new_labeled_block("spice.hit");
+    let merge_bb = b.new_labeled_block("spice.merge");
+    let tail_bb = b.new_labeled_block("spice.tail");
+
+    // --- Preheader: send invariant live-ins, load predictions, init state.
+    b.switch_to(analysis.preheader);
+    for w in workers {
+        for r in invariants_sent {
+            b.send(w.channels.invariant, *r);
+        }
+    }
+    b.copy_into(success, 0i64);
+    b.copy_into(my_work, 0i64);
+    b.copy_into(memo_idx, 0i64);
+    b.copy_into(valid_count, 0i64);
+    for (j, p) in pred_regs.iter().enumerate() {
+        b.load_into(*p, layout.sva_addr(0, j), 0);
+    }
+
+    // --- Detection block.
+    b.switch_to(check_bb);
+    let all_eq = emit_compare_all(&mut b, &analysis.speculated, &pred_regs);
+    b.cond_br(all_eq, hit_bb, memo_bb);
+
+    // --- Memoization (thread 0).
+    emit_memoization(
+        &mut b,
+        layout,
+        0,
+        my_work,
+        memo_idx,
+        &analysis.speculated,
+        memo_bb,
+        header,
+    );
+
+    // --- Hit block.
+    b.switch_to(hit_bb);
+    b.copy_into(success, 1i64);
+    b.br(merge_bb);
+
+    // --- Merge chain.
+    b.switch_to(merge_bb);
+    b.copy_into(still_valid, success);
+    let mut next_dispatch = b.new_labeled_block("spice.w1.dispatch");
+    b.br(next_dispatch);
+    for (i, w) in workers.iter().enumerate() {
+        let dispatch = next_dispatch;
+        let valid_bb = b.new_labeled_block(format!("spice.w{}.valid", w.tid));
+        let squash_bb = b.new_labeled_block(format!("spice.w{}.squash", w.tid));
+        next_dispatch = if i + 1 < workers.len() {
+            b.new_labeled_block(format!("spice.w{}.dispatch", w.tid + 1))
+        } else {
+            tail_bb
+        };
+
+        b.switch_to(dispatch);
+        b.cond_br(still_valid, valid_bb, squash_bb);
+
+        // Valid worker: commit it, pull its live-outs and combine.
+        b.switch_to(valid_bb);
+        let status = b.recv(w.channels.status);
+        b.send(w.channels.command, 1i64);
+        for group in liveouts {
+            let tmps: Vec<Reg> = group.regs.iter().map(|_| b.recv(w.channels.liveout)).collect();
+            match &group.kind {
+                CombineKind::Reduction(kind) => {
+                    let acc = group.regs[0];
+                    match kind {
+                        ReductionKindSpec::Binop(op) => {
+                            let combined = b.binop(*op, acc, tmps[0]);
+                            b.copy_into(acc, combined);
+                        }
+                        ReductionKindSpec::Min | ReductionKindSpec::Max => {
+                            let cmp = if matches!(kind, ReductionKindSpec::Min) {
+                                BinOp::Lt
+                            } else {
+                                BinOp::Gt
+                            };
+                            let cond = b.binop(cmp, tmps[0], acc);
+                            let new_acc = b.select(cond, tmps[0], acc);
+                            b.copy_into(acc, new_acc);
+                            for (payload, tmp) in group.regs[1..].iter().zip(&tmps[1..]) {
+                                let np = b.select(cond, *tmp, *payload);
+                                b.copy_into(*payload, np);
+                            }
+                        }
+                    }
+                }
+                CombineKind::Overwrite => {
+                    b.copy_into(group.regs[0], tmps[0]);
+                }
+            }
+        }
+        let _ack = b.recv(w.channels.ack);
+        let vc = b.binop(BinOp::Add, valid_count, 1i64);
+        b.copy_into(valid_count, vc);
+        b.copy_into(still_valid, status);
+        b.br(next_dispatch);
+
+        // Invalid worker: squash it and wait for its recovery acknowledgement.
+        b.switch_to(squash_bb);
+        b.push(Inst::Resteer {
+            core: Operand::Imm(w.core as i64),
+            target: w.recovery_block,
+        });
+        let _ack = b.recv(w.channels.ack);
+        b.br(next_dispatch);
+    }
+
+    // --- Tail: publish predictor feedback and fall through to the original
+    // post-loop code.
+    b.switch_to(tail_bb);
+    b.store(my_work, layout.work_addr(0), 0);
+    b.store(valid_count, layout.status_base, 0);
+    b.br(exit_target);
+
+    // --- Redirect control flow:
+    //  * every branch to the loop header now goes through the check block,
+    //  * the loop exit edge goes to the merge chain.
+    let mut header_preds: Vec<BlockId> = vec![analysis.preheader];
+    header_preds.extend(analysis.latches.iter().copied());
+    for p in header_preds {
+        let term = &mut b.func_mut().block_mut(p).terminator;
+        term.remap_blocks(|t| if t == header { check_bb } else { t });
+    }
+    {
+        let term = &mut b.func_mut().block_mut(exit_from).terminator;
+        term.remap_blocks(|t| if t == exit_target { merge_bb } else { t });
+    }
+
+    *program.func_mut(func) = b.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::LoopAnalysis;
+    use spice_ir::verify::verify_program;
+
+    /// Builds the paper's Figure 1(a) loop (`find_lightest_cl` from otter).
+    fn otter_program() -> (Program, FuncId) {
+        let mut b = FunctionBuilder::new("find_lightest");
+        let c = b.param();
+        let wm = b.param();
+        let cm = b.param();
+        let out_addr = b.param();
+        let pre = b.new_labeled_block("preheader");
+        let header = b.new_labeled_block("header");
+        let body = b.new_labeled_block("body");
+        let exit = b.new_labeled_block("exit");
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let better = b.binop(BinOp::Lt, w, wm);
+        let new_wm = b.select(better, w, wm);
+        b.copy_into(wm, new_wm);
+        let new_cm = b.select(better, c, cm);
+        b.copy_into(cm, new_cm);
+        let next = b.load(c, 1);
+        b.copy_into(c, next);
+        b.br(header);
+        b.switch_to(exit);
+        b.store(cm, out_addr, 0);
+        b.ret(Some(Operand::Reg(wm)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        (p, f)
+    }
+
+    #[test]
+    fn transform_produces_verified_program_for_two_threads() {
+        let (mut p, f) = otter_program();
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        assert_eq!(spice.workers.len(), 1);
+        assert_eq!(spice.threads, 2);
+        assert!(verify_program(&p).is_ok());
+        // The worker function exists and is distinct from main.
+        assert_ne!(spice.workers[0].func, spice.main);
+        assert_eq!(p.func(spice.workers[0].func).name, "find_lightest.spice.w1");
+    }
+
+    #[test]
+    fn transform_scales_to_four_threads() {
+        let (mut p, f) = otter_program();
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(4))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        assert_eq!(spice.workers.len(), 3);
+        assert!(verify_program(&p).is_ok());
+        // Thread ids and cores are 1..=3.
+        let tids: Vec<usize> = spice.workers.iter().map(|w| w.tid).collect();
+        assert_eq!(tids, vec![1, 2, 3]);
+        // The sva has (t-1) rows of one word (only `c` is speculated).
+        assert_eq!(spice.layout.spec_width, 1);
+        assert_eq!(spice.speculated.len(), 1);
+    }
+
+    #[test]
+    fn liveout_order_contains_min_reduction_and_pointer() {
+        let (mut p, f) = otter_program();
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        assert_eq!(spice.liveouts.len(), 2);
+        assert!(matches!(
+            spice.liveouts[0].kind,
+            CombineKind::Reduction(ReductionKindSpec::Min)
+        ));
+        assert_eq!(spice.liveouts[0].regs.len(), 2); // wm + cm payload
+        assert!(matches!(spice.liveouts[1].kind, CombineKind::Overwrite));
+        assert_eq!(spice.liveout_width(), 3);
+    }
+
+    #[test]
+    fn single_thread_request_is_rejected() {
+        let (mut p, f) = otter_program();
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let err = SpiceTransform::new(SpiceOptions::with_threads(1))
+            .apply(&mut p, &analysis)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TransformError::NotApplicable(Applicability::TooFewThreads)
+        );
+    }
+
+    #[test]
+    fn channels_are_distinct_across_workers() {
+        let (mut p, f) = otter_program();
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(4))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        let mut all: Vec<i64> = Vec::new();
+        for w in &spice.workers {
+            all.extend_from_slice(&[
+                w.channels.invariant,
+                w.channels.status,
+                w.channels.command,
+                w.channels.liveout,
+                w.channels.ack,
+            ]);
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "channel ids must not collide");
+    }
+}

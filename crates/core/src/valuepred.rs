@@ -1,0 +1,415 @@
+//! Conventional value predictors and the Spice memoization predictor,
+//! evaluated over recorded live-in traces.
+//!
+//! Section 2.2 of the paper argues that the predictors used by prior TLS
+//! work — last-value, stride, and trace-based (increment) predictors —
+//! cannot predict the live-ins of pointer-chasing loops, while Spice's
+//! "remember a few values from the previous invocation" strategy can. This
+//! module implements all four so that claim can be measured: each predictor
+//! consumes the per-iteration loop-carried live-in values of consecutive
+//! loop invocations and reports its prediction accuracy.
+//!
+//! These predictors are also what the baseline *TLS with value prediction*
+//! scheme (paper Figure 3) uses to decide how often an iteration's input can
+//! be guessed.
+
+use std::collections::HashMap;
+
+/// A trace of one loop invocation: the loop-carried live-in tuple observed at
+/// the start of every iteration.
+pub type InvocationTrace = Vec<Vec<i64>>;
+
+/// A value predictor evaluated against per-iteration live-in tuples.
+pub trait ValuePredictor {
+    /// Human-readable predictor name.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the live-in tuple of the next iteration, or `None` when the
+    /// predictor has no prediction yet (cold start).
+    fn predict(&self) -> Option<Vec<i64>>;
+
+    /// Informs the predictor of the live-in tuple actually observed.
+    fn observe(&mut self, actual: &[i64]);
+
+    /// Informs the predictor that a new loop invocation begins.
+    fn new_invocation(&mut self) {}
+}
+
+/// Accuracy statistics of one predictor over a workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictorStats {
+    /// Number of predictions made (cold-start iterations are not counted).
+    pub predictions: u64,
+    /// Number of correct predictions.
+    pub correct: u64,
+}
+
+impl PredictorStats {
+    /// Prediction accuracy in `[0, 1]`; 0 when no prediction was made.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// Runs `predictor` over a sequence of invocation traces and reports its
+/// accuracy at predicting each iteration's live-in tuple.
+pub fn evaluate_predictor<P: ValuePredictor + ?Sized>(
+    predictor: &mut P,
+    invocations: &[InvocationTrace],
+) -> PredictorStats {
+    let mut stats = PredictorStats::default();
+    for inv in invocations {
+        predictor.new_invocation();
+        for tuple in inv {
+            if let Some(guess) = predictor.predict() {
+                stats.predictions += 1;
+                if guess == *tuple {
+                    stats.correct += 1;
+                }
+            }
+            predictor.observe(tuple);
+        }
+    }
+    stats
+}
+
+/// Predicts that the next value equals the previous value (Lipasti-style
+/// last-value prediction).
+#[derive(Debug, Clone, Default)]
+pub struct LastValuePredictor {
+    last: Option<Vec<i64>>,
+}
+
+impl LastValuePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ValuePredictor for LastValuePredictor {
+    fn name(&self) -> &'static str {
+        "last-value"
+    }
+
+    fn predict(&self) -> Option<Vec<i64>> {
+        self.last.clone()
+    }
+
+    fn observe(&mut self, actual: &[i64]) {
+        self.last = Some(actual.to_vec());
+    }
+}
+
+/// Predicts `last + stride` per live-in component, with the stride learned
+/// from the two most recent observations.
+#[derive(Debug, Clone, Default)]
+pub struct StridePredictor {
+    last: Option<Vec<i64>>,
+    stride: Option<Vec<i64>>,
+}
+
+impl StridePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ValuePredictor for StridePredictor {
+    fn name(&self) -> &'static str {
+        "stride"
+    }
+
+    fn predict(&self) -> Option<Vec<i64>> {
+        match (&self.last, &self.stride) {
+            (Some(last), Some(stride)) => Some(
+                last.iter()
+                    .zip(stride)
+                    .map(|(l, s)| l.wrapping_add(*s))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    fn observe(&mut self, actual: &[i64]) {
+        if let Some(last) = &self.last {
+            self.stride = Some(
+                actual
+                    .iter()
+                    .zip(last)
+                    .map(|(a, l)| a.wrapping_sub(*l))
+                    .collect(),
+            );
+        }
+        self.last = Some(actual.to_vec());
+    }
+}
+
+/// Trace-based increment predictor in the style of Marcuello et al.: the
+/// stride is learned *per control-flow path through the iteration* (the
+/// "loop iteration trace"), so different paths can carry different
+/// increments.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementTracePredictor {
+    last: Option<Vec<i64>>,
+    strides: HashMap<u64, Vec<i64>>,
+    current_path: u64,
+}
+
+impl IncrementTracePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the identifier of the control-flow path taken by the most
+    /// recently completed iteration — the prediction context. Callers that
+    /// do not track paths can leave it at 0, which makes this predictor
+    /// equivalent to [`StridePredictor`] with one context.
+    pub fn set_path(&mut self, path: u64) {
+        self.current_path = path;
+    }
+}
+
+impl ValuePredictor for IncrementTracePredictor {
+    fn name(&self) -> &'static str {
+        "increment-trace"
+    }
+
+    fn predict(&self) -> Option<Vec<i64>> {
+        let last = self.last.as_ref()?;
+        let stride = self.strides.get(&self.current_path)?;
+        Some(
+            last.iter()
+                .zip(stride)
+                .map(|(l, s)| l.wrapping_add(*s))
+                .collect(),
+        )
+    }
+
+    fn observe(&mut self, actual: &[i64]) {
+        if let Some(last) = &self.last {
+            let stride: Vec<i64> = actual
+                .iter()
+                .zip(last)
+                .map(|(a, l)| a.wrapping_sub(*l))
+                .collect();
+            // The increment is attributed to the path of the iteration that
+            // produced it (the current prediction context).
+            self.strides.insert(self.current_path, stride);
+        }
+        self.last = Some(actual.to_vec());
+    }
+}
+
+/// The Spice predictor evaluated at the same granularity as the others, but
+/// with its own success criterion (paper §1, second insight): it predicts
+/// that a live-in tuple memoized from the *previous* invocation will appear
+/// *some time* during the current invocation — not at a particular
+/// iteration.
+///
+/// `chunks` controls how many tuples are memoized per invocation
+/// (`threads - 1` in the transformation).
+#[derive(Debug, Clone)]
+pub struct SpiceMemoPredictor {
+    chunks: usize,
+    memoized: Vec<Vec<i64>>,
+    current: Vec<Vec<i64>>,
+}
+
+impl SpiceMemoPredictor {
+    /// Creates a predictor that memoizes `chunks` tuples per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    #[must_use]
+    pub fn new(chunks: usize) -> Self {
+        assert!(chunks > 0, "at least one chunk boundary is required");
+        SpiceMemoPredictor {
+            chunks,
+            memoized: Vec::new(),
+            current: Vec::new(),
+        }
+    }
+
+    /// Evaluates the Spice criterion over a sequence of invocation traces:
+    /// the fraction of memoized tuples from invocation `k` that appear
+    /// somewhere in invocation `k + 1`. This is exactly the quantity that
+    /// determines Spice's mis-speculation rate.
+    #[must_use]
+    pub fn evaluate(mut self, invocations: &[InvocationTrace]) -> PredictorStats {
+        let mut stats = PredictorStats::default();
+        for inv in invocations {
+            // Check last invocation's memoized tuples against this one.
+            if !self.memoized.is_empty() {
+                for tuple in &self.memoized {
+                    stats.predictions += 1;
+                    if inv.iter().any(|t| t == tuple) {
+                        stats.correct += 1;
+                    }
+                }
+            }
+            // Memoize evenly spaced tuples from this invocation.
+            self.current = inv.clone();
+            self.memoized = memoize_evenly(&self.current, self.chunks);
+        }
+        stats
+    }
+}
+
+/// Picks `chunks` evenly spaced tuples from an invocation trace — the
+/// idealised equivalent of Algorithm 2's threshold-triggered memoization
+/// under perfectly balanced work.
+#[must_use]
+pub fn memoize_evenly(trace: &[Vec<i64>], chunks: usize) -> Vec<Vec<i64>> {
+    if trace.is_empty() || chunks == 0 {
+        return Vec::new();
+    }
+    let n = trace.len();
+    let threads = chunks + 1;
+    let mut out = Vec::new();
+    for k in 1..=chunks {
+        let idx = (k * n) / threads;
+        if idx < n {
+            out.push(trace[idx].clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(values: &[i64]) -> InvocationTrace {
+        values.iter().map(|v| vec![*v]).collect()
+    }
+
+    #[test]
+    fn last_value_predicts_constant_stream() {
+        let invs = vec![tuples(&[5, 5, 5, 5])];
+        let mut p = LastValuePredictor::new();
+        let s = evaluate_predictor(&mut p, &invs);
+        assert_eq!(s.predictions, 3);
+        assert_eq!(s.correct, 3);
+        assert!((s.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_value_fails_on_pointer_chase() {
+        // Distinct node addresses every iteration.
+        let invs = vec![tuples(&[100, 116, 132, 148, 164])];
+        let mut p = LastValuePredictor::new();
+        let s = evaluate_predictor(&mut p, &invs);
+        assert_eq!(s.correct, 0);
+    }
+
+    #[test]
+    fn stride_predicts_contiguous_nodes_but_not_reordered_lists() {
+        // Contiguously allocated list: stride 16 -> perfect after warmup.
+        let invs = vec![tuples(&[100, 116, 132, 148, 164])];
+        let mut p = StridePredictor::new();
+        let s = evaluate_predictor(&mut p, &invs);
+        assert_eq!(s.predictions, 3);
+        assert_eq!(s.correct, 3);
+
+        // After an insertion/deletion the traversal order breaks the stride.
+        let invs = vec![tuples(&[100, 116, 200, 132, 148])];
+        let mut p = StridePredictor::new();
+        let s = evaluate_predictor(&mut p, &invs);
+        assert!(s.accuracy() < 0.5);
+    }
+
+    #[test]
+    fn increment_trace_uses_per_path_strides() {
+        let mut p = IncrementTracePredictor::new();
+        // Iterations alternate between two control-flow paths: path 0 bumps
+        // the live-in by 1, path 1 bumps it by 10. A plain stride predictor
+        // cannot track this; the trace-based predictor can once both strides
+        // are learned. Each tuple is (path of the iteration that produced
+        // this value, value).
+        let seq: Vec<(u64, i64)> = vec![(0, 0), (0, 1), (1, 11), (0, 12), (1, 22), (0, 23)];
+        let mut correct = 0;
+        let mut total = 0;
+        for (path, v) in seq {
+            p.set_path(path);
+            if let Some(g) = p.predict() {
+                total += 1;
+                if g == vec![v] {
+                    correct += 1;
+                }
+            }
+            p.observe(&[v]);
+        }
+        // Predictions start once the relevant path's stride is known (the
+        // fourth observation onwards); from then on every guess is right.
+        assert_eq!(total, 3);
+        assert_eq!(correct, 3);
+        assert_eq!(p.name(), "increment-trace");
+
+        // The plain stride predictor gets at most one of these right.
+        let inv: InvocationTrace = vec![
+            vec![0],
+            vec![1],
+            vec![11],
+            vec![12],
+            vec![22],
+            vec![23],
+        ];
+        let mut sp = StridePredictor::new();
+        let st = evaluate_predictor(&mut sp, &[inv]);
+        assert!(st.correct <= 1);
+    }
+
+    #[test]
+    fn spice_memo_survives_list_mutation() {
+        // Invocation 1 traverses nodes 1..=10; invocation 2 has node 4
+        // removed and node 99 inserted near the front. The memoized middle
+        // node (6 for 2 chunks over 10 nodes... index 10/3=3 -> node 4 and
+        // 2*10/3=6 -> node 7) mostly still appears in invocation 2, while a
+        // stride predictor collapses.
+        let inv1 = tuples(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        let inv2 = tuples(&[1, 99, 2, 3, 5, 6, 7, 8, 9, 10]);
+        let spice = SpiceMemoPredictor::new(3);
+        let s = spice.evaluate(&[inv1.clone(), inv2.clone()]);
+        assert_eq!(s.predictions, 3);
+        assert!(s.accuracy() > 0.6, "accuracy was {}", s.accuracy());
+
+        let mut stride = StridePredictor::new();
+        let st = evaluate_predictor(&mut stride, &[inv1, inv2]);
+        assert!(st.accuracy() < s.accuracy());
+    }
+
+    #[test]
+    fn memoize_evenly_spaces_choices() {
+        let trace = tuples(&[10, 20, 30, 40, 50, 60, 70, 80]);
+        let picks = memoize_evenly(&trace, 3);
+        assert_eq!(picks.len(), 3);
+        assert_eq!(picks[0], vec![30]);
+        assert_eq!(picks[1], vec![50]);
+        assert_eq!(picks[2], vec![70]);
+        assert!(memoize_evenly(&[], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn zero_chunks_is_rejected() {
+        let _ = SpiceMemoPredictor::new(0);
+    }
+
+    #[test]
+    fn accuracy_of_empty_stats_is_zero() {
+        assert_eq!(PredictorStats::default().accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,968 @@
+//! Functional execution of the IR.
+//!
+//! Two layers live here:
+//!
+//! * [`ThreadState`]: a single thread of execution that can be *stepped* one
+//!   instruction at a time against pluggable memory ([`MemPort`]) and system
+//!   ([`SysPort`]) back-ends. The multi-core timing simulator in `spice-sim`
+//!   drives one `ThreadState` per core and supplies ports that model caches,
+//!   speculative store buffers and inter-core channels.
+//! * [`run_function`] / [`Interpreter`]: convenience single-threaded
+//!   execution used by tests, the value profiler and the whole-program
+//!   hotness measurements (paper Table 2).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::function::Program;
+use crate::inst::{Inst, InstClass, Terminator};
+use crate::types::{BlockId, FuncId, Operand, Reg, TrapKind};
+
+/// Memory back-end used by [`ThreadState::step`].
+pub trait MemPort {
+    /// Loads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a trap if the address is invalid for this memory.
+    fn load(&mut self, addr: i64) -> Result<i64, TrapKind>;
+
+    /// Stores `value` to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a trap if the address is invalid for this memory.
+    fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind>;
+
+    /// Allocates `words` contiguous words and returns the base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns a trap if the allocation cannot be satisfied.
+    fn alloc(&mut self, words: i64) -> Result<i64, TrapKind>;
+}
+
+/// System back-end used by [`ThreadState::step`] for inter-thread and
+/// speculation intrinsics.
+pub trait SysPort {
+    /// Enqueues `value` on channel `chan`.
+    fn send(&mut self, chan: i64, value: i64);
+
+    /// Dequeues a value from channel `chan`, or returns `None` if the channel
+    /// is currently empty (the thread will retry the `Recv` on its next
+    /// step).
+    fn try_recv(&mut self, chan: i64) -> Option<i64>;
+
+    /// Enters speculative execution on the calling core.
+    fn spec_begin(&mut self) {}
+
+    /// Commits buffered speculative state.
+    fn spec_commit(&mut self) {}
+
+    /// Discards buffered speculative state.
+    fn spec_abort(&mut self) {}
+
+    /// Requests that the thread on `core` be redirected to `target` in its
+    /// current function.
+    fn resteer(&mut self, core: i64, target: BlockId);
+
+    /// Receives the values reported by a [`Inst::ProfileHook`].
+    fn profile(&mut self, _site: u32, _values: &[i64]) {}
+}
+
+/// Simple flat word-addressable memory.
+///
+/// Word addresses run from 0 to `size - 1`. Globals of a [`Program`] are
+/// materialized by [`FlatMemory::for_program`]; the bump-allocator used by
+/// `alloc` starts right after the globals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatMemory {
+    words: Vec<i64>,
+    heap_next: i64,
+}
+
+impl FlatMemory {
+    /// Creates a zeroed memory of `size` words with the heap starting at
+    /// word 1024 (past the reserved null page).
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        FlatMemory {
+            words: vec![0; size],
+            heap_next: 1024,
+        }
+    }
+
+    /// Creates a memory sized `program.data_end() + heap_words`, copies every
+    /// global initializer into place and points the allocator at the first
+    /// word past the globals.
+    #[must_use]
+    pub fn for_program(program: &Program, heap_words: usize) -> Self {
+        let size = program.data_end() as usize + heap_words;
+        let mut mem = FlatMemory {
+            words: vec![0; size],
+            heap_next: program.data_end(),
+        };
+        for g in &program.globals {
+            for (i, v) in g.init.iter().enumerate() {
+                mem.words[g.base as usize + i] = *v;
+            }
+        }
+        mem
+    }
+
+    /// Number of words in this memory.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Address that the next `alloc` will return.
+    #[must_use]
+    pub fn heap_next(&self) -> i64 {
+        self.heap_next
+    }
+
+    /// Reads a word without going through the [`MemPort`] trait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::OutOfBoundsAccess`] for addresses outside memory.
+    pub fn read(&self, addr: i64) -> Result<i64, TrapKind> {
+        self.words
+            .get(usize::try_from(addr).map_err(|_| TrapKind::OutOfBoundsAccess { addr })?)
+            .copied()
+            .ok_or(TrapKind::OutOfBoundsAccess { addr })
+    }
+
+    /// Writes a word without going through the [`MemPort`] trait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrapKind::OutOfBoundsAccess`] for addresses outside memory.
+    pub fn write(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
+        let idx = usize::try_from(addr).map_err(|_| TrapKind::OutOfBoundsAccess { addr })?;
+        match self.words.get_mut(idx) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(TrapKind::OutOfBoundsAccess { addr }),
+        }
+    }
+
+    /// Returns a snapshot of all words (used by equivalence tests).
+    #[must_use]
+    pub fn words(&self) -> &[i64] {
+        &self.words
+    }
+}
+
+impl MemPort for FlatMemory {
+    fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
+        self.read(addr)
+    }
+
+    fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
+        self.write(addr, value)
+    }
+
+    fn alloc(&mut self, words: i64) -> Result<i64, TrapKind> {
+        if words < 0 {
+            return Err(TrapKind::OutOfMemory);
+        }
+        let base = self.heap_next;
+        let end = base
+            .checked_add(words)
+            .ok_or(TrapKind::OutOfMemory)?;
+        if end as usize > self.words.len() {
+            return Err(TrapKind::OutOfMemory);
+        }
+        self.heap_next = end;
+        Ok(base)
+    }
+}
+
+/// In-process channel set usable when a single thread sends to itself or when
+/// a test wants deterministic channel behaviour without a full machine.
+#[derive(Debug, Default, Clone)]
+pub struct LocalSys {
+    channels: HashMap<i64, VecDeque<i64>>,
+    /// Resteer requests observed (target core, target block); single-threaded
+    /// execution has nowhere to deliver them, so they are just recorded.
+    pub resteers: Vec<(i64, BlockId)>,
+    /// Profile hook observations: `(site, values)`.
+    pub profile_events: Vec<(u32, Vec<i64>)>,
+}
+
+impl LocalSys {
+    /// Creates an empty channel set.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalSys::default()
+    }
+}
+
+impl SysPort for LocalSys {
+    fn send(&mut self, chan: i64, value: i64) {
+        self.channels.entry(chan).or_default().push_back(value);
+    }
+
+    fn try_recv(&mut self, chan: i64) -> Option<i64> {
+        self.channels.get_mut(&chan).and_then(VecDeque::pop_front)
+    }
+
+    fn resteer(&mut self, core: i64, target: BlockId) {
+        self.resteers.push((core, target));
+    }
+
+    fn profile(&mut self, site: u32, values: &[i64]) {
+        self.profile_events.push((site, values.to_vec()));
+    }
+}
+
+/// Maximum call depth of a [`ThreadState`].
+pub const MAX_CALL_DEPTH: usize = 1024;
+
+/// What happened when a thread was stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// An instruction (or terminator) retired.
+    Executed(ExecInfo),
+    /// The thread is blocked on a `Recv` whose channel is empty; nothing
+    /// retired this step.
+    Blocked,
+    /// The thread executed `Halt` (now permanently stopped).
+    Halted,
+    /// The outermost function returned with the given value.
+    Finished(Option<i64>),
+}
+
+/// Timing-relevant description of a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecInfo {
+    /// Functional-unit class.
+    pub class: InstClass,
+    /// Word address touched, for loads and stores.
+    pub mem_addr: Option<i64>,
+    /// For branches: whether the branch was taken.
+    pub branch_taken: Option<bool>,
+}
+
+impl ExecInfo {
+    fn plain(class: InstClass) -> Self {
+        ExecInfo {
+            class,
+            mem_addr: None,
+            branch_taken: None,
+        }
+    }
+}
+
+/// Execution status of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// The thread can be stepped.
+    Runnable,
+    /// The thread executed `Halt`.
+    Halted,
+    /// The thread's outermost function returned.
+    Finished,
+    /// The thread trapped.
+    Trapped(TrapKind),
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<i64>,
+    ret_dst: Option<Reg>,
+}
+
+/// A single thread of IR execution.
+///
+/// The register file is function-local; calls push frames. The thread is
+/// deliberately ignorant of time — the caller decides what each retired
+/// instruction costs.
+#[derive(Debug, Clone)]
+pub struct ThreadState {
+    func: FuncId,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<i64>,
+    frames: Vec<Frame>,
+    status: ThreadStatus,
+    retired: u64,
+}
+
+impl ThreadState {
+    /// Creates a thread positioned at the entry of `func` with `args` bound
+    /// to the function's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the function's parameter count.
+    #[must_use]
+    pub fn new(program: &Program, func: FuncId, args: &[i64]) -> Self {
+        let f = program.func(func);
+        assert_eq!(
+            args.len(),
+            f.params.len(),
+            "wrong number of arguments for {}",
+            f.name
+        );
+        let mut regs = vec![0i64; f.reg_count()];
+        for (p, a) in f.params.iter().zip(args) {
+            regs[p.index()] = *a;
+        }
+        ThreadState {
+            func,
+            block: f.entry,
+            ip: 0,
+            regs,
+            frames: Vec::new(),
+            status: ThreadStatus::Runnable,
+            retired: 0,
+        }
+    }
+
+    /// The function currently executing (innermost frame).
+    #[must_use]
+    pub fn current_func(&self) -> FuncId {
+        self.func
+    }
+
+    /// The block the thread is currently in.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.block
+    }
+
+    /// Current status.
+    #[must_use]
+    pub fn status(&self) -> ThreadStatus {
+        self.status
+    }
+
+    /// Number of retired instructions (terminators included).
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Reads a register of the innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is out of range for the current function.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register of the innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register is out of range for the current function.
+    pub fn set_reg(&mut self, r: Reg, value: i64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Redirects the thread to `target` in its current function, clearing the
+    /// instruction cursor — the effect of an incoming remote resteer
+    /// (paper §3). Also clears a trapped or blocked state: a speculative
+    /// thread that chased a dangling pointer and faulted is recovered this
+    /// way.
+    pub fn resteer_to(&mut self, target: BlockId) {
+        self.block = target;
+        self.ip = 0;
+        self.status = ThreadStatus::Runnable;
+    }
+
+    /// Forces the thread into the trapped state (used by an enclosing
+    /// machine when an external condition kills it).
+    pub fn force_trap(&mut self, kind: TrapKind) {
+        self.status = ThreadStatus::Trapped(kind);
+    }
+
+    fn operand(&self, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    /// Executes at most one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap if the instruction faults; the thread's status is set
+    /// to [`ThreadStatus::Trapped`] as well so the caller can squash or
+    /// recover it later.
+    pub fn step(
+        &mut self,
+        program: &Program,
+        mem: &mut dyn MemPort,
+        sys: &mut dyn SysPort,
+    ) -> Result<StepEvent, TrapKind> {
+        match self.status {
+            ThreadStatus::Runnable => {}
+            ThreadStatus::Halted => return Ok(StepEvent::Halted),
+            ThreadStatus::Finished => return Ok(StepEvent::Finished(None)),
+            ThreadStatus::Trapped(k) => return Err(k),
+        }
+        let func = program.func(self.func);
+        let block = func.block(self.block);
+
+        if self.ip < block.insts.len() {
+            let inst = &block.insts[self.ip];
+            let info = match self.exec_inst(program, inst, mem, sys) {
+                Ok(info) => info,
+                Err(trap) => {
+                    self.status = ThreadStatus::Trapped(trap);
+                    return Err(trap);
+                }
+            };
+            match info {
+                InstOutcome::Retired(exec) => {
+                    self.ip += 1;
+                    self.retired += 1;
+                    Ok(StepEvent::Executed(exec))
+                }
+                InstOutcome::RetiredCall(exec) => {
+                    // exec_inst already moved the cursor into the callee.
+                    self.retired += 1;
+                    Ok(StepEvent::Executed(exec))
+                }
+                InstOutcome::Blocked => Ok(StepEvent::Blocked),
+                InstOutcome::Halted => {
+                    self.status = ThreadStatus::Halted;
+                    self.retired += 1;
+                    Ok(StepEvent::Halted)
+                }
+            }
+        } else {
+            // Terminator.
+            self.retired += 1;
+            match block.terminator.clone() {
+                Terminator::Br(t) => {
+                    self.block = t;
+                    self.ip = 0;
+                    Ok(StepEvent::Executed(ExecInfo {
+                        class: InstClass::Branch,
+                        mem_addr: None,
+                        branch_taken: Some(true),
+                    }))
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let taken = self.operand(cond) != 0;
+                    self.block = if taken { then_bb } else { else_bb };
+                    self.ip = 0;
+                    Ok(StepEvent::Executed(ExecInfo {
+                        class: InstClass::Branch,
+                        mem_addr: None,
+                        branch_taken: Some(taken),
+                    }))
+                }
+                Terminator::Ret { value } => {
+                    let v = value.map(|op| self.operand(op));
+                    if let Some(frame) = self.frames.pop() {
+                        self.func = frame.func;
+                        self.block = frame.block;
+                        self.ip = frame.ip;
+                        self.regs = frame.regs;
+                        if let (Some(dst), Some(v)) = (frame.ret_dst, v) {
+                            self.regs[dst.index()] = v;
+                        }
+                        Ok(StepEvent::Executed(ExecInfo {
+                            class: InstClass::Branch,
+                            mem_addr: None,
+                            branch_taken: Some(true),
+                        }))
+                    } else {
+                        self.status = ThreadStatus::Finished;
+                        Ok(StepEvent::Finished(v))
+                    }
+                }
+                Terminator::Unreachable => {
+                    self.status = ThreadStatus::Trapped(TrapKind::UnsupportedIntrinsic);
+                    Err(TrapKind::UnsupportedIntrinsic)
+                }
+            }
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        program: &Program,
+        inst: &Inst,
+        mem: &mut dyn MemPort,
+        sys: &mut dyn SysPort,
+    ) -> Result<InstOutcome, TrapKind> {
+        let class = inst.class();
+        Ok(match inst {
+            Inst::Binary { op, dst, lhs, rhs } => {
+                let v = op.eval(self.operand(*lhs), self.operand(*rhs))?;
+                self.regs[dst.index()] = v;
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Copy { dst, src } => {
+                self.regs[dst.index()] = self.operand(*src);
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let v = if self.operand(*cond) != 0 {
+                    self.operand(*if_true)
+                } else {
+                    self.operand(*if_false)
+                };
+                self.regs[dst.index()] = v;
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Load { dst, addr, offset } => {
+                let a = self.operand(*addr) + offset;
+                let v = mem.load(a)?;
+                self.regs[dst.index()] = v;
+                InstOutcome::Retired(ExecInfo {
+                    class,
+                    mem_addr: Some(a),
+                    branch_taken: None,
+                })
+            }
+            Inst::Store { src, addr, offset } => {
+                let a = self.operand(*addr) + offset;
+                mem.store(a, self.operand(*src))?;
+                InstOutcome::Retired(ExecInfo {
+                    class,
+                    mem_addr: Some(a),
+                    branch_taken: None,
+                })
+            }
+            Inst::Alloc { dst, words } => {
+                let base = mem.alloc(self.operand(*words))?;
+                self.regs[dst.index()] = base;
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Call { dst, func, args } => {
+                if self.frames.len() >= MAX_CALL_DEPTH {
+                    return Err(TrapKind::StackOverflow);
+                }
+                if func.index() >= program.funcs.len() {
+                    return Err(TrapKind::UnknownFunction);
+                }
+                let callee = program.func(*func);
+                if callee.params.len() != args.len() {
+                    return Err(TrapKind::UnknownFunction);
+                }
+                let arg_vals: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
+                let mut new_regs = vec![0i64; callee.reg_count()];
+                for (p, v) in callee.params.iter().zip(&arg_vals) {
+                    new_regs[p.index()] = *v;
+                }
+                let frame = Frame {
+                    func: self.func,
+                    block: self.block,
+                    ip: self.ip + 1,
+                    regs: std::mem::replace(&mut self.regs, new_regs),
+                    ret_dst: *dst,
+                };
+                self.frames.push(frame);
+                self.func = *func;
+                self.block = callee.entry;
+                self.ip = 0;
+                InstOutcome::RetiredCall(ExecInfo::plain(InstClass::Branch))
+            }
+            Inst::Send { chan, value } => {
+                sys.send(self.operand(*chan), self.operand(*value));
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Recv { dst, chan } => match sys.try_recv(self.operand(*chan)) {
+                Some(v) => {
+                    self.regs[dst.index()] = v;
+                    InstOutcome::Retired(ExecInfo::plain(class))
+                }
+                None => InstOutcome::Blocked,
+            },
+            Inst::SpecBegin => {
+                sys.spec_begin();
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::SpecCommit => {
+                sys.spec_commit();
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::SpecAbort => {
+                sys.spec_abort();
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Resteer { core, target } => {
+                sys.resteer(self.operand(*core), *target);
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::Halt => InstOutcome::Halted,
+            Inst::Nop => InstOutcome::Retired(ExecInfo::plain(class)),
+            Inst::ProfileHook { site, regs } => {
+                let values: Vec<i64> = regs.iter().map(|r| self.regs[r.index()]).collect();
+                sys.profile(*site, &values);
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+        })
+    }
+}
+
+enum InstOutcome {
+    Retired(ExecInfo),
+    RetiredCall(ExecInfo),
+    Blocked,
+    Halted,
+}
+
+/// Dynamic instruction counts per class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    counts: HashMap<InstClass, u64>,
+    /// Total retired instructions.
+    pub total: u64,
+}
+
+impl ExecStats {
+    /// Records one retired instruction.
+    pub fn record(&mut self, class: InstClass) {
+        *self.counts.entry(class).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count for one class.
+    #[must_use]
+    pub fn count(&self, class: InstClass) -> u64 {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+}
+
+/// Result of a completed single-threaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Value returned by the outermost function, if any.
+    pub return_value: Option<i64>,
+    /// Dynamic instruction statistics.
+    pub stats: ExecStats,
+}
+
+/// Default instruction budget for convenience runs.
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+/// Runs `func` to completion on `mem` with a [`LocalSys`].
+///
+/// # Errors
+///
+/// Returns any trap raised during execution, including
+/// [`TrapKind::OutOfFuel`] if the run exceeds [`DEFAULT_FUEL`] instructions.
+pub fn run_function(
+    program: &Program,
+    func: FuncId,
+    args: &[i64],
+    mem: &mut FlatMemory,
+) -> Result<RunOutcome, TrapKind> {
+    let mut sys = LocalSys::new();
+    run_function_with(program, func, args, mem, &mut sys, DEFAULT_FUEL, |_, _, _| {})
+}
+
+/// Runs `func` to completion with full control over the system port, fuel
+/// budget and a per-instruction observer.
+///
+/// The observer is called before each instruction (not terminators) with the
+/// current function, block and instruction; the value profiler and the
+/// hotness measurement are built on it.
+///
+/// # Errors
+///
+/// Returns any trap raised during execution, [`TrapKind::OutOfFuel`] if the
+/// fuel budget is exhausted, or [`TrapKind::UnsupportedIntrinsic`] if the
+/// thread blocks forever on an empty channel.
+pub fn run_function_with(
+    program: &Program,
+    func: FuncId,
+    args: &[i64],
+    mem: &mut impl MemPort,
+    sys: &mut impl SysPort,
+    fuel: u64,
+    mut observer: impl FnMut(FuncId, BlockId, &Inst),
+) -> Result<RunOutcome, TrapKind> {
+    let mut thread = ThreadState::new(program, func, args);
+    let mut stats = ExecStats::default();
+    let mut steps: u64 = 0;
+    loop {
+        if steps >= fuel {
+            return Err(TrapKind::OutOfFuel);
+        }
+        steps += 1;
+        // Observe the instruction about to execute.
+        let f = program.func(thread.func);
+        let blk = f.block(thread.block);
+        if thread.ip < blk.insts.len() {
+            observer(thread.func, thread.block, &blk.insts[thread.ip]);
+        }
+        match thread.step(program, mem, sys)? {
+            StepEvent::Executed(info) => stats.record(info.class),
+            StepEvent::Blocked => {
+                // Single-threaded: nobody will ever fill the channel.
+                return Err(TrapKind::UnsupportedIntrinsic);
+            }
+            StepEvent::Halted => {
+                return Ok(RunOutcome {
+                    return_value: None,
+                    stats,
+                })
+            }
+            StepEvent::Finished(v) => {
+                return Ok(RunOutcome {
+                    return_value: v,
+                    stats,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BinOp;
+
+    fn simple_add_program() -> (Program, FuncId) {
+        let mut b = FunctionBuilder::new("add");
+        let x = b.param();
+        let y = b.param();
+        let s = b.binop(BinOp::Add, x, y);
+        b.ret(Some(Operand::Reg(s)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        (p, f)
+    }
+
+    #[test]
+    fn add_function_returns_sum() {
+        let (p, f) = simple_add_program();
+        let mut mem = FlatMemory::new(2048);
+        let out = run_function(&p, f, &[2, 40], &mut mem).unwrap();
+        assert_eq!(out.return_value, Some(42));
+        assert_eq!(out.stats.count(InstClass::IntAlu), 1);
+        // The outermost `ret` is reported as `Finished`, not as a retired
+        // branch, so only the ALU op is counted.
+        assert_eq!(out.stats.total, 1);
+    }
+
+    #[test]
+    fn wrong_arity_panics() {
+        let (p, f) = simple_add_program();
+        let result = std::panic::catch_unwind(|| ThreadState::new(&p, f, &[1]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn calls_push_and_pop_frames() {
+        // callee(x) = x * 2 ; main() = callee(21)
+        let mut cb = FunctionBuilder::new("callee");
+        let x = cb.param();
+        let d = cb.binop(BinOp::Mul, x, 2i64);
+        cb.ret(Some(Operand::Reg(d)));
+
+        let mut p = Program::new();
+        let callee = p.add_func(cb.finish());
+
+        let mut mb = FunctionBuilder::new("main");
+        let r = mb.call(callee, vec![Operand::Imm(21)]);
+        let r2 = mb.binop(BinOp::Add, r, 0i64);
+        mb.ret(Some(Operand::Reg(r2)));
+        let main = p.add_func(mb.finish());
+
+        let mut mem = FlatMemory::new(2048);
+        let out = run_function(&p, main, &[], &mut mem).unwrap();
+        assert_eq!(out.return_value, Some(42));
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut b = FunctionBuilder::new("mem");
+        let addr = b.param();
+        b.store(99i64, addr, 3);
+        let v = b.load(addr, 3);
+        b.ret(Some(Operand::Reg(v)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(2048);
+        let out = run_function(&p, f, &[1500], &mut mem).unwrap();
+        assert_eq!(out.return_value, Some(99));
+        assert_eq!(mem.read(1503).unwrap(), 99);
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut b = FunctionBuilder::new("oob");
+        let v = b.load(1_000_000i64, 0);
+        b.ret(Some(Operand::Reg(v)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(2048);
+        let err = run_function(&p, f, &[], &mut mem).unwrap_err();
+        assert_eq!(err, TrapKind::OutOfBoundsAccess { addr: 1_000_000 });
+    }
+
+    #[test]
+    fn alloc_bumps_heap() {
+        let mut b = FunctionBuilder::new("alloc");
+        let a = b.alloc(4i64);
+        let c = b.alloc(4i64);
+        let diff = b.binop(BinOp::Sub, c, a);
+        b.ret(Some(Operand::Reg(diff)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(4096);
+        let out = run_function(&p, f, &[], &mut mem).unwrap();
+        assert_eq!(out.return_value, Some(4));
+    }
+
+    #[test]
+    fn alloc_failure_traps() {
+        let mut b = FunctionBuilder::new("big");
+        let a = b.alloc(1_000_000i64);
+        b.ret(Some(Operand::Reg(a)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(2048);
+        assert_eq!(
+            run_function(&p, f, &[], &mut mem).unwrap_err(),
+            TrapKind::OutOfMemory
+        );
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let mut b = FunctionBuilder::new("spin");
+        let header = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.br(header);
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let mut sys = LocalSys::new();
+        let err =
+            run_function_with(&p, f, &[], &mut mem, &mut sys, 1000, |_, _, _| {}).unwrap_err();
+        assert_eq!(err, TrapKind::OutOfFuel);
+    }
+
+    #[test]
+    fn halt_stops_thread() {
+        let mut b = FunctionBuilder::new("halts");
+        b.push(Inst::Halt);
+        b.ret(None);
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let out = run_function(&p, f, &[], &mut mem).unwrap();
+        assert_eq!(out.return_value, None);
+    }
+
+    #[test]
+    fn send_recv_through_local_sys() {
+        let mut b = FunctionBuilder::new("chan");
+        b.send(7i64, 123i64);
+        let v = b.recv(7i64);
+        b.ret(Some(Operand::Reg(v)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let out = run_function(&p, f, &[], &mut mem).unwrap();
+        assert_eq!(out.return_value, Some(123));
+    }
+
+    #[test]
+    fn blocked_recv_is_reported() {
+        let mut b = FunctionBuilder::new("block");
+        let v = b.recv(1i64);
+        b.ret(Some(Operand::Reg(v)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let mut sys = LocalSys::new();
+        let mut t = ThreadState::new(&p, f, &[]);
+        assert_eq!(
+            t.step(&p, &mut mem, &mut sys).unwrap(),
+            StepEvent::Blocked
+        );
+        // Still runnable; delivering a value unblocks it.
+        sys.send(1, 5);
+        assert!(matches!(
+            t.step(&p, &mut mem, &mut sys).unwrap(),
+            StepEvent::Executed(_)
+        ));
+    }
+
+    #[test]
+    fn profile_hook_reports_registers() {
+        let mut b = FunctionBuilder::new("prof");
+        let r = b.copy(17i64);
+        b.profile_hook(3, vec![r]);
+        b.ret(None);
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let mut sys = LocalSys::new();
+        run_function_with(&p, f, &[], &mut mem, &mut sys, 1000, |_, _, _| {}).unwrap();
+        assert_eq!(sys.profile_events, vec![(3, vec![17])]);
+    }
+
+    #[test]
+    fn resteer_recovers_trapped_thread() {
+        let mut b = FunctionBuilder::new("fault");
+        let recover = b.new_labeled_block("recover");
+        let v = b.load(1_000_000i64, 0); // traps
+        b.ret(Some(Operand::Reg(v)));
+        b.switch_to(recover);
+        b.ret(Some(Operand::Imm(-1)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut mem = FlatMemory::new(64);
+        let mut sys = LocalSys::new();
+        let mut t = ThreadState::new(&p, f, &[]);
+        assert!(t.step(&p, &mut mem, &mut sys).is_err());
+        assert!(matches!(t.status(), ThreadStatus::Trapped(_)));
+        t.resteer_to(recover);
+        assert_eq!(t.status(), ThreadStatus::Runnable);
+        let ev = t.step(&p, &mut mem, &mut sys).unwrap();
+        assert_eq!(ev, StepEvent::Finished(Some(-1)));
+    }
+
+    #[test]
+    fn globals_are_materialized_by_for_program() {
+        let mut p = Program::new();
+        let base = p.add_global_init("table", 4, vec![9, 8]);
+        let mem = FlatMemory::for_program(&p, 128);
+        assert_eq!(mem.read(base).unwrap(), 9);
+        assert_eq!(mem.read(base + 1).unwrap(), 8);
+        assert_eq!(mem.read(base + 2).unwrap(), 0);
+        assert_eq!(mem.heap_next(), p.data_end());
+    }
+
+    #[test]
+    fn observer_sees_instructions() {
+        let (p, f) = simple_add_program();
+        let mut mem = FlatMemory::new(64);
+        let mut sys = LocalSys::new();
+        let mut seen = 0;
+        run_function_with(&p, f, &[1, 2], &mut mem, &mut sys, 100, |_, _, _| seen += 1).unwrap();
+        assert_eq!(seen, 1); // one non-terminator instruction
+    }
+}

@@ -1,0 +1,224 @@
+//! # spice-profiler — loop live-in predictability profiling (paper §6)
+//!
+//! The paper's value profiler decides which loops are worth
+//! Spice-parallelizing by measuring, over a whole application run, how often
+//! a loop's iteration live-ins repeat across consecutive invocations. It has
+//! two components, both reproduced here:
+//!
+//! * an **instrumenter** ([`instrument::instrument_program`]) that finds
+//!   candidate loops, strips reduction live-ins and inserts per-iteration
+//!   recording hooks, and
+//! * an **analyzer** ([`analyze::Analyzer`]) that turns the recorded live-in
+//!   signatures into per-loop predictability verdicts, sampled per
+//!   invocation and binned as in Figure 8.
+//!
+//! [`profile_workload`] glues the two to a [`spice_workloads::SpiceWorkload`]
+//! driver, and [`measure_hotness`] provides the dynamic-instruction loop
+//! hotness used in Table 2.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod instrument;
+
+use std::collections::HashSet;
+
+use spice_ir::cfg::Cfg;
+use spice_ir::interp::{run_function_with, FlatMemory, MemPort, SysPort};
+use spice_ir::loops::LoopForest;
+use spice_ir::{BlockId, FuncId, Program, TrapKind};
+use spice_workloads::SpiceWorkload;
+
+pub use analyze::{Analyzer, AnalyzerConfig, LoopVerdict, PredictabilityBin, ProfilingSys};
+pub use instrument::{instrument_program, Instrumentation, ProfiledLoop};
+
+/// Default per-run instruction budget for profiling runs.
+const PROFILE_FUEL: u64 = 200_000_000;
+
+/// Profiles a workload: builds its program, instruments every candidate
+/// loop, drives the workload's invocations sequentially and returns the
+/// per-loop predictability verdicts.
+///
+/// # Errors
+///
+/// Propagates traps from the instrumented program (a workload bug).
+pub fn profile_workload(
+    workload: &mut dyn SpiceWorkload,
+    config: AnalyzerConfig,
+    max_invocations: Option<usize>,
+) -> Result<Vec<LoopVerdict>, TrapKind> {
+    let built = workload.build();
+    let mut program = built.program;
+    let _sites = instrument_program(&mut program);
+    let mut mem = FlatMemory::for_program(&program, 1 << 22);
+    let mut analyzer = Analyzer::new(config);
+    let mut args = workload.init(&mut mem);
+    let limit = max_invocations.unwrap_or(workload.invocations());
+    for inv in 0..limit {
+        analyzer.new_invocation();
+        {
+            let mut sys = ProfilingSys::new(&mut analyzer);
+            run_function_with(
+                &program,
+                built.kernel,
+                &args,
+                &mut mem,
+                &mut sys,
+                PROFILE_FUEL,
+                |_, _, _| {},
+            )?;
+        }
+        match workload.next_invocation(&mut mem, inv) {
+            Some(a) => args = a,
+            None => break,
+        }
+    }
+    analyzer.exit_program();
+    Ok(analyzer.verdicts())
+}
+
+/// Dynamic-instruction hotness of a loop: the fraction of all retired
+/// instructions of a run that belong to the loop rooted at `header`
+/// (Table 2's "hotness" column, measured the way the paper's instrumenter
+/// selects candidate loops — by dynamic instruction count).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(serde::Deserialize)]
+pub struct HotnessReport {
+    /// Instructions retired inside the loop.
+    pub loop_instructions: u64,
+    /// Instructions retired in total.
+    pub total_instructions: u64,
+}
+
+impl HotnessReport {
+    /// Loop hotness in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.loop_instructions as f64 / self.total_instructions as f64
+        }
+    }
+}
+
+use serde::Serialize;
+
+/// Measures the dynamic instruction counts of one run of `func`, attributing
+/// instructions to the loop whose header is `header` (or to the function's
+/// largest top-level loop when `header` is `None`).
+///
+/// # Errors
+///
+/// Propagates traps raised by the run.
+pub fn measure_hotness(
+    program: &Program,
+    func: FuncId,
+    header: Option<BlockId>,
+    args: &[i64],
+    mem: &mut impl MemPort,
+    sys: &mut impl SysPort,
+) -> Result<HotnessReport, TrapKind> {
+    let f = program.func(func);
+    let forest = LoopForest::of(f);
+    let cfg = Cfg::new(f);
+    let _ = &cfg;
+    let loop_blocks: HashSet<BlockId> = match header {
+        Some(h) => forest
+            .loop_with_header(h)
+            .map(|id| forest.get(id).blocks.clone())
+            .unwrap_or_default(),
+        None => forest
+            .top_level()
+            .into_iter()
+            .map(|id| forest.get(id))
+            .max_by_key(|l| l.blocks.len())
+            .map(|l| l.blocks.clone())
+            .unwrap_or_default(),
+    };
+    let mut loop_insts: u64 = 0;
+    let mut total: u64 = 0;
+    run_function_with(program, func, args, mem, sys, PROFILE_FUEL, |fid, block, _| {
+        total += 1;
+        if fid == func && loop_blocks.contains(&block) {
+            loop_insts += 1;
+        }
+    })?;
+    Ok(HotnessReport {
+        loop_instructions: loop_insts,
+        total_instructions: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_ir::interp::LocalSys;
+    use spice_workloads::{ChurnListWorkload, OtterConfig, OtterWorkload};
+
+    #[test]
+    fn stable_workload_profiles_as_highly_predictable() {
+        let mut wl = ChurnListWorkload::new("stable", 1.0, 30, 10, 1);
+        let verdicts = profile_workload(&mut wl, AnalyzerConfig::default(), None).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].bin, PredictabilityBin::High);
+        assert!(verdicts[0].predictable_fraction > 0.8);
+    }
+
+    #[test]
+    fn churning_workload_profiles_as_unpredictable() {
+        let mut wl = ChurnListWorkload::new("churny", 0.0, 30, 10, 2);
+        let verdicts = profile_workload(&mut wl, AnalyzerConfig::default(), None).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(matches!(
+            verdicts[0].bin,
+            PredictabilityBin::None | PredictabilityBin::Low
+        ));
+    }
+
+    #[test]
+    fn otter_profile_confirms_spice_candidate() {
+        // The otter list mutates only slightly between invocations, so the
+        // profiler should flag its loop as good-to-highly predictable — this
+        // is exactly how the paper's §6 framework would auto-select it.
+        let mut wl = OtterWorkload::new(OtterConfig {
+            initial_len: 60,
+            inserts_per_invocation: 2,
+            invocations: 12,
+            seed: 3,
+        });
+        let verdicts = profile_workload(&mut wl, AnalyzerConfig::default(), None).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(matches!(
+            verdicts[0].bin,
+            PredictabilityBin::Good | PredictabilityBin::High
+        ));
+    }
+
+    #[test]
+    fn hotness_of_a_list_walk_dominates_its_function() {
+        let mut wl = ChurnListWorkload::new("hot", 1.0, 50, 2, 4);
+        let built = wl.build();
+        let mut mem = FlatMemory::for_program(&built.program, 1 << 20);
+        let args = wl.init(&mut mem);
+        let mut sys = LocalSys::new();
+        let report =
+            measure_hotness(&built.program, built.kernel, None, &args, &mut mem, &mut sys)
+                .unwrap();
+        assert!(report.fraction() > 0.9, "fraction was {}", report.fraction());
+        assert!(report.total_instructions > report.loop_instructions);
+    }
+
+    #[test]
+    fn sampling_reduces_observed_invocations() {
+        let mut wl = ChurnListWorkload::new("sampled", 1.0, 20, 20, 5);
+        let config = AnalyzerConfig {
+            sampling_probability: 0.3,
+            ..AnalyzerConfig::default()
+        };
+        let verdicts = profile_workload(&mut wl, config, None).unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].sampled_invocations < 20);
+    }
+}

@@ -1,0 +1,461 @@
+//! Native-thread execution of Spice iteration chunks.
+//!
+//! This is the paper's execution model (Figure 4 / Figure 5) realized with
+//! real OS threads instead of simulated cores: the calling thread plays the
+//! non-speculative main thread, `threads - 1` scoped worker threads start
+//! from live-in values memoized during the previous invocation, buffer their
+//! stores in private [`SpecView`](crate::heap::SpecView)s, and the main
+//! thread validates and commits them in order — or squashes them through a
+//! per-worker flag (the software analogue of the remote resteer).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::heap::{HeapAccess, SharedHeap, SpecView};
+
+/// One loop body executed over cursor values (typically node addresses in a
+/// [`SharedHeap`]).
+pub trait ChunkKernel: Sync {
+    /// Per-thread accumulator (the loop's reductions and live-outs).
+    type Acc: Send;
+
+    /// A fresh accumulator holding the reduction identities.
+    fn identity(&self) -> Self::Acc;
+
+    /// Executes one iteration at `cursor`, reading and writing through
+    /// `mem`, and returns the next cursor (`0` terminates the loop) — or
+    /// `None` if the iteration faulted (e.g. the cursor was a stale
+    /// prediction pointing at reclaimed memory), which squashes the chunk.
+    fn iteration(&self, mem: &mut HeapAccess<'_>, cursor: i64, acc: &mut Self::Acc) -> Option<i64>;
+
+    /// Folds a committed worker's accumulator into the main accumulator, in
+    /// thread order.
+    fn combine(&self, into: &mut Self::Acc, from: Self::Acc);
+}
+
+/// Result of one parallel invocation.
+#[derive(Debug)]
+pub struct ChunkOutcome<A> {
+    /// Combined accumulator of the main thread and every committed worker.
+    pub acc: A,
+    /// Number of workers whose chunk was validated and committed.
+    pub committed_workers: usize,
+    /// `true` if at least one worker was squashed.
+    pub misspeculated: bool,
+    /// Iterations executed by each thread (main first).
+    pub iterations_per_thread: Vec<u64>,
+}
+
+struct WorkerResult<A> {
+    matched_successor: bool,
+    faulted: bool,
+    acc: A,
+    iterations: u64,
+    writes: Vec<(i64, i64)>,
+    memos: Vec<(usize, i64)>,
+}
+
+/// A Spice-parallelized loop over native threads, carrying the memoized
+/// chunk-boundary predictions and the load-balancing state across
+/// invocations (the software analogue of Algorithm 2).
+#[derive(Debug)]
+pub struct NativeSpiceLoop {
+    threads: usize,
+    predictions: Vec<i64>,
+    last_work: Vec<u64>,
+}
+
+impl NativeSpiceLoop {
+    /// Creates a loop executor for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "Spice needs at least two threads");
+        NativeSpiceLoop {
+            threads,
+            predictions: vec![0; threads - 1],
+            last_work: Vec::new(),
+        }
+    }
+
+    /// Seeds the load balancer with an expected first-invocation iteration
+    /// count so that memoization starts immediately (otherwise the first two
+    /// invocations run sequentially while the work model warms up).
+    pub fn set_work_estimate(&mut self, iterations: u64) {
+        let mut w = vec![0u64; self.threads];
+        w[0] = iterations;
+        self.last_work = w;
+    }
+
+    /// Current chunk-boundary predictions (cursor per speculative thread).
+    #[must_use]
+    pub fn predictions(&self) -> &[i64] {
+        &self.predictions
+    }
+
+    /// Computes each thread's memoization thresholds `(local threshold, sva
+    /// row)` from the last invocation's work distribution.
+    fn memo_plan(&self) -> Vec<Vec<(u64, usize)>> {
+        let t = self.threads;
+        let mut plan = vec![Vec::new(); t];
+        let total: u64 = self.last_work.iter().sum();
+        if total == 0 {
+            return plan;
+        }
+        let mut prefix = vec![0u64; t + 1];
+        for i in 0..t {
+            prefix[i + 1] = prefix[i] + self.last_work.get(i).copied().unwrap_or(0);
+        }
+        for k in 1..t {
+            let g = (k as u64 * total) / t as u64;
+            let mut tid = t - 1;
+            for i in 0..t {
+                if self.last_work.get(i).copied().unwrap_or(0) > 0 && g <= prefix[i + 1] {
+                    tid = i;
+                    break;
+                }
+            }
+            plan[tid].push(((g - prefix[tid]).max(1), k - 1));
+        }
+        for p in &mut plan {
+            p.sort_unstable();
+        }
+        plan
+    }
+
+    /// Runs one loop invocation starting from `start`, returning the combined
+    /// accumulator. The main thread executes on the calling thread; workers
+    /// run on scoped threads.
+    pub fn run_invocation<K: ChunkKernel>(
+        &mut self,
+        heap: &SharedHeap,
+        kernel: &K,
+        start: i64,
+    ) -> ChunkOutcome<K::Acc> {
+        let workers = self.threads - 1;
+        let memo_plan = self.memo_plan();
+        let squash: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
+        let predictions = self.predictions.clone();
+
+        let mut outcome = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for wi in 0..workers {
+                let my_start = predictions[wi];
+                let succ_pred = predictions.get(wi + 1).copied();
+                let plan = memo_plan[wi + 1].clone();
+                let flag = &squash[wi];
+                handles.push(scope.spawn(move || {
+                    run_chunk(
+                        kernel,
+                        HeapAccess::Buffered(SpecView::new(heap)),
+                        my_start,
+                        succ_pred,
+                        Some(flag),
+                        &plan,
+                    )
+                }));
+            }
+
+            // Main (non-speculative) chunk on the calling thread.
+            let main = run_chunk(
+                kernel,
+                HeapAccess::Direct(heap),
+                start,
+                Some(predictions[0]).filter(|_| workers > 0),
+                None,
+                &memo_plan[0],
+            );
+
+            let mut acc = main.acc;
+            let mut memos = main.memos.clone();
+            let mut iterations = vec![main.iterations];
+            let mut work = vec![main.iterations];
+            let mut still_valid = main.matched_successor;
+            let mut committed = 0usize;
+            for (wi, handle) in handles.into_iter().enumerate() {
+                if !still_valid {
+                    squash[wi].store(true, Ordering::Release);
+                }
+                let result = handle.join().expect("worker thread panicked");
+                iterations.push(result.iterations);
+                if still_valid && !result.faulted {
+                    // Ordered commit of the validated chunk.
+                    for (addr, value) in &result.writes {
+                        // SAFETY: commits are performed one worker at a time,
+                        // in thread order, by the main thread only, after the
+                        // workers have stopped touching these words.
+                        unsafe { heap.write(*addr, *value) };
+                    }
+                    kernel.combine(&mut acc, result.acc);
+                    memos.extend(result.memos.iter().copied());
+                    work.push(result.iterations);
+                    committed += 1;
+                    still_valid = result.matched_successor;
+                } else {
+                    still_valid = false;
+                    work.push(0);
+                }
+            }
+            ChunkOutcome {
+                acc,
+                committed_workers: committed,
+                misspeculated: committed < workers,
+                iterations_per_thread: iterations,
+            }
+            .with_feedback(memos, work)
+        });
+
+        // Predictor feedback for the next invocation.
+        let (memos, work) = outcome.feedback.take().expect("feedback present");
+        for (row, cursor) in memos {
+            if row < self.predictions.len() {
+                self.predictions[row] = cursor;
+            }
+        }
+        self.last_work = work;
+        outcome.outcome
+    }
+}
+
+/// Internal carrier pairing an outcome with the predictor feedback gathered
+/// inside the thread scope.
+struct OutcomeWithFeedback<A> {
+    outcome: ChunkOutcome<A>,
+    feedback: Option<(Vec<(usize, i64)>, Vec<u64>)>,
+}
+
+impl<A> ChunkOutcome<A> {
+    fn with_feedback(self, memos: Vec<(usize, i64)>, work: Vec<u64>) -> OutcomeWithFeedback<A> {
+        OutcomeWithFeedback {
+            outcome: self,
+            feedback: Some((memos, work)),
+        }
+    }
+}
+
+/// Runs one chunk: iterate from `start` until the cursor reaches 0, the
+/// successor's predicted start value is observed, a fault occurs, or the
+/// squash flag is raised.
+fn run_chunk<K: ChunkKernel>(
+    kernel: &K,
+    mut mem: HeapAccess<'_>,
+    start: i64,
+    successor_prediction: Option<i64>,
+    squash: Option<&AtomicBool>,
+    memo_plan: &[(u64, usize)],
+) -> WorkerResult<K::Acc> {
+    let mut acc = kernel.identity();
+    let mut cursor = start;
+    let mut iterations: u64 = 0;
+    let mut memo_idx = 0usize;
+    let mut memos = Vec::new();
+    let mut matched = false;
+    let mut faulted = false;
+    loop {
+        if cursor == 0 {
+            break;
+        }
+        if let Some(pred) = successor_prediction {
+            if pred != 0 && cursor == pred && iterations > 0 {
+                matched = true;
+                break;
+            }
+            // Matching at iteration 0 means this chunk *starts* where its
+            // successor starts; treat it as an immediate hand-off as well.
+            if pred != 0 && cursor == pred && start == pred {
+                matched = true;
+                break;
+            }
+        }
+        if let Some(flag) = squash {
+            if flag.load(Ordering::Acquire) {
+                faulted = true;
+                break;
+            }
+        }
+        if memo_idx < memo_plan.len() && iterations >= memo_plan[memo_idx].0 {
+            memos.push((memo_plan[memo_idx].1, cursor));
+            memo_idx += 1;
+        }
+        match kernel.iteration(&mut mem, cursor, &mut acc) {
+            Some(next) => cursor = next,
+            None => {
+                faulted = true;
+                break;
+            }
+        }
+        iterations += 1;
+        // A stale prediction can send a speculative chunk on an unbounded
+        // walk (the paper's "loop forever" case); bound it defensively so the
+        // squash flag is the only thing that can keep a worker alive.
+        if iterations > 100_000_000 {
+            faulted = true;
+            break;
+        }
+    }
+    let writes = match mem {
+        HeapAccess::Direct(_) => Vec::new(),
+        HeapAccess::Buffered(view) => view.into_writes(),
+    };
+    WorkerResult {
+        matched_successor: matched,
+        faulted,
+        acc,
+        iterations,
+        writes,
+        memos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linked-list minimum kernel: nodes are `(weight, next)` pairs.
+    struct ListMin;
+
+    impl ChunkKernel for ListMin {
+        type Acc = i64;
+
+        fn identity(&self) -> i64 {
+            i64::MAX
+        }
+
+        fn iteration(&self, mem: &mut HeapAccess<'_>, cursor: i64, acc: &mut i64) -> Option<i64> {
+            let w = mem.read(cursor)?;
+            if w < *acc {
+                *acc = w;
+            }
+            mem.read(cursor + 1)
+        }
+
+        fn combine(&self, into: &mut i64, from: i64) {
+            if from < *into {
+                *into = from;
+            }
+        }
+    }
+
+    /// Kernel that also stores a transformed value into each node (exercises
+    /// speculative write buffering and ordered commit).
+    struct ListStamp;
+
+    impl ChunkKernel for ListStamp {
+        type Acc = i64;
+
+        fn identity(&self) -> i64 {
+            0
+        }
+
+        fn iteration(&self, mem: &mut HeapAccess<'_>, cursor: i64, acc: &mut i64) -> Option<i64> {
+            let w = mem.read(cursor)?;
+            mem.write(cursor + 2, w * 10);
+            *acc += 1;
+            mem.read(cursor + 1)
+        }
+
+        fn combine(&self, into: &mut i64, from: i64) {
+            *into += from;
+        }
+    }
+
+    fn build_list(heap: &mut SharedHeap, base: i64, weights: &[i64], stride: i64) -> i64 {
+        for (i, w) in weights.iter().enumerate() {
+            let addr = base + stride * i as i64;
+            let next = if i + 1 < weights.len() {
+                addr + stride
+            } else {
+                0
+            };
+            heap.fill(addr, &[*w, next]);
+        }
+        base
+    }
+
+    #[test]
+    fn chunked_min_matches_sequential_and_parallelizes() {
+        let weights: Vec<i64> = (0..5000).map(|i| (i * 37) % 9973 + 1).collect();
+        let mut heap = SharedHeap::new(16 * 5000 + 16);
+        let head = build_list(&mut heap, 8, &weights, 2);
+        let expected = *weights.iter().min().unwrap();
+
+        let mut exec = NativeSpiceLoop::new(4);
+        exec.set_work_estimate(weights.len() as u64);
+        let mut saw_parallel = false;
+        for _ in 0..4 {
+            let out = exec.run_invocation(&heap, &ListMin, head);
+            assert_eq!(out.acc, expected);
+            let active = out
+                .iterations_per_thread
+                .iter()
+                .filter(|&&n| n > 0)
+                .count();
+            if active >= 3 && !out.misspeculated {
+                saw_parallel = true;
+            }
+        }
+        assert!(saw_parallel, "work never spread across native threads");
+    }
+
+    #[test]
+    fn speculative_stores_commit_only_for_valid_chunks() {
+        let weights: Vec<i64> = (0..800).map(|i| i + 1).collect();
+        let mut heap = SharedHeap::new(4 * 800 + 16);
+        let head = build_list_stride3(&mut heap, 9, &weights);
+        let mut exec = NativeSpiceLoop::new(4);
+        exec.set_work_estimate(weights.len() as u64);
+        for _ in 0..3 {
+            let out = exec.run_invocation(&heap, &ListStamp, head);
+            assert_eq!(out.acc, 800);
+        }
+        // Every node was stamped exactly once per invocation with 10x its
+        // weight, regardless of which thread executed it.
+        for (i, w) in weights.iter().enumerate() {
+            let addr = 9 + 3 * i as i64;
+            assert_eq!(heap.read(addr + 2), Some(w * 10));
+        }
+    }
+
+    fn build_list_stride3(heap: &mut SharedHeap, base: i64, weights: &[i64]) -> i64 {
+        for (i, w) in weights.iter().enumerate() {
+            let addr = base + 3 * i as i64;
+            let next = if i + 1 < weights.len() {
+                addr + 3
+            } else {
+                0
+            };
+            heap.fill(addr, &[*w, next, 0]);
+        }
+        base
+    }
+
+    #[test]
+    fn stale_predictions_are_squashed_without_corrupting_results() {
+        let weights: Vec<i64> = (0..2000).map(|i| 10_000 - i).collect();
+        let mut heap = SharedHeap::new(2 * 2000 + 16);
+        let head = build_list(&mut heap, 4, &weights, 2);
+        let mut exec = NativeSpiceLoop::new(3);
+        exec.set_work_estimate(weights.len() as u64);
+        // Warm up so predictions point at real nodes.
+        let first = exec.run_invocation(&heap, &ListMin, head);
+        assert_eq!(first.acc, 10_000 - 1999);
+        // Invalidate the list structure the predictions refer to: rebuild the
+        // list skipping every other node, so many predicted cursors are no
+        // longer reachable from the head.
+        let shorter: Vec<i64> = weights.iter().copied().step_by(2).collect();
+        let head2 = build_list(&mut heap, 4, &shorter, 4);
+        let out = exec.run_invocation(&heap, &ListMin, head2);
+        assert_eq!(out.acc, *shorter.iter().min().unwrap());
+        // And running again re-learns boundaries on the new list.
+        let out2 = exec.run_invocation(&heap, &ListMin, head2);
+        assert_eq!(out2.acc, *shorter.iter().min().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two threads")]
+    fn single_thread_is_rejected() {
+        let _ = NativeSpiceLoop::new(1);
+    }
+}

@@ -1,0 +1,254 @@
+//! A shared word heap with speculative write buffering for real OS threads.
+//!
+//! The timing simulator in `spice-sim` models the paper's hardware support
+//! for speculative state; this module provides the same contract in software
+//! for native execution: concurrent threads read a shared flat heap, the
+//! non-speculative main thread writes it directly, and speculative workers
+//! buffer their writes privately until the Spice protocol decides to commit
+//! or squash them.
+//!
+//! The shared storage uses interior mutability (`UnsafeCell`) because the
+//! ownership structure — "exactly one thread may write any given word
+//! non-speculatively during an invocation, everyone may read" — is a dynamic
+//! protocol property the borrow checker cannot see. All unsafety is confined
+//! to [`SharedHeap`]; the public surface is safe except for
+//! [`SharedHeap::write`], whose contract documents the protocol requirement.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+
+/// A flat, word-addressable heap shared by the Spice threads of one loop.
+#[derive(Debug)]
+pub struct SharedHeap {
+    words: UnsafeCell<Box<[i64]>>,
+    len: usize,
+}
+
+// SAFETY: concurrent access is governed by the Spice execution protocol (see
+// the module documentation): reads may race only with the single
+// non-speculative writer of a word, and the values involved are plain `i64`s
+// written and read with volatile-free, word-sized accesses. The protocol
+// guarantees that any word a thread reads for a *correctness-critical*
+// decision is either thread-private or stable for the duration of the read.
+unsafe impl Sync for SharedHeap {}
+
+impl SharedHeap {
+    /// Creates a zeroed heap of `len` words.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        SharedHeap {
+            words: UnsafeCell::new(vec![0i64; len].into_boxed_slice()),
+            len,
+        }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the heap has zero words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads word `addr`, or `None` if out of bounds (a speculative thread
+    /// chasing a dangling prediction must fault gracefully, not crash the
+    /// process).
+    #[must_use]
+    pub fn read(&self, addr: i64) -> Option<i64> {
+        let idx = usize::try_from(addr).ok()?;
+        if idx >= self.len {
+            return None;
+        }
+        // SAFETY: idx is in bounds; see the `Sync` justification above for
+        // why a concurrent read is acceptable under the execution protocol.
+        unsafe { Some((*self.words.get())[idx]) }
+    }
+
+    /// Writes word `addr`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the only thread writing `addr` at this moment and
+    /// no other thread may be relying on reading a stable value from `addr`
+    /// concurrently — in the Spice protocol this holds for the
+    /// non-speculative main thread and for ordered commits of validated
+    /// speculative buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds (non-speculative writes to invalid
+    /// addresses are always a harness bug).
+    pub unsafe fn write(&self, addr: i64, value: i64) {
+        let idx = usize::try_from(addr).expect("non-speculative write out of bounds");
+        assert!(idx < self.len, "non-speculative write out of bounds");
+        (*self.words.get())[idx] = value;
+    }
+
+    /// Fills `[base, base + values.len())` with `values` (single-threaded
+    /// setup helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn fill(&mut self, base: i64, values: &[i64]) {
+        let idx = usize::try_from(base).expect("base in bounds");
+        let slice = self.words.get_mut();
+        slice[idx..idx + values.len()].copy_from_slice(values);
+    }
+}
+
+/// A speculative view of a [`SharedHeap`]: reads see the thread's own
+/// buffered writes first, writes are buffered and never touch shared memory
+/// until [`SpecView::into_writes`] hands them to the committer.
+#[derive(Debug)]
+pub struct SpecView<'h> {
+    heap: &'h SharedHeap,
+    writes: HashMap<i64, i64>,
+    order: Vec<i64>,
+}
+
+impl<'h> SpecView<'h> {
+    /// Creates an empty speculative view.
+    #[must_use]
+    pub fn new(heap: &'h SharedHeap) -> Self {
+        SpecView {
+            heap,
+            writes: HashMap::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Reads a word, preferring this thread's own speculative writes.
+    #[must_use]
+    pub fn read(&self, addr: i64) -> Option<i64> {
+        if let Some(v) = self.writes.get(&addr) {
+            return Some(*v);
+        }
+        self.heap.read(addr)
+    }
+
+    /// Buffers a speculative write.
+    pub fn write(&mut self, addr: i64, value: i64) {
+        if self.writes.insert(addr, value).is_none() {
+            self.order.push(addr);
+        }
+    }
+
+    /// Number of distinct words written.
+    #[must_use]
+    pub fn write_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Consumes the view and returns the buffered writes in first-write
+    /// order, for an ordered commit.
+    #[must_use]
+    pub fn into_writes(self) -> Vec<(i64, i64)> {
+        self.order
+            .into_iter()
+            .map(|a| (a, self.writes[&a]))
+            .collect()
+    }
+}
+
+/// How one thread accesses memory during a chunk: directly (the main,
+/// non-speculative thread) or through a speculative buffer (workers).
+#[derive(Debug)]
+pub enum HeapAccess<'h> {
+    /// Non-speculative access: writes go straight to the shared heap.
+    Direct(&'h SharedHeap),
+    /// Speculative access: writes are buffered in a [`SpecView`].
+    Buffered(SpecView<'h>),
+}
+
+impl HeapAccess<'_> {
+    /// Reads a word.
+    #[must_use]
+    pub fn read(&self, addr: i64) -> Option<i64> {
+        match self {
+            HeapAccess::Direct(h) => h.read(addr),
+            HeapAccess::Buffered(v) => v.read(addr),
+        }
+    }
+
+    /// Writes a word (directly or speculatively, depending on the mode).
+    pub fn write(&mut self, addr: i64, value: i64) {
+        match self {
+            HeapAccess::Direct(h) => {
+                // SAFETY: the main thread is the only non-speculative writer
+                // during an invocation (Spice protocol).
+                unsafe { h.write(addr, value) }
+            }
+            HeapAccess::Buffered(v) => v.write(addr, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut h = SharedHeap::new(64);
+        h.fill(10, &[1, 2, 3]);
+        assert_eq!(h.read(11), Some(2));
+        assert_eq!(h.read(1000), None);
+        assert_eq!(h.read(-1), None);
+        unsafe { h.write(11, 9) };
+        assert_eq!(h.read(11), Some(9));
+        assert_eq!(h.len(), 64);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn spec_view_buffers_writes_until_commit() {
+        let h = SharedHeap::new(32);
+        let mut v = SpecView::new(&h);
+        v.write(5, 42);
+        v.write(6, 43);
+        v.write(5, 44);
+        assert_eq!(v.read(5), Some(44));
+        assert_eq!(h.read(5), Some(0), "shared heap untouched before commit");
+        assert_eq!(v.write_count(), 2);
+        let writes = v.into_writes();
+        assert_eq!(writes, vec![(5, 44), (6, 43)]);
+        for (a, val) in writes {
+            unsafe { h.write(a, val) };
+        }
+        assert_eq!(h.read(5), Some(44));
+    }
+
+    #[test]
+    fn heap_access_modes_behave_differently() {
+        let h = SharedHeap::new(16);
+        let mut direct = HeapAccess::Direct(&h);
+        direct.write(3, 7);
+        assert_eq!(h.read(3), Some(7));
+        let mut buffered = HeapAccess::Buffered(SpecView::new(&h));
+        buffered.write(3, 99);
+        assert_eq!(buffered.read(3), Some(99));
+        assert_eq!(h.read(3), Some(7));
+    }
+
+    #[test]
+    fn concurrent_readers_are_allowed() {
+        let mut h = SharedHeap::new(1024);
+        h.fill(0, &(0..1024).collect::<Vec<i64>>());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut sum = 0i64;
+                    for a in 0..1024 {
+                        sum += h.read(a).unwrap();
+                    }
+                    assert_eq!(sum, 1023 * 1024 / 2);
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,336 @@
+//! Set-associative cache models and the three-level memory hierarchy of the
+//! Table 1 machine.
+//!
+//! The caches are *tag-only*: functional data lives in the shared
+//! [`spice_ir::interp::FlatMemory`]; the hierarchy only decides how many
+//! cycles an access costs and tracks coherence invalidations. That is exactly
+//! the fidelity the paper's results depend on — the pointer-chasing loads of
+//! the evaluated loops are on the critical path because they miss, not
+//! because of the miss handling micro-architecture.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CacheConfig, MachineConfig};
+
+/// Word size of the IR memory in bytes (all IR values are 64-bit words).
+pub const WORD_BYTES: i64 = 8;
+
+/// A single set-associative, LRU, tag-only cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_words: i64,
+    sets: usize,
+    assoc: usize,
+    /// `tags[set]` holds up to `assoc` line addresses in LRU order
+    /// (most-recently-used last).
+    tags: Vec<Vec<i64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(config: &CacheConfig) -> Self {
+        Cache {
+            line_words: (config.line_bytes as i64) / WORD_BYTES,
+            sets: config.sets(),
+            assoc: config.assoc,
+            tags: vec![Vec::new(); config.sets()],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn line_of(&self, word_addr: i64) -> i64 {
+        word_addr.div_euclid(self.line_words)
+    }
+
+    fn set_of(&self, line: i64) -> usize {
+        (line.rem_euclid(self.sets as i64)) as usize
+    }
+
+    /// Accesses `word_addr`, updating LRU state, and returns `true` on a hit.
+    /// On a miss the line is filled (allocate-on-miss for both reads and
+    /// writes).
+    pub fn access(&mut self, word_addr: i64) -> bool {
+        let line = self.line_of(word_addr);
+        let set = self.set_of(line);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            let tag = ways.remove(pos);
+            ways.push(tag);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.assoc {
+                ways.remove(0);
+            }
+            ways.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probes for `word_addr` without updating LRU or fill state.
+    #[must_use]
+    pub fn contains(&self, word_addr: i64) -> bool {
+        let line = self.line_of(word_addr);
+        let set = self.set_of(line);
+        self.tags[set].contains(&line)
+    }
+
+    /// Invalidates the line containing `word_addr` if present (coherence).
+    pub fn invalidate(&mut self, word_addr: i64) {
+        let line = self.line_of(word_addr);
+        let set = self.set_of(line);
+        self.tags[set].retain(|&t| t != line);
+    }
+
+    /// Drops every line (used when a machine is reset between runs while the
+    /// caller wants cold caches).
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+    }
+
+    /// Number of hits recorded so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Per-access outcome of a hierarchy walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// Satisfied by the private L1 data cache.
+    L1,
+    /// Satisfied by the private L2 cache.
+    L2,
+    /// Satisfied by the shared L3 cache.
+    L3,
+    /// Went to main memory.
+    Memory,
+}
+
+/// Aggregate counters of one core's memory activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccessStats {
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Loads/stores satisfied at each level.
+    pub l1_hits: u64,
+    /// Accesses satisfied by the L2.
+    pub l2_hits: u64,
+    /// Accesses satisfied by the shared L3.
+    pub l3_hits: u64,
+    /// Accesses that went to main memory.
+    pub memory_accesses: u64,
+}
+
+/// The full memory hierarchy: per-core L1 + L2, shared L3, flat latency main
+/// memory, write-invalidate coherence between the private levels.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    l1_latency: u64,
+    l2_latency: u64,
+    l3_latency: u64,
+    memory_latency: u64,
+    stats: Vec<MemAccessStats>,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for `config.cores` cores.
+    #[must_use]
+    pub fn new(config: &MachineConfig) -> Self {
+        MemoryHierarchy {
+            l1: (0..config.cores).map(|_| Cache::new(&config.l1d)).collect(),
+            l2: (0..config.cores).map(|_| Cache::new(&config.l2)).collect(),
+            l3: Cache::new(&config.l3),
+            l1_latency: config.l1d.hit_latency,
+            l2_latency: config.l2.hit_latency,
+            l3_latency: config.l3.hit_latency,
+            memory_latency: config.memory_latency,
+            stats: vec![MemAccessStats::default(); config.cores],
+        }
+    }
+
+    /// Simulates a load by `core` from `word_addr`; returns the latency in
+    /// cycles and the level that satisfied it.
+    pub fn load(&mut self, core: usize, word_addr: i64) -> (u64, HitLevel) {
+        self.stats[core].loads += 1;
+        self.access(core, word_addr)
+    }
+
+    /// Simulates a store by `core` to `word_addr`; returns the latency in
+    /// cycles charged to the core. Stores invalidate the line in every other
+    /// core's private caches (write-invalidate coherence).
+    pub fn store(&mut self, core: usize, word_addr: i64) -> (u64, HitLevel) {
+        self.stats[core].stores += 1;
+        let result = self.access(core, word_addr);
+        for other in 0..self.l1.len() {
+            if other != core {
+                self.l1[other].invalidate(word_addr);
+                self.l2[other].invalidate(word_addr);
+            }
+        }
+        result
+    }
+
+    fn access(&mut self, core: usize, word_addr: i64) -> (u64, HitLevel) {
+        if self.l1[core].access(word_addr) {
+            self.stats[core].l1_hits += 1;
+            return (self.l1_latency, HitLevel::L1);
+        }
+        if self.l2[core].access(word_addr) {
+            self.stats[core].l2_hits += 1;
+            return (self.l1_latency + self.l2_latency, HitLevel::L2);
+        }
+        if self.l3.access(word_addr) {
+            self.stats[core].l3_hits += 1;
+            return (
+                self.l1_latency + self.l2_latency + self.l3_latency,
+                HitLevel::L3,
+            );
+        }
+        self.stats[core].memory_accesses += 1;
+        (
+            self.l1_latency + self.l2_latency + self.l3_latency + self.memory_latency,
+            HitLevel::Memory,
+        )
+    }
+
+    /// Per-core access statistics.
+    #[must_use]
+    pub fn stats(&self, core: usize) -> MemAccessStats {
+        self.stats[core]
+    }
+
+    /// Clears cache contents but keeps statistics (used between invocations
+    /// if cold caches are wanted).
+    pub fn flush(&mut self) {
+        for c in &mut self.l1 {
+            c.flush();
+        }
+        for c in &mut self.l2 {
+            c.flush();
+        }
+        self.l3.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WritePolicy;
+
+    fn small_cache(assoc: usize, lines: usize) -> Cache {
+        Cache::new(&CacheConfig {
+            size_bytes: 64 * lines,
+            assoc,
+            line_bytes: 64,
+            hit_latency: 1,
+            write_policy: WritePolicy::WriteBack,
+        })
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = small_cache(2, 4);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(101)); // same 8-word line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 sets x 2 ways; lines map to sets by parity of line index.
+        let mut c = small_cache(2, 4);
+        // Three distinct lines in the same set (line indices 0, 2, 4 -> set 0).
+        assert!(!c.access(0)); // line 0
+        assert!(!c.access(16)); // line 2
+        assert!(c.access(0)); // line 0 now MRU
+        assert!(!c.access(32)); // line 4 evicts line 2 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(16)); // line 2 was evicted
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache(2, 4);
+        c.access(100);
+        assert!(c.contains(100));
+        c.invalidate(100);
+        assert!(!c.contains(100));
+    }
+
+    #[test]
+    fn hierarchy_latencies_increase_with_level() {
+        let cfg = MachineConfig::itanium2_cmp();
+        let mut h = MemoryHierarchy::new(&cfg);
+        let (lat_miss, level) = h.load(0, 50_000);
+        assert_eq!(level, HitLevel::Memory);
+        assert_eq!(
+            lat_miss,
+            cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.l3.hit_latency + cfg.memory_latency
+        );
+        let (lat_hit, level) = h.load(0, 50_000);
+        assert_eq!(level, HitLevel::L1);
+        assert_eq!(lat_hit, cfg.l1d.hit_latency);
+        assert!(lat_hit < lat_miss);
+    }
+
+    #[test]
+    fn store_invalidates_other_cores() {
+        let cfg = MachineConfig::itanium2_cmp();
+        let mut h = MemoryHierarchy::new(&cfg);
+        // Core 1 warms the line.
+        let _ = h.load(1, 8_000);
+        let (lat, _) = h.load(1, 8_000);
+        assert_eq!(lat, cfg.l1d.hit_latency);
+        // Core 0 writes the same line -> core 1 must re-fetch (from L3, which
+        // now holds the line).
+        let _ = h.store(0, 8_000);
+        let (lat_after, level) = h.load(1, 8_000);
+        assert!(lat_after > cfg.l1d.hit_latency);
+        assert_ne!(level, HitLevel::L1);
+    }
+
+    #[test]
+    fn stats_accumulate_per_core() {
+        let cfg = MachineConfig::test_tiny(2);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let _ = h.load(0, 2000);
+        let _ = h.load(0, 2000);
+        let _ = h.store(1, 3000);
+        assert_eq!(h.stats(0).loads, 2);
+        assert_eq!(h.stats(0).l1_hits, 1);
+        assert_eq!(h.stats(1).stores, 1);
+        assert_eq!(h.stats(1).loads, 0);
+    }
+
+    #[test]
+    fn flush_empties_all_levels() {
+        let cfg = MachineConfig::test_tiny(1);
+        let mut h = MemoryHierarchy::new(&cfg);
+        let _ = h.load(0, 2000);
+        h.flush();
+        let (_, level) = h.load(0, 2000);
+        assert_eq!(level, HitLevel::Memory);
+    }
+}

@@ -1,0 +1,956 @@
+//! The cycle-stepped multi-core machine.
+//!
+//! One [`spice_ir::interp::ThreadState`] runs per core. Each cycle, every
+//! core that is not stalled retires at most one instruction; loads and stores
+//! walk the [`crate::cache::MemoryHierarchy`] and stall the core for the
+//! resulting latency, scalar sends become visible to the receiving core after
+//! the configured inter-core latency, and speculative stores land in the
+//! per-core [`crate::specbuf::SpecBuffer`] until the thread commits or is
+//! squashed. This is the substrate on which both the Spice-transformed code
+//! and the baseline TLS schemes are timed (paper §5).
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState, ThreadStatus};
+use spice_ir::{BlockId, FuncId, InstClass, Program, TrapKind};
+
+use crate::cache::{MemAccessStats, MemoryHierarchy};
+use crate::config::MachineConfig;
+use crate::specbuf::SpecBuffer;
+
+/// A message travelling between cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Message {
+    ready_at: u64,
+    value: i64,
+}
+
+/// The set of inter-core scalar channels.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelNet {
+    queues: HashMap<i64, VecDeque<Message>>,
+}
+
+impl ChannelNet {
+    /// Enqueues `value` on `chan`, visible to receivers at `ready_at`.
+    pub fn send(&mut self, chan: i64, value: i64, ready_at: u64) {
+        self.queues
+            .entry(chan)
+            .or_default()
+            .push_back(Message { ready_at, value });
+    }
+
+    /// Dequeues the oldest message on `chan` if it has arrived by `now`.
+    pub fn try_recv(&mut self, chan: i64, now: u64) -> Option<i64> {
+        let q = self.queues.get_mut(&chan)?;
+        match q.front() {
+            Some(m) if m.ready_at <= now => Some(q.pop_front().expect("front exists").value),
+            _ => None,
+        }
+    }
+
+    /// Total messages currently queued (arrived or still in flight).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+}
+
+/// Why a core spent a cycle without retiring an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    None,
+    Memory,
+    Recv,
+}
+
+/// Per-core statistics of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CoreReport {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles spent waiting on the memory hierarchy.
+    pub mem_stall_cycles: u64,
+    /// Cycles spent waiting on an empty channel.
+    pub recv_stall_cycles: u64,
+    /// Cycles with no thread or a finished thread.
+    pub idle_cycles: u64,
+    /// Cycle at which the thread finished or halted (if it did).
+    pub finished_at: Option<u64>,
+    /// Return value of the thread's outermost function, if it returned one.
+    pub return_value: Option<i64>,
+    /// Whether the thread ended in a trapped state.
+    pub trapped: Option<TrapKind>,
+    /// Speculative commits executed.
+    pub spec_commits: u64,
+    /// Speculative aborts (squashes) executed.
+    pub spec_aborts: u64,
+    /// Loads/stores classified by the level that served them.
+    pub mem: MemAccessStats,
+    /// Retired-instruction counts by class.
+    pub retired_by_class: Vec<(String, u64)>,
+}
+
+/// Outcome of [`Machine::run`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Per-core reports.
+    pub cores: Vec<CoreReport>,
+}
+
+impl RunSummary {
+    /// Total instructions retired across all cores.
+    #[must_use]
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired).sum()
+    }
+}
+
+/// Reasons a simulation can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No core can ever make progress again.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+    /// The configured cycle budget was exhausted.
+    MaxCyclesExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// Execution ended with at least one thread trapped and never recovered.
+    UnrecoveredTrap {
+        /// Core whose thread trapped.
+        core: usize,
+        /// The trap.
+        trap: TrapKind,
+    },
+    /// A thread was spawned on a core that does not exist.
+    NoSuchCore {
+        /// The requested core index.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { cycle } => write!(f, "deadlock detected at cycle {cycle}"),
+            SimError::MaxCyclesExceeded { limit } => {
+                write!(f, "simulation exceeded {limit} cycles")
+            }
+            SimError::UnrecoveredTrap { core, trap } => {
+                write!(f, "thread on core {core} trapped and was never recovered: {trap}")
+            }
+            SimError::NoSuchCore { core } => write!(f, "no such core: {core}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpecAction {
+    Begin,
+    Commit,
+    Abort,
+}
+
+struct CoreMemPort<'a> {
+    mem: &'a mut FlatMemory,
+    hier: &'a mut MemoryHierarchy,
+    spec: &'a mut SpecBuffer,
+    core: usize,
+    latency: u64,
+}
+
+impl MemPort for CoreMemPort<'_> {
+    fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
+        let (lat, _) = self.hier.load(self.core, addr);
+        self.latency += lat;
+        if let Some(v) = self.spec.load(addr) {
+            return Ok(v);
+        }
+        self.mem.read(addr)
+    }
+
+    fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
+        let (lat, _) = self.hier.store(self.core, addr);
+        self.latency += lat;
+        if self.spec.is_active() {
+            // Validate the address eagerly so that wild speculative stores
+            // trap like real ones would (the squash path recovers them).
+            self.mem.read(addr)?;
+            self.spec.store(addr, value);
+            Ok(())
+        } else {
+            self.mem.write(addr, value)
+        }
+    }
+
+    fn alloc(&mut self, words: i64) -> Result<i64, TrapKind> {
+        self.mem.alloc(words)
+    }
+}
+
+struct CoreSysPort<'a> {
+    channels: &'a mut ChannelNet,
+    resteers: &'a mut Vec<(i64, BlockId)>,
+    now: u64,
+    comm_latency: u64,
+    spec_action: Option<SpecAction>,
+}
+
+impl SysPort for CoreSysPort<'_> {
+    fn send(&mut self, chan: i64, value: i64) {
+        self.channels.send(chan, value, self.now + self.comm_latency);
+    }
+
+    fn try_recv(&mut self, chan: i64) -> Option<i64> {
+        self.channels.try_recv(chan, self.now)
+    }
+
+    fn spec_begin(&mut self) {
+        self.spec_action = Some(SpecAction::Begin);
+    }
+
+    fn spec_commit(&mut self) {
+        self.spec_action = Some(SpecAction::Commit);
+    }
+
+    fn spec_abort(&mut self) {
+        self.spec_action = Some(SpecAction::Abort);
+    }
+
+    fn resteer(&mut self, core: i64, target: BlockId) {
+        self.resteers.push((core, target));
+    }
+}
+
+#[derive(Debug)]
+struct CoreState {
+    thread: Option<ThreadState>,
+    spec: SpecBuffer,
+    busy_until: u64,
+    stall: StallKind,
+    blocked: bool,
+    report: CoreReport,
+    class_counts: HashMap<InstClass, u64>,
+    done: bool,
+}
+
+impl CoreState {
+    fn new() -> Self {
+        CoreState {
+            thread: None,
+            spec: SpecBuffer::new(),
+            busy_until: 0,
+            stall: StallKind::None,
+            blocked: false,
+            report: CoreReport::default(),
+            class_counts: HashMap::new(),
+            done: false,
+        }
+    }
+}
+
+/// Records, per core, how many instructions retired in each window of
+/// `window` cycles — enough to reconstruct the execution-schedule figures
+/// (paper Figures 2, 3 and 5) as a timeline.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ActivityTrace {
+    /// Window size in cycles.
+    pub window: u64,
+    /// `samples[core][w]` = instructions retired by `core` in window `w`.
+    pub samples: Vec<Vec<u64>>,
+}
+
+impl ActivityTrace {
+    fn new(cores: usize, window: u64) -> Self {
+        ActivityTrace {
+            window,
+            samples: vec![Vec::new(); cores],
+        }
+    }
+
+    fn record(&mut self, core: usize, cycle: u64) {
+        let w = (cycle / self.window) as usize;
+        let v = &mut self.samples[core];
+        if v.len() <= w {
+            v.resize(w + 1, 0);
+        }
+        v[w] += 1;
+    }
+
+    /// Renders one line per core, one character per window: `#` busy,
+    /// `.` idle.
+    #[must_use]
+    pub fn ascii(&self) -> String {
+        let width = self.samples.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, row) in self.samples.iter().enumerate() {
+            out.push_str(&format!("core {i}: "));
+            for w in 0..width {
+                let busy = row.get(w).copied().unwrap_or(0);
+                out.push(if busy > 0 { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The multi-core machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    program: Program,
+    mem: FlatMemory,
+    hier: MemoryHierarchy,
+    cores: Vec<CoreState>,
+    channels: ChannelNet,
+    resteer_requests: Vec<(i64, BlockId)>,
+    cycle: u64,
+    activity: Option<ActivityTrace>,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `program`: globals are materialized and
+    /// the heap sized from the configuration.
+    #[must_use]
+    pub fn new(config: MachineConfig, program: Program) -> Self {
+        let mem = FlatMemory::for_program(&program, config.heap_words);
+        let hier = MemoryHierarchy::new(&config);
+        let cores = (0..config.cores).map(|_| CoreState::new()).collect();
+        Machine {
+            config,
+            program,
+            mem,
+            hier,
+            cores,
+            channels: ChannelNet::default(),
+            resteer_requests: Vec::new(),
+            cycle: 0,
+            activity: None,
+        }
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The loaded program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Shared memory (read access, e.g. for checking results).
+    #[must_use]
+    pub fn mem(&self) -> &FlatMemory {
+        &self.mem
+    }
+
+    /// Shared memory (write access, e.g. for building data structures before
+    /// a run or mutating them between loop invocations).
+    pub fn mem_mut(&mut self) -> &mut FlatMemory {
+        &mut self.mem
+    }
+
+    /// Current simulated cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Enables activity tracing with the given window (in cycles).
+    pub fn enable_activity_trace(&mut self, window: u64) {
+        self.activity = Some(ActivityTrace::new(self.config.cores, window.max(1)));
+    }
+
+    /// Returns the recorded activity trace, if tracing was enabled.
+    #[must_use]
+    pub fn activity_trace(&self) -> Option<&ActivityTrace> {
+        self.activity.as_ref()
+    }
+
+    /// Places a new thread on `core`, starting at `func` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuchCore`] if the core index is out of range.
+    pub fn spawn(&mut self, core: usize, func: FuncId, args: &[i64]) -> Result<(), SimError> {
+        if core >= self.cores.len() {
+            return Err(SimError::NoSuchCore { core });
+        }
+        let state = &mut self.cores[core];
+        state.thread = Some(ThreadState::new(&self.program, func, args));
+        state.busy_until = self.cycle;
+        state.done = false;
+        state.blocked = false;
+        state.report = CoreReport::default();
+        state.class_counts.clear();
+        Ok(())
+    }
+
+    /// Removes every thread and clears channels, keeping memory and caches.
+    /// Used by multi-invocation drivers between loop invocations.
+    pub fn clear_threads(&mut self) {
+        for c in &mut self.cores {
+            c.thread = None;
+            c.spec = SpecBuffer::new();
+            c.busy_until = self.cycle;
+            c.done = false;
+            c.blocked = false;
+        }
+        self.channels = ChannelNet::default();
+        self.resteer_requests.clear();
+    }
+
+    /// Resets the cycle counter to zero (per-invocation timing).
+    pub fn reset_cycle_counter(&mut self) {
+        self.cycle = 0;
+        for c in &mut self.cores {
+            c.busy_until = 0;
+        }
+    }
+
+    fn base_latency(&self, class: InstClass) -> u64 {
+        let c = &self.config.core;
+        match class {
+            InstClass::IntAlu | InstClass::Other => 1,
+            InstClass::IntMul => c.mul_latency,
+            InstClass::IntDiv => c.div_latency,
+            InstClass::Branch => c.branch_latency,
+            InstClass::Load | InstClass::Store | InstClass::Alloc => 0, // hierarchy latency added separately
+            InstClass::Send | InstClass::Recv => 1,
+            InstClass::Spec => c.spec_op_latency,
+            InstClass::Resteer => 1,
+        }
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step_cycle(&mut self) {
+        let now = self.cycle;
+        for i in 0..self.cores.len() {
+            // Skip cores that are stalled, idle or done.
+            if self.cores[i].done || self.cores[i].thread.is_none() {
+                self.cores[i].report.idle_cycles += 1;
+                continue;
+            }
+            if self.cores[i].busy_until > now {
+                match self.cores[i].stall {
+                    StallKind::Memory => self.cores[i].report.mem_stall_cycles += 1,
+                    StallKind::Recv => self.cores[i].report.recv_stall_cycles += 1,
+                    StallKind::None => {}
+                }
+                continue;
+            }
+            let mut thread = self.cores[i].thread.take().expect("checked above");
+            // A multi-issue core (Table 1: 6-issue) retires up to
+            // `issue_width` simple ALU operations per cycle; any memory
+            // access, long-latency operation, communication or control
+            // transfer ends the issue group.
+            let issue_width = self.config.core.issue_width.max(1);
+            let mut issued_this_cycle = 0u64;
+            loop {
+                let mut mem_port = CoreMemPort {
+                    mem: &mut self.mem,
+                    hier: &mut self.hier,
+                    spec: &mut self.cores[i].spec,
+                    core: i,
+                    latency: 0,
+                };
+                let mut sys_port = CoreSysPort {
+                    channels: &mut self.channels,
+                    resteers: &mut self.resteer_requests,
+                    now,
+                    comm_latency: self.config.inter_core_latency,
+                    spec_action: None,
+                };
+                let result = thread.step(&self.program, &mut mem_port, &mut sys_port);
+                let mem_latency = mem_port.latency;
+                let spec_action = sys_port.spec_action;
+                drop(mem_port);
+                drop(sys_port);
+
+                match result {
+                    Ok(StepEvent::Executed(info)) => {
+                        let co_issuable = matches!(info.class, InstClass::IntAlu | InstClass::Other)
+                            && mem_latency == 0;
+                        let cost = if co_issuable {
+                            1
+                        } else {
+                            self.base_latency(info.class).max(1) + mem_latency
+                        };
+                        let core = &mut self.cores[i];
+                        core.busy_until = now + cost;
+                        core.stall = if mem_latency > 0 {
+                            StallKind::Memory
+                        } else {
+                            StallKind::None
+                        };
+                        core.blocked = false;
+                        core.report.retired += 1;
+                        *core.class_counts.entry(info.class).or_insert(0) += 1;
+                        if let Some(a) = &mut self.activity {
+                            a.record(i, now);
+                        }
+                        match spec_action {
+                            Some(SpecAction::Begin) => core.spec.begin(),
+                            Some(SpecAction::Commit) => {
+                                let writes = core.spec.take_commit();
+                                core.report.spec_commits += 1;
+                                let mut extra = 0;
+                                for (addr, value) in writes {
+                                    // Committed writes drain through the
+                                    // hierarchy like ordinary stores.
+                                    let (lat, _) = self.hier.store(i, addr);
+                                    extra += lat.min(self.config.l2.hit_latency);
+                                    let _ = self.mem.write(addr, value);
+                                }
+                                self.cores[i].busy_until += extra;
+                            }
+                            Some(SpecAction::Abort) => {
+                                core.spec.abort();
+                                core.report.spec_aborts += 1;
+                            }
+                            None => {}
+                        }
+                        issued_this_cycle += 1;
+                        if co_issuable && issued_this_cycle < issue_width {
+                            // Keep filling this cycle's issue group.
+                            continue;
+                        }
+                        break;
+                    }
+                    Ok(StepEvent::Blocked) => {
+                        let core = &mut self.cores[i];
+                        core.busy_until = now + 1;
+                        core.stall = StallKind::Recv;
+                        core.blocked = true;
+                        core.report.recv_stall_cycles += 1;
+                        break;
+                    }
+                    Ok(StepEvent::Halted) | Ok(StepEvent::Finished(_)) => {
+                        let core = &mut self.cores[i];
+                        core.done = true;
+                        core.blocked = false;
+                        core.report.finished_at = Some(now);
+                        if let Ok(StepEvent::Finished(v)) = result {
+                            core.report.return_value = v;
+                        }
+                        break;
+                    }
+                    Err(_trap) => {
+                        // The thread stays trapped until (possibly) resteered
+                        // by another thread. It re-checks every cycle so that
+                        // an incoming resteer takes effect promptly.
+                        let core = &mut self.cores[i];
+                        core.busy_until = now + 1;
+                        core.stall = StallKind::None;
+                        core.blocked = false;
+                        break;
+                    }
+                }
+            }
+            self.cores[i].thread = Some(thread);
+        }
+
+        // Deliver resteer requests at end of cycle.
+        if !self.resteer_requests.is_empty() {
+            let requests = std::mem::take(&mut self.resteer_requests);
+            for (core, target) in requests {
+                let idx = core as usize;
+                if idx < self.cores.len() {
+                    if let Some(t) = self.cores[idx].thread.as_mut() {
+                        t.resteer_to(target);
+                        self.cores[idx].done = false;
+                        self.cores[idx].blocked = false;
+                        self.cores[idx].busy_until =
+                            now + self.config.inter_core_latency;
+                    }
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    fn all_done(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.thread.is_none() || c.done)
+    }
+
+    fn progress_possible(&self) -> bool {
+        // Progress is possible if some core is busy (will wake up), some core
+        // is runnable and not blocked, or a blocked core has a message that
+        // will eventually arrive.
+        let any_active = self.cores.iter().any(|c| {
+            c.thread.is_some()
+                && !c.done
+                && !c.blocked
+                && !matches!(
+                    c.thread.as_ref().map(ThreadState::status),
+                    Some(ThreadStatus::Trapped(_))
+                )
+        });
+        any_active || (self.channels.pending() > 0)
+    }
+
+    /// Runs until every spawned thread has finished or halted.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] if no thread can ever make progress again
+    ///   (e.g. everyone blocked on empty channels),
+    /// * [`SimError::UnrecoveredTrap`] if execution ends with a trapped
+    ///   thread that was never resteered,
+    /// * [`SimError::MaxCyclesExceeded`] if the configured cycle budget runs
+    ///   out.
+    pub fn run(&mut self) -> Result<RunSummary, SimError> {
+        let limit = self.config.max_cycles;
+        while !self.all_done() {
+            if self.cycle >= limit {
+                return Err(SimError::MaxCyclesExceeded { limit });
+            }
+            if !self.progress_possible() {
+                // Distinguish trap-wedges from pure deadlocks.
+                for (i, c) in self.cores.iter().enumerate() {
+                    if let Some(t) = &c.thread {
+                        if let ThreadStatus::Trapped(k) = t.status() {
+                            if !c.done {
+                                return Err(SimError::UnrecoveredTrap { core: i, trap: k });
+                            }
+                        }
+                    }
+                }
+                return Err(SimError::Deadlock { cycle: self.cycle });
+            }
+            self.step_cycle();
+        }
+        Ok(self.summary())
+    }
+
+    /// Builds the per-core report without running.
+    #[must_use]
+    pub fn summary(&self) -> RunSummary {
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let mut report = c.report.clone();
+                report.mem = self.hier.stats(i);
+                report.trapped = c.thread.as_ref().and_then(|t| match t.status() {
+                    ThreadStatus::Trapped(k) => Some(k),
+                    _ => None,
+                });
+                let mut classes: Vec<(String, u64)> = c
+                    .class_counts
+                    .iter()
+                    .map(|(k, v)| (format!("{k:?}"), *v))
+                    .collect();
+                classes.sort();
+                report.retired_by_class = classes;
+                report
+            })
+            .collect();
+        RunSummary {
+            cycles: self.cycle,
+            cores,
+        }
+    }
+
+    /// Return value of the thread on `core`, if it finished with one.
+    #[must_use]
+    pub fn return_value(&self, core: usize) -> Option<i64> {
+        self.cores.get(core).and_then(|c| c.report.return_value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_ir::builder::FunctionBuilder;
+    use spice_ir::{BinOp, Inst, Operand};
+
+    fn tiny(cores: usize) -> MachineConfig {
+        MachineConfig::test_tiny(cores)
+    }
+
+    #[test]
+    fn single_thread_program_runs_to_completion() {
+        let mut b = FunctionBuilder::new("main");
+        let x = b.binop(BinOp::Add, 40i64, 2i64);
+        b.ret(Some(Operand::Reg(x)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.return_value(0), Some(42));
+        assert!(summary.cycles >= 1);
+        assert_eq!(summary.cores[0].retired, 1);
+    }
+
+    #[test]
+    fn memory_latency_is_charged() {
+        // Two loads of the same address: first misses everywhere, second hits L1.
+        let mut b = FunctionBuilder::new("loads");
+        let a = b.load(2000i64, 0);
+        let c = b.load(2000i64, 0);
+        let s = b.binop(BinOp::Add, a, c);
+        b.ret(Some(Operand::Reg(s)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let cfg = tiny(1);
+        let expected_min = cfg.l1d.hit_latency
+            + cfg.l2.hit_latency
+            + cfg.l3.hit_latency
+            + cfg.memory_latency;
+        let mut m = Machine::new(cfg, p);
+        m.spawn(0, f, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert!(summary.cycles > expected_min);
+        assert_eq!(summary.cores[0].mem.loads, 2);
+        assert_eq!(summary.cores[0].mem.l1_hits, 1);
+    }
+
+    #[test]
+    fn two_threads_communicate_with_latency() {
+        // Thread 0 sends 7 on channel 0; thread 1 receives and returns it.
+        let mut p = Program::new();
+        let mut sender = FunctionBuilder::new("sender");
+        sender.send(0i64, 7i64);
+        sender.ret(None);
+        let sf = p.add_func(sender.finish());
+
+        let mut receiver = FunctionBuilder::new("receiver");
+        let v = receiver.recv(0i64);
+        receiver.ret(Some(Operand::Reg(v)));
+        let rf = p.add_func(receiver.finish());
+
+        let cfg = tiny(2);
+        let comm = cfg.inter_core_latency;
+        let mut m = Machine::new(cfg, p);
+        m.spawn(0, sf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.return_value(1), Some(7));
+        // The receiver cannot finish before the message's flight time.
+        assert!(summary.cores[1].finished_at.unwrap() >= comm);
+        assert!(summary.cores[1].recv_stall_cycles > 0);
+    }
+
+    #[test]
+    fn speculative_stores_commit_or_vanish() {
+        // Speculative thread stores 5 to @g, then either commits or aborts
+        // based on its argument.
+        let mut p = Program::new();
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("spec");
+        let do_commit = b.param();
+        let commit_bb = b.new_block();
+        let abort_bb = b.new_block();
+        let done = b.new_block();
+        b.push(Inst::SpecBegin);
+        b.store(5i64, g, 0);
+        b.cond_br(do_commit, commit_bb, abort_bb);
+        b.switch_to(commit_bb);
+        b.push(Inst::SpecCommit);
+        b.br(done);
+        b.switch_to(abort_bb);
+        b.push(Inst::SpecAbort);
+        b.br(done);
+        b.switch_to(done);
+        b.ret(None);
+        let f = p.add_func(b.finish());
+
+        // Commit case.
+        let mut m = Machine::new(tiny(1), p.clone());
+        m.spawn(0, f, &[1]).unwrap();
+        let s = m.run().unwrap();
+        assert_eq!(m.mem().read(g).unwrap(), 5);
+        assert_eq!(s.cores[0].spec_commits, 1);
+
+        // Abort case.
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[0]).unwrap();
+        let s = m.run().unwrap();
+        assert_eq!(m.mem().read(g).unwrap(), 0);
+        assert_eq!(s.cores[0].spec_aborts, 1);
+    }
+
+    #[test]
+    fn speculative_stores_invisible_to_other_core_until_commit() {
+        // Core 0: spec-store 9 to @flag, wait for token, commit, send done.
+        // Core 1: read @flag before and after.
+        let mut p = Program::new();
+        let flag = p.add_global("flag", 1);
+        let result = p.add_global("result", 2);
+
+        let mut w = FunctionBuilder::new("writer");
+        w.push(Inst::SpecBegin);
+        w.store(9i64, flag, 0);
+        // Tell the reader the speculative store happened.
+        w.send(0i64, 1i64);
+        // Wait for permission to commit.
+        let _ = w.recv(1i64);
+        w.push(Inst::SpecCommit);
+        w.send(2i64, 1i64);
+        w.ret(None);
+        let wf = p.add_func(w.finish());
+
+        let mut r = FunctionBuilder::new("reader");
+        let _ = r.recv(0i64);
+        let before = r.load(flag, 0);
+        r.store(before, result, 0);
+        r.send(1i64, 1i64);
+        let _ = r.recv(2i64);
+        let after = r.load(flag, 0);
+        r.store(after, result, 1);
+        r.ret(None);
+        let rf = p.add_func(r.finish());
+
+        let mut m = Machine::new(tiny(2), p);
+        m.spawn(0, wf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.mem().read(result).unwrap(), 0, "spec store leaked");
+        assert_eq!(m.mem().read(result + 1).unwrap(), 9, "commit not visible");
+    }
+
+    #[test]
+    fn resteer_redirects_other_core() {
+        // Core 1 spins forever; core 0 resteers it to its exit block.
+        let mut p = Program::new();
+        let mut spin = FunctionBuilder::new("spin");
+        let spin_bb = spin.new_block();
+        let exit_bb = spin.new_block();
+        spin.br(spin_bb);
+        spin.switch_to(spin_bb);
+        spin.br(spin_bb);
+        spin.switch_to(exit_bb);
+        spin.ret(Some(Operand::Imm(123)));
+        let spin_f = p.add_func(spin.finish());
+
+        let mut boss = FunctionBuilder::new("boss");
+        boss.push(Inst::Resteer {
+            core: Operand::Imm(1),
+            target: exit_bb,
+        });
+        boss.ret(None);
+        let boss_f = p.add_func(boss.finish());
+
+        let mut m = Machine::new(tiny(2), p);
+        m.spawn(0, boss_f, &[]).unwrap();
+        m.spawn(1, spin_f, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.return_value(1), Some(123));
+        assert!(summary.cycles < 1000);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("waiter");
+        let v = b.recv(5i64);
+        b.ret(Some(Operand::Reg(v)));
+        let f = p.add_func(b.finish());
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[]).unwrap();
+        match m.run() {
+            Err(SimError::Deadlock { .. }) => {}
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrecovered_trap_is_reported() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("wild");
+        let v = b.load(-5i64, 0);
+        b.ret(Some(Operand::Reg(v)));
+        let f = p.add_func(b.finish());
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[]).unwrap();
+        match m.run() {
+            Err(SimError::UnrecoveredTrap { core: 0, .. }) => {}
+            other => panic!("expected trap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spawn_on_missing_core_fails() {
+        let p = Program::new();
+        let mut m = Machine::new(tiny(1), p);
+        assert_eq!(
+            m.spawn(3, FuncId(0), &[]),
+            Err(SimError::NoSuchCore { core: 3 })
+        );
+    }
+
+    #[test]
+    fn activity_trace_shows_busy_windows() {
+        let mut b = FunctionBuilder::new("busy");
+        let mut acc = b.copy(0i64);
+        for _ in 0..20 {
+            acc = b.binop(BinOp::Add, acc, 1i64);
+        }
+        b.ret(Some(Operand::Reg(acc)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let mut m = Machine::new(tiny(1), p);
+        m.enable_activity_trace(5);
+        m.spawn(0, f, &[]).unwrap();
+        m.run().unwrap();
+        let trace = m.activity_trace().unwrap();
+        assert!(trace.ascii().contains('#'));
+        assert!(trace.samples[0].iter().sum::<u64>() >= 20);
+    }
+
+    #[test]
+    fn clear_threads_keeps_memory() {
+        let mut p = Program::new();
+        let g = p.add_global("g", 1);
+        let mut b = FunctionBuilder::new("w");
+        b.store(7i64, g, 0);
+        b.ret(None);
+        let f = p.add_func(b.finish());
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[]).unwrap();
+        m.run().unwrap();
+        m.clear_threads();
+        m.reset_cycle_counter();
+        assert_eq!(m.cycle(), 0);
+        assert_eq!(m.mem().read(g).unwrap(), 7);
+    }
+
+    #[test]
+    fn max_cycles_is_enforced() {
+        let mut p = Program::new();
+        let mut b = FunctionBuilder::new("spin");
+        let l = b.new_block();
+        b.br(l);
+        b.switch_to(l);
+        b.br(l);
+        let f = p.add_func(b.finish());
+        let mut cfg = tiny(1);
+        cfg.max_cycles = 500;
+        let mut m = Machine::new(cfg, p);
+        m.spawn(0, f, &[]).unwrap();
+        assert_eq!(
+            m.run(),
+            Err(SimError::MaxCyclesExceeded { limit: 500 })
+        );
+    }
+}

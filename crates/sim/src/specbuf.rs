@@ -1,0 +1,203 @@
+//! Per-core speculative store buffer with read/write-set tracking.
+//!
+//! This models the hardware support the paper assumes in §3 ("Speculative
+//! State"): while a core executes speculatively, its stores are buffered and
+//! can either be committed to shared memory (speculation succeeded) or
+//! discarded (squash). Loads by the speculative core see its own buffered
+//! stores; other cores do not. Read and write sets are tracked so that a
+//! conflict check between two threads' speculative accesses is available
+//! ("Conflict Detection" in §3), even though the loops evaluated by the paper
+//! — and by this reproduction — are chosen so that they do not need it.
+
+use std::collections::{HashMap, HashSet};
+
+/// A speculative store buffer.
+#[derive(Debug, Clone, Default)]
+pub struct SpecBuffer {
+    active: bool,
+    writes: HashMap<i64, i64>,
+    write_order: Vec<i64>,
+    read_set: HashSet<i64>,
+    stores_buffered: u64,
+}
+
+impl SpecBuffer {
+    /// Creates an inactive, empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        SpecBuffer::default()
+    }
+
+    /// Whether the core is currently executing speculatively.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Enters speculative execution. Re-entering while already active keeps
+    /// the current buffered state (nested begins are flattened).
+    pub fn begin(&mut self) {
+        self.active = true;
+    }
+
+    /// Records a speculative store.
+    ///
+    /// Returns `true` if the store was buffered (speculation active) and
+    /// `false` if the caller must perform it directly against shared memory.
+    pub fn store(&mut self, addr: i64, value: i64) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.writes.insert(addr, value).is_none() {
+            self.write_order.push(addr);
+        }
+        self.stores_buffered += 1;
+        true
+    }
+
+    /// Observes a speculative load: returns the buffered value if this core
+    /// wrote `addr` speculatively, and records `addr` in the read set.
+    pub fn load(&mut self, addr: i64) -> Option<i64> {
+        if !self.active {
+            return None;
+        }
+        self.read_set.insert(addr);
+        self.writes.get(&addr).copied()
+    }
+
+    /// Leaves speculative execution, returning the buffered writes in first
+    /// write order so the caller can apply them to shared memory.
+    pub fn take_commit(&mut self) -> Vec<(i64, i64)> {
+        let out: Vec<(i64, i64)> = self
+            .write_order
+            .iter()
+            .map(|a| (*a, self.writes[a]))
+            .collect();
+        self.clear();
+        out
+    }
+
+    /// Leaves speculative execution, discarding all buffered state.
+    pub fn abort(&mut self) {
+        self.clear();
+    }
+
+    fn clear(&mut self) {
+        self.active = false;
+        self.writes.clear();
+        self.write_order.clear();
+        self.read_set.clear();
+    }
+
+    /// Addresses written speculatively.
+    #[must_use]
+    pub fn write_set(&self) -> HashSet<i64> {
+        self.writes.keys().copied().collect()
+    }
+
+    /// Addresses read while speculative.
+    #[must_use]
+    pub fn read_set(&self) -> &HashSet<i64> {
+        &self.read_set
+    }
+
+    /// Number of stores buffered over the lifetime of the buffer (not reset
+    /// by commit/abort; used for statistics).
+    #[must_use]
+    pub fn stores_buffered(&self) -> u64 {
+        self.stores_buffered
+    }
+
+    /// Returns `true` if this buffer's speculative reads conflict with the
+    /// other buffer's speculative writes — the RAW check a TLS memory system
+    /// performs between a logically-later and a logically-earlier thread.
+    #[must_use]
+    pub fn conflicts_with(&self, earlier: &SpecBuffer) -> bool {
+        self.read_set
+            .iter()
+            .any(|addr| earlier.writes.contains_key(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_buffer_passes_stores_through() {
+        let mut b = SpecBuffer::new();
+        assert!(!b.store(10, 1));
+        assert_eq!(b.load(10), None);
+    }
+
+    #[test]
+    fn active_buffer_captures_stores_and_forwards_to_loads() {
+        let mut b = SpecBuffer::new();
+        b.begin();
+        assert!(b.is_active());
+        assert!(b.store(10, 1));
+        assert!(b.store(11, 2));
+        assert_eq!(b.load(10), Some(1));
+        assert_eq!(b.load(99), None); // not written here -> caller reads memory
+        assert!(b.read_set().contains(&10));
+        assert!(b.read_set().contains(&99));
+    }
+
+    #[test]
+    fn commit_returns_writes_in_first_write_order() {
+        let mut b = SpecBuffer::new();
+        b.begin();
+        b.store(20, 1);
+        b.store(10, 2);
+        b.store(20, 3); // overwrite keeps original position
+        let commit = b.take_commit();
+        assert_eq!(commit, vec![(20, 3), (10, 2)]);
+        assert!(!b.is_active());
+        assert!(b.write_set().is_empty());
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let mut b = SpecBuffer::new();
+        b.begin();
+        b.store(10, 1);
+        b.load(11);
+        b.abort();
+        assert!(!b.is_active());
+        assert!(b.write_set().is_empty());
+        assert!(b.read_set().is_empty());
+        // Statistics survive for reporting.
+        assert_eq!(b.stores_buffered(), 1);
+    }
+
+    #[test]
+    fn conflict_detection_is_raw_only() {
+        let mut earlier = SpecBuffer::new();
+        earlier.begin();
+        earlier.store(100, 5);
+
+        let mut later = SpecBuffer::new();
+        later.begin();
+        later.load(100);
+        assert!(later.conflicts_with(&earlier));
+
+        let mut independent = SpecBuffer::new();
+        independent.begin();
+        independent.load(200);
+        assert!(!independent.conflicts_with(&earlier));
+        // Writes alone (WAW) are not flagged by this check.
+        let mut writer = SpecBuffer::new();
+        writer.begin();
+        writer.store(100, 9);
+        assert!(!writer.conflicts_with(&earlier));
+    }
+
+    #[test]
+    fn nested_begin_is_flattened() {
+        let mut b = SpecBuffer::new();
+        b.begin();
+        b.store(1, 1);
+        b.begin();
+        assert_eq!(b.load(1), Some(1));
+    }
+}

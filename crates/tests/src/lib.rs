@@ -1,0 +1,3 @@
+//! Integration-test crate for the Spice reproduction: the tests live in
+//! `tests/` and exercise the whole stack (workloads → analysis →
+//! transformation → simulation → native runtime).

@@ -1,0 +1,154 @@
+//! Property-based integration tests (proptest): the Spice execution is
+//! equivalent to sequential execution for randomized lists, mutations and
+//! thread counts, and the transformation itself preserves structural
+//! invariants.
+
+use proptest::prelude::*;
+
+use spice_core::analysis::LoopAnalysis;
+use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::transform::{SpiceOptions, SpiceTransform};
+use spice_ir::builder::FunctionBuilder;
+use spice_ir::verify::verify_program;
+use spice_ir::{BinOp, FuncId, Operand, Program};
+use spice_sim::{Machine, MachineConfig};
+
+/// Builds the canonical list-minimum loop over `(weight, next)` nodes stored
+/// in a global sized for `capacity` nodes.
+fn list_min_program(capacity: i64) -> (Program, FuncId, i64) {
+    let mut program = Program::new();
+    let nodes = program.add_global("nodes", capacity * 2);
+    let out = program.add_global("out", 1);
+    let mut b = FunctionBuilder::new("list_min");
+    let head = b.param();
+    let pre = b.new_block();
+    let header = b.new_block();
+    let body = b.new_block();
+    let exit = b.new_block();
+    let c = b.copy(head);
+    let wm = b.copy(i64::MAX);
+    let cm = b.copy(0i64);
+    b.br(pre);
+    b.switch_to(pre);
+    b.br(header);
+    b.switch_to(header);
+    let done = b.binop(BinOp::Eq, c, 0i64);
+    b.cond_br(done, exit, body);
+    b.switch_to(body);
+    let w = b.load(c, 0);
+    let better = b.binop(BinOp::Lt, w, wm);
+    let nw = b.select(better, w, wm);
+    b.copy_into(wm, nw);
+    let nc = b.select(better, c, cm);
+    b.copy_into(cm, nc);
+    let nx = b.load(c, 1);
+    b.copy_into(c, nx);
+    b.br(header);
+    b.switch_to(exit);
+    b.store(cm, out, 0);
+    b.ret(Some(Operand::Reg(wm)));
+    let f = program.add_func(b.finish());
+    (program, f, nodes)
+}
+
+fn write_list(machine: &mut Machine, base: i64, order: &[usize], weights: &[i64]) -> i64 {
+    for (pos, &slot) in order.iter().enumerate() {
+        let addr = base + 2 * slot as i64;
+        let next = if pos + 1 < order.len() {
+            base + 2 * order[pos + 1] as i64
+        } else {
+            0
+        };
+        machine.mem_mut().write(addr, weights[slot]).unwrap();
+        machine.mem_mut().write(addr + 1, next).unwrap();
+    }
+    order.first().map_or(0, |&s| base + 2 * s as i64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spice with a random thread count over random list contents and random
+    /// inter-invocation permutations/truncations always returns the same
+    /// minimum as sequential execution.
+    #[test]
+    fn spice_equals_sequential_on_random_lists(
+        weights in proptest::collection::vec(1i64..1_000_000, 3..120),
+        threads in 2usize..5,
+        shuffles in proptest::collection::vec(
+            proptest::collection::vec(0usize..1usize << 16, 2..8), 1..4),
+    ) {
+        let n = weights.len();
+        let capacity = n as i64 + 2;
+        // Invocation k uses a permutation derived from the shuffle spec.
+        let mut orders: Vec<Vec<usize>> = Vec::new();
+        let mut order: Vec<usize> = (0..n).collect();
+        orders.push(order.clone());
+        for spec in &shuffles {
+            for (i, r) in spec.iter().enumerate() {
+                let a = (i * 7 + r) % order.len();
+                let b = (r + 3) % order.len();
+                order.swap(a, b);
+            }
+            orders.push(order.clone());
+        }
+
+        // Sequential reference over all invocations.
+        let (seq_p, seq_f, seq_nodes) = list_min_program(capacity);
+        let mut seq_m = Machine::new(MachineConfig::test_tiny(1), seq_p);
+        let mut seq_results = Vec::new();
+        for ord in &orders {
+            let head = write_list(&mut seq_m, seq_nodes, ord, &weights);
+            let (_, ret) = run_sequential(&mut seq_m, seq_f, &[head]).unwrap();
+            seq_results.push(ret);
+        }
+
+        // Spice over the same sequence of lists.
+        let (mut p, f, nodes) = list_min_program(capacity);
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(threads))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        let mut machine = Machine::new(MachineConfig::test_tiny(threads), p);
+        let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(n as u64));
+        for (k, ord) in orders.iter().enumerate() {
+            let head = write_list(&mut machine, nodes, ord, &weights);
+            let report = runner.run_invocation(&mut machine, &[head]).unwrap();
+            prop_assert_eq!(report.return_value, seq_results[k], "invocation {}", k);
+        }
+    }
+
+    /// The transformation always yields a structurally valid program with the
+    /// expected number of workers, for any thread count.
+    #[test]
+    fn transformation_structurally_sound(threads in 2usize..9) {
+        let (mut p, f, _) = list_min_program(16);
+        let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads(threads))
+            .apply(&mut p, &analysis)
+            .unwrap();
+        prop_assert_eq!(spice.workers.len(), threads - 1);
+        prop_assert!(verify_program(&p).is_ok());
+        prop_assert_eq!(spice.layout.threads, threads);
+        // One sva row per worker, sized by the speculated live-ins.
+        prop_assert_eq!(spice.layout.spec_width, spice.speculated.len());
+    }
+
+    /// The centralized predictor never produces an out-of-range sva row or a
+    /// non-positive threshold, whatever the observed work distribution.
+    #[test]
+    fn predictor_plans_are_in_range(
+        work in proptest::collection::vec(0u64..5_000, 2..8),
+    ) {
+        use spice_core::predictor::{HostPredictor, PredictorLayout, PredictorOptions};
+        let threads = work.len();
+        let mut p = Program::new();
+        let layout = PredictorLayout::allocate(&mut p, threads, 3);
+        let predictor = HostPredictor::new(layout, PredictorOptions::default());
+        for a in predictor.plan(&work) {
+            prop_assert!(a.row < threads - 1);
+            prop_assert!(a.tid < threads);
+            prop_assert!(a.threshold >= 1);
+        }
+    }
+}

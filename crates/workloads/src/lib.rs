@@ -1,0 +1,177 @@
+//! # spice-workloads — benchmark loops for the Spice reproduction
+//!
+//! The CGO 2008 Spice paper evaluates its transformation on four loops drawn
+//! from pointer-intensive applications (Table 2): the Kernighan–Lin inner
+//! loop of `ks`, otter's `find_lightest_cl`, 181.mcf's `refresh_potential`
+//! and 458.sjeng's `std_eval`. This crate re-implements those loop kernels in
+//! `spice-ir`, together with *drivers* that rebuild the applications'
+//! inter-invocation behaviour (list mutation, tree re-linking, board moves),
+//! and a synthetic corpus standing in for the SPEC/Mediabench programs of the
+//! paper's Figure 8 value-predictability study.
+//!
+//! Every workload implements [`SpiceWorkload`]: it builds an IR program with
+//! the target loop, initializes the data structures in simulated memory, and
+//! mutates them between invocations, exposing a host-computed expected result
+//! so that both sequential and Spice-parallel executions can be checked.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arena;
+pub mod ks;
+pub mod mcf;
+pub mod otter;
+pub mod sjeng;
+pub mod suite;
+
+use spice_ir::interp::FlatMemory;
+use spice_ir::{BlockId, FuncId, Program};
+
+pub use ks::{KsConfig, KsWorkload};
+pub use mcf::{McfConfig, McfWorkload};
+pub use otter::{OtterConfig, OtterWorkload};
+pub use sjeng::{SjengConfig, SjengWorkload};
+pub use suite::{fig8_corpus, ChurnListWorkload, Suite, SuiteBenchmark};
+
+/// An IR program containing one workload's target loop.
+#[derive(Debug, Clone)]
+pub struct BuiltKernel {
+    /// The program (globals sized for the workload's data structures).
+    pub program: Program,
+    /// The function containing the Spice target loop.
+    pub kernel: FuncId,
+    /// Header of the target loop, when the kernel has more than one
+    /// top-level loop (none of the shipped workloads need it).
+    pub loop_header_hint: Option<BlockId>,
+}
+
+/// A benchmark loop plus the driver that reproduces how the surrounding
+/// application evolves its data structures between loop invocations.
+///
+/// Call order: [`build`](SpiceWorkload::build) once, then
+/// [`init`](SpiceWorkload::init) on the machine's memory, then alternately
+/// run the kernel (sequentially or Spice-parallelized) and call
+/// [`next_invocation`](SpiceWorkload::next_invocation) until it returns
+/// `None`.
+pub trait SpiceWorkload {
+    /// Benchmark name (Table 2 first column).
+    fn name(&self) -> &'static str;
+
+    /// Short description (Table 2 second column).
+    fn description(&self) -> &'static str;
+
+    /// Name of the parallelized loop (Table 2 third column).
+    fn loop_name(&self) -> &'static str;
+
+    /// Fraction of whole-application execution time the paper attributes to
+    /// this loop (Table 2 "hotness"); 0 for synthetic corpus entries.
+    fn paper_hotness(&self) -> f64;
+
+    /// Builds the IR program containing the kernel.
+    fn build(&mut self) -> BuiltKernel;
+
+    /// Initializes the workload's data structures in simulated memory and
+    /// returns the kernel arguments for the first invocation.
+    fn init(&mut self, mem: &mut FlatMemory) -> Vec<i64>;
+
+    /// Mutates the data structures after invocation `invocation` finished and
+    /// returns the arguments for the next one, or `None` when the workload is
+    /// done.
+    fn next_invocation(&mut self, mem: &mut FlatMemory, invocation: usize) -> Option<Vec<i64>>;
+
+    /// Expected kernel return value for the *upcoming* invocation, computed
+    /// on the host. `None` if the workload has no scalar result to check.
+    fn expected_result(&self, mem: &FlatMemory) -> Option<i64>;
+
+    /// Rough expected iteration count per invocation (seeds the predictor's
+    /// load balancer before any feedback exists).
+    fn expected_iterations(&self) -> u64;
+
+    /// Total number of invocations the driver produces.
+    fn invocations(&self) -> usize;
+}
+
+/// The paper's four evaluation loops (Table 2 / Figure 7) with default
+/// configurations.
+#[must_use]
+pub fn paper_benchmarks() -> Vec<Box<dyn SpiceWorkload>> {
+    vec![
+        Box::new(KsWorkload::new(KsConfig::default())),
+        Box::new(OtterWorkload::new(OtterConfig::default())),
+        Box::new(McfWorkload::new(McfConfig::default())),
+        Box::new(SjengWorkload::new(SjengConfig::default())),
+    ]
+}
+
+/// Smaller configurations of the same four loops, for quick test runs.
+#[must_use]
+pub fn paper_benchmarks_small() -> Vec<Box<dyn SpiceWorkload>> {
+    vec![
+        Box::new(KsWorkload::new(KsConfig {
+            modules: 120,
+            invocations: 12,
+            d_updates_per_invocation: 3,
+            seed: 1,
+        })),
+        Box::new(OtterWorkload::new(OtterConfig {
+            initial_len: 120,
+            inserts_per_invocation: 2,
+            invocations: 12,
+            seed: 2,
+        })),
+        Box::new(McfWorkload::new(McfConfig {
+            nodes: 150,
+            invocations: 12,
+            cost_updates_per_invocation: 4,
+            reparents_per_invocation: 1,
+            seed: 3,
+        })),
+        Box::new(SjengWorkload::new(SjengConfig {
+            pieces: 40,
+            invocations: 16,
+            mutate_probability: 0.3,
+            seed: 4,
+        })),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_benchmark_set_matches_table2() {
+        let names: Vec<&str> = paper_benchmarks().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["ks", "otter", "181.mcf", "458.sjeng"]);
+        for w in paper_benchmarks() {
+            assert!(w.paper_hotness() > 0.0 && w.paper_hotness() <= 1.0);
+            assert!(!w.description().is_empty());
+            assert!(!w.loop_name().is_empty());
+            assert!(w.invocations() > 1);
+        }
+    }
+
+    #[test]
+    fn every_paper_benchmark_builds_and_runs_sequentially() {
+        for mut w in paper_benchmarks_small() {
+            let built = w.build();
+            spice_ir::verify::verify_program(&built.program)
+                .unwrap_or_else(|e| panic!("{} failed verification: {e:?}", w.name()));
+            let mut mem = FlatMemory::for_program(&built.program, 256 * 1024);
+            let mut args = w.init(&mut mem);
+            for inv in 0..3 {
+                let expected = w.expected_result(&mem);
+                let out =
+                    spice_ir::interp::run_function(&built.program, built.kernel, &args, &mut mem)
+                        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name()));
+                if let Some(exp) = expected {
+                    assert_eq!(out.return_value, Some(exp), "{} invocation {inv}", w.name());
+                }
+                match w.next_invocation(&mut mem, inv) {
+                    Some(a) => args = a,
+                    None => break,
+                }
+            }
+        }
+    }
+}
