@@ -1,36 +1,48 @@
-//! Criterion bench behind Figure 7: wall-clock cost of simulating one
-//! sequential vs. one Spice-parallelized run of each benchmark loop on small
-//! inputs. The figure itself (simulated-cycle speedups) is produced by
+//! Wall-clock bench behind Figure 7: cost of simulating one sequential vs.
+//! one Spice-parallelized run of each benchmark loop on small inputs. The
+//! figure itself (simulated-cycle speedups) is produced by
 //! `cargo run -p spice-bench --bin fig7`.
+//!
+//! This is a plain `harness = false` bench (the environment cannot fetch
+//! criterion): each case is warmed up once, then timed over a fixed number of
+//! iterations, reporting min/mean per-iteration wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use spice_bench::experiments::{
     paper_workload_factories, run_workload_sequential, run_workload_spice,
 };
 use spice_core::pipeline::predictor_options_with_estimate;
 
-fn bench_fig7(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7");
-    group.sample_size(10);
-    for (name, factory) in paper_workload_factories(true) {
-        group.bench_function(format!("{name}/sequential"), |b| {
-            b.iter(|| {
-                let mut wl = factory();
-                run_workload_sequential(wl.as_mut()).expect("sequential run")
-            })
-        });
-        group.bench_function(format!("{name}/spice4"), |b| {
-            b.iter(|| {
-                let mut wl = factory();
-                let est = wl.expected_iterations();
-                run_workload_spice(wl.as_mut(), 4, predictor_options_with_estimate(est))
-                    .expect("spice run")
-                    .cycles
-            })
-        });
+fn time_case(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
     }
-    group.finish();
+    let min = samples.iter().min().unwrap();
+    let mean = samples.iter().sum::<std::time::Duration>() / iters;
+    println!("fig7/{name:<24} min {min:>12.3?}   mean {mean:>12.3?}   ({iters} iters)");
 }
 
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);
+fn main() {
+    let iters = if std::env::args().any(|a| a == "--quick") {
+        2
+    } else {
+        10
+    };
+    for (name, factory) in paper_workload_factories(true) {
+        time_case(&format!("{name}/sequential"), iters, || {
+            let mut wl = factory();
+            run_workload_sequential(wl.as_mut()).expect("sequential run");
+        });
+        time_case(&format!("{name}/spice4"), iters, || {
+            let mut wl = factory();
+            let est = wl.expected_iterations();
+            run_workload_spice(wl.as_mut(), 4, predictor_options_with_estimate(est))
+                .expect("spice run");
+        });
+    }
+}

@@ -1,7 +1,10 @@
-//! Criterion bench behind the §2 / Figure 8 predictor comparison: throughput
-//! of the value predictors over recorded live-in traces.
+//! Bench behind the §2 / Figure 8 predictor comparison: throughput of the
+//! value predictors over recorded live-in traces. Plain `harness = false`
+//! timing loop (the environment cannot fetch criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use spice_core::valuepred::{
     evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
 };
@@ -15,20 +18,26 @@ fn traces() -> Vec<Vec<Vec<i64>>> {
     vec![a, b]
 }
 
-fn bench_predictors(c: &mut Criterion) {
-    let t = traces();
-    let mut group = c.benchmark_group("predictors");
-    group.bench_function("last_value", |bch| {
-        bch.iter(|| evaluate_predictor(&mut LastValuePredictor::new(), &t))
-    });
-    group.bench_function("stride", |bch| {
-        bch.iter(|| evaluate_predictor(&mut StridePredictor::new(), &t))
-    });
-    group.bench_function("spice_memo", |bch| {
-        bch.iter(|| SpiceMemoPredictor::new(3).evaluate(&t))
-    });
-    group.finish();
+fn time_case(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t.elapsed() / iters;
+    println!("predictors/{name:<12} {per:>12.3?}/iter   ({iters} iters)");
 }
 
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);
+fn main() {
+    let t = traces();
+    let iters = 200;
+    time_case("last_value", iters, || {
+        black_box(evaluate_predictor(&mut LastValuePredictor::new(), &t));
+    });
+    time_case("stride", iters, || {
+        black_box(evaluate_predictor(&mut StridePredictor::new(), &t));
+    });
+    time_case("spice_memo", iters, || {
+        black_box(SpiceMemoPredictor::new(3).evaluate(&t));
+    });
+}

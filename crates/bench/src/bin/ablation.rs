@@ -4,11 +4,17 @@ fn main() {
     let small = spice_bench::small_requested();
     let rows = spice_bench::experiments::ablation(small).expect("ablation");
     println!("Predictor ablation — otter, 4 threads");
-    println!("{:<36} {:>14} {:>9} {:>10}", "variant", "cycles", "misspec", "imbalance");
+    println!(
+        "{:<36} {:>14} {:>9} {:>10}",
+        "variant", "cycles", "misspec", "imbalance"
+    );
     for r in rows {
         println!(
             "{:<36} {:>14} {:>8.1}% {:>10.3}",
-            r.variant, r.cycles, r.misspeculation_rate * 100.0, r.load_imbalance
+            r.variant,
+            r.cycles,
+            r.misspeculation_rate * 100.0,
+            r.load_imbalance
         );
     }
 }

@@ -1,6 +1,64 @@
 //! Reproduces Figure 7: loop speedups with 2 and 4 threads.
+//!
+//! Prints the text table and writes `BENCH_fig7.json` (machine-readable,
+//! hand-emitted JSON — no serialization dependency) so the performance
+//! trajectory of the reproduction can accumulate across runs. Pass `--small`
+//! for the reduced-size inputs, `--out PATH` to redirect the JSON.
+
+use std::fmt::Write as _;
+
+use spice_bench::experiments::{fig7, fig7_geomean, format_fig7, Fig7Row};
+
+/// Renders the rows as a JSON document (by hand: the build environment has
+/// no serde_json, and the format is a dozen fixed fields).
+fn to_json(rows: &[Fig7Row], small: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"figure\": \"fig7\",");
+    let _ = writeln!(s, "  \"small\": {small},");
+    let _ = writeln!(s, "  \"geomean_speedup_2t\": {:.6},", fig7_geomean(rows, 2));
+    let _ = writeln!(s, "  \"geomean_speedup_4t\": {:.6},", fig7_geomean(rows, 4));
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"benchmark\": \"{}\", \"threads\": {}, \"sequential_cycles\": {}, \
+             \"spice_cycles\": {}, \"speedup\": {:.6}, \"misspeculation_rate\": {:.6}, \
+             \"load_imbalance\": {:.6}}}{comma}",
+            r.benchmark,
+            r.threads,
+            r.sequential_cycles,
+            r.spice_cycles,
+            r.speedup,
+            r.misspeculation_rate,
+            r.load_imbalance
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
     let small = spice_bench::small_requested();
-    let rows = spice_bench::experiments::fig7(small).expect("fig7");
-    print!("{}", spice_bench::experiments::format_fig7(&rows));
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| {
+                // Small runs default to a separate file so a quick `--small`
+                // never clobbers the committed full-size trajectory artifact.
+                if small {
+                    "BENCH_fig7_small.json".to_string()
+                } else {
+                    "BENCH_fig7.json".to_string()
+                }
+            })
+    };
+    let rows = fig7(small).expect("fig7");
+    print!("{}", format_fig7(&rows));
+    let json = to_json(&rows, small);
+    std::fs::write(&out_path, &json).expect("write BENCH_fig7.json");
+    eprintln!("wrote {out_path}");
 }

@@ -4,14 +4,22 @@ fn main() {
     let small = spice_bench::small_requested();
     let cmp = spice_bench::experiments::schedules(small).expect("schedules");
     println!("Section 2 timing model for the otter loop (measured on the simulator):");
-    println!("  t1 (synchronized traversal) = {:.1} cycles/iteration", cmp.model.t1);
-    println!("  t2 (remaining computation)  = {:.1} cycles/iteration", cmp.model.t2);
+    println!(
+        "  t1 (synchronized traversal) = {:.1} cycles/iteration",
+        cmp.model.t1
+    );
+    println!(
+        "  t2 (remaining computation)  = {:.1} cycles/iteration",
+        cmp.model.t2
+    );
     println!("  t3 (inter-core forwarding)  = {:.1} cycles", cmp.model.t3);
     println!();
     for (kind, rows) in &cmp.schedules {
         let title = match kind {
             spice_core::baseline::ScheduleKind::Tls => "Figure 2 — TLS (no value speculation)",
-            spice_core::baseline::ScheduleKind::TlsValuePrediction => "Figure 3 — TLS with value prediction",
+            spice_core::baseline::ScheduleKind::TlsValuePrediction => {
+                "Figure 3 — TLS with value prediction"
+            }
             spice_core::baseline::ScheduleKind::Spice => "Figure 5 — Spice (chunked execution)",
         };
         println!("{title}");
@@ -22,7 +30,18 @@ fn main() {
     }
     println!("Expected / measured speedups (2 threads):");
     println!("  TLS (no value speculation): {:.2}x", cmp.tls_speedup);
-    println!("  TLS + stride value prediction (accuracy {:.1}%): {:.2}x", cmp.stride_accuracy * 100.0, cmp.tls_vp_speedup);
-    println!("  Spice expected (boundary survival {:.1}%): {:.2}x", cmp.spice_survival * 100.0, cmp.spice_expected_speedup);
-    println!("  Spice measured on the simulator: {:.2}x", cmp.spice_measured_speedup);
+    println!(
+        "  TLS + stride value prediction (accuracy {:.1}%): {:.2}x",
+        cmp.stride_accuracy * 100.0,
+        cmp.tls_vp_speedup
+    );
+    println!(
+        "  Spice expected (boundary survival {:.1}%): {:.2}x",
+        cmp.spice_survival * 100.0,
+        cmp.spice_expected_speedup
+    );
+    println!(
+        "  Spice measured on the simulator: {:.2}x",
+        cmp.spice_measured_speedup
+    );
 }

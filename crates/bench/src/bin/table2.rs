@@ -3,14 +3,23 @@ fn main() {
     let small = spice_bench::small_requested();
     let rows = spice_bench::experiments::table2(small).expect("table2");
     println!("Table 2 — benchmark details");
-    println!("{:<12} {:<38} {:<30} {:>8} {:>14} {:>10}", "benchmark", "description", "loop", "hotness", "loop insts/inv", "kernel frac");
+    println!(
+        "{:<12} {:<38} {:<30} {:>8} {:>14} {:>10}",
+        "benchmark", "description", "loop", "hotness", "loop insts/inv", "kernel frac"
+    );
     for r in rows {
         println!(
             "{:<12} {:<38} {:<30} {:>7.0}% {:>14} {:>9.1}%",
-            r.benchmark, r.description, r.loop_name, r.paper_hotness * 100.0,
-            r.measured_loop_instructions, r.measured_kernel_fraction * 100.0
+            r.benchmark,
+            r.description,
+            r.loop_name,
+            r.paper_hotness * 100.0,
+            r.measured_loop_instructions,
+            r.measured_kernel_fraction * 100.0
         );
     }
-    println!("\n(hotness column: whole-application fraction reported by the paper; the surrounding");
+    println!(
+        "\n(hotness column: whole-application fraction reported by the paper; the surrounding"
+    );
     println!(" applications are not reproduced — see DESIGN.md substitutions.)");
 }

@@ -4,11 +4,10 @@
 //! print them. Reduced-size variants (`small = true`) run the same code on
 //! smaller inputs so the whole suite stays test-friendly.
 
-use spice_core::analysis::LoopAnalysis;
+use spice_core::backend::{make_backend_with, BackendChoice, SimBackend};
 use spice_core::baseline::{render_schedule, LoopTimingModel, ScheduleKind};
-use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::pipeline::{predictor_options_with_estimate, run_sequential};
 use spice_core::predictor::PredictorOptions;
-use spice_core::transform::{SpiceOptions, SpiceTransform};
 use spice_core::valuepred::{
     evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
 };
@@ -16,8 +15,8 @@ use spice_ir::interp::LocalSys;
 use spice_profiler::{measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin};
 use spice_sim::{Machine, MachineConfig};
 use spice_workloads::{
-    fig8_corpus, KsConfig, KsWorkload, McfConfig, McfWorkload, OtterConfig, OtterWorkload,
-    SjengConfig, SjengWorkload, SpiceWorkload, Suite,
+    fig8_corpus, run_workload_on, BackendRunSummary, KsConfig, KsWorkload, McfConfig, McfWorkload,
+    OtterConfig, OtterWorkload, SjengConfig, SjengWorkload, SpiceWorkload, Suite,
 };
 
 /// Factory for a fresh instance of one of the paper's four benchmark loops.
@@ -138,7 +137,9 @@ pub struct SpiceRunResult {
     pub invocations: usize,
 }
 
-/// Runs a workload under the Spice transformation with `threads` threads.
+/// Runs a workload under the Spice transformation with `threads` threads on
+/// the cycle-accurate simulator — the Table 1 instantiation of
+/// [`run_workload_backend`].
 ///
 /// # Errors
 ///
@@ -149,60 +150,83 @@ pub fn run_workload_spice(
     threads: usize,
     predictor: PredictorOptions,
 ) -> Result<SpiceRunResult, String> {
-    let built = workload.build();
-    let mut program = built.program;
-    let analysis =
-        LoopAnalysis::analyze_outermost(&program, built.kernel).map_err(|e| e.to_string())?;
-    let spice = SpiceTransform::new(SpiceOptions {
-        threads,
-        predictor,
-    })
-    .apply(&mut program, &analysis)
-    .map_err(|e| e.to_string())?;
-
-    let config = MachineConfig::itanium2_cmp().with_cores(threads);
-    let mut machine = Machine::new(config, program);
-    let mut args = workload.init(machine.mem_mut());
-    let mut options = predictor;
-    if options.initial_work_estimate.is_none() {
-        options = PredictorOptions {
-            initial_work_estimate: Some(workload.expected_iterations()),
-            ..options
-        };
-    }
-    let mut runner = SpiceRunner::new(spice, options);
-    let mut total = 0u64;
-    let mut inv = 0usize;
-    loop {
-        let expected = workload.expected_result(machine.mem());
-        let report = runner
-            .run_invocation(&mut machine, &args)
-            .map_err(|e| format!("{}: {e}", workload.name()))?;
-        if let Some(e) = expected {
-            if report.return_value != Some(e) {
-                return Err(format!(
-                    "{}: Spice run returned {:?}, expected {e} (invocation {inv})",
-                    workload.name(),
-                    report.return_value
-                ));
-            }
-        }
-        total += report.cycles;
-        match workload.next_invocation(machine.mem_mut(), inv) {
-            Some(a) => {
-                args = a;
-                inv += 1;
-            }
-            None => break,
-        }
-    }
-    let stats = runner.stats();
+    let mut backend = SimBackend::new(threads).with_predictor(predictor);
+    let summary = run_workload_on(workload, &mut backend)?;
     Ok(SpiceRunResult {
-        cycles: total,
-        misspeculation_rate: stats.misspeculation_rate(),
-        load_imbalance: stats.load_imbalance(),
-        invocations: stats.invocations(),
+        cycles: u64::try_from(summary.total_cost).unwrap_or(u64::MAX),
+        misspeculation_rate: summary.misspeculation_rate(),
+        load_imbalance: summary.load_imbalance(),
+        invocations: summary.invocations,
     })
+}
+
+/// Runs a workload on any execution backend, selected by value — the
+/// harness-side entry into the shared execution layer.
+///
+/// # Errors
+///
+/// Returns a description of the first failure or result mismatch.
+pub fn run_workload_backend(
+    workload: &mut dyn SpiceWorkload,
+    choice: BackendChoice,
+    threads: usize,
+    predictor: PredictorOptions,
+) -> Result<BackendRunSummary, String> {
+    let mut backend = make_backend_with(choice, threads, predictor);
+    run_workload_on(workload, backend.as_mut())
+}
+
+/// One row of the backend cross-check: the same workload driven over the
+/// timing simulator and the native-thread runtime through the same call
+/// site, with the per-invocation results compared.
+#[derive(Debug, Clone)]
+pub struct CrosscheckRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Thread count used on both backends.
+    pub threads: usize,
+    /// Simulator-side run.
+    pub sim: BackendRunSummary,
+    /// Native-thread run.
+    pub native: BackendRunSummary,
+    /// Whether every invocation returned the same value on both backends.
+    pub agree: bool,
+}
+
+/// Cross-checks the paper's four benchmark loops between the simulator and
+/// the native-thread backend: every invocation of every workload must
+/// compute the same result on both substrates.
+///
+/// # Errors
+///
+/// Returns the first execution failure on either backend.
+pub fn crosscheck(threads: usize) -> Result<Vec<CrosscheckRow>, String> {
+    let mut rows = Vec::new();
+    for (name, factory) in paper_workload_factories(true) {
+        let mut sim_wl = factory();
+        let sim = run_workload_backend(
+            sim_wl.as_mut(),
+            BackendChoice::SimTiny,
+            threads,
+            PredictorOptions::default(),
+        )?;
+        let mut native_wl = factory();
+        let native = run_workload_backend(
+            native_wl.as_mut(),
+            BackendChoice::Native,
+            threads,
+            PredictorOptions::default(),
+        )?;
+        let agree = sim.return_values == native.return_values;
+        rows.push(CrosscheckRow {
+            benchmark: name.to_string(),
+            threads,
+            sim,
+            native,
+            agree,
+        });
+    }
+    Ok(rows)
 }
 
 /// One row of the Figure 7 reproduction.
@@ -274,9 +298,7 @@ pub fn fig7_geomean(rows: &[Fig7Row], threads: usize) -> f64 {
 pub fn format_fig7(rows: &[Fig7Row]) -> String {
     let mut s = String::new();
     s.push_str("Figure 7 — loop speedup over single-threaded execution\n");
-    s.push_str(
-        "benchmark    threads  seq cycles     spice cycles   speedup  misspec  imbalance\n",
-    );
+    s.push_str("benchmark    threads  seq cycles     spice cycles   speedup  misspec  imbalance\n");
     for r in rows {
         s.push_str(&format!(
             "{:<12} {:>7}  {:>12}  {:>13}  {:>6.2}x  {:>6.1}%  {:>8.3}\n",
@@ -552,7 +574,9 @@ pub fn schedules(small: bool) -> Result<ScheduleComparison, String> {
     let inter_core = config.inter_core_latency as f64;
     let mut machine = Machine::new(config, built.program);
     let args = wl.init(machine.mem_mut());
-    machine.spawn(0, built.kernel, &args).map_err(|e| e.to_string())?;
+    machine
+        .spawn(0, built.kernel, &args)
+        .map_err(|e| e.to_string())?;
     let summary = machine.run().map_err(|e| e.to_string())?;
     let iterations = wl.expected_iterations().max(1) as f64;
     let per_iter = summary.cycles as f64 / iterations;
@@ -585,8 +609,7 @@ pub fn schedules(small: bool) -> Result<ScheduleComparison, String> {
             seed: 0x07734,
         });
         let estimate = par.expected_iterations();
-        let result =
-            run_workload_spice(&mut par, 2, predictor_options_with_estimate(estimate))?;
+        let result = run_workload_spice(&mut par, 2, predictor_options_with_estimate(estimate))?;
         seq_cycles as f64 / result.cycles as f64
     };
 
@@ -713,5 +736,19 @@ mod tests {
         let rows = ablation(true).expect("ablation");
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.cycles > 0));
+    }
+
+    #[test]
+    fn crosscheck_backends_agree_on_all_benchmarks() {
+        let rows = crosscheck(4).expect("crosscheck");
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.agree,
+                "{}: sim returned {:?}, native returned {:?}",
+                r.benchmark, r.sim.return_values, r.native.return_values
+            );
+            assert_eq!(r.sim.invocations, r.native.invocations);
+        }
     }
 }

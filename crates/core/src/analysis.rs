@@ -134,7 +134,10 @@ impl LoopAnalysis {
     /// # Errors
     ///
     /// Returns the reason no loop could be analysed.
-    pub fn analyze_outermost(program: &Program, func: FuncId) -> Result<LoopAnalysis, Applicability> {
+    pub fn analyze_outermost(
+        program: &Program,
+        func: FuncId,
+    ) -> Result<LoopAnalysis, Applicability> {
         let f = program.func(func);
         let forest = LoopForest::of(f);
         let top = forest.top_level();
@@ -142,7 +145,7 @@ impl LoopAnalysis {
         for id in top {
             let l = forest.get(id);
             let size = l.blocks.len();
-            if best.map_or(true, |(s, _)| size > s) {
+            if best.is_none_or(|(s, _)| size > s) {
                 best = Some((size, l.header));
             }
         }

@@ -1,0 +1,339 @@
+//! The simulator [`ExecutionBackend`] and backend selection by value.
+//!
+//! [`SimBackend`] packages the whole timing-model path — loop analysis, the
+//! Spice code-generating transformation, a [`Machine`] and a
+//! [`SpiceRunner`] — behind the shared [`ExecutionBackend`] API from
+//! `spice-ir`, so consumers can run a workload on the cycle-accurate Table 1
+//! machine or on real OS threads ([`NativeLoopBackend`]) through one call
+//! site. [`BackendChoice`] / [`make_backend`] are the by-value selector the
+//! workload suite and the experiment harness use.
+
+use spice_ir::exec::{BackendError, ExecutionBackend, ExecutionReport, LoadOptions};
+use spice_ir::interp::FlatMemory;
+use spice_ir::{FuncId, Program};
+use spice_runtime::NativeLoopBackend;
+use spice_sim::{Machine, MachineConfig};
+
+use crate::analysis::LoopAnalysis;
+use crate::pipeline::{PipelineError, SpiceRunner};
+use crate::predictor::PredictorOptions;
+use crate::transform::{SpiceOptions, SpiceTransform};
+
+/// The timing-simulator execution backend: analysis + transformation +
+/// cycle-stepped simulation, carrying the centralized predictor across
+/// invocations.
+#[derive(Debug)]
+pub struct SimBackend {
+    config: MachineConfig,
+    threads: usize,
+    predictor: PredictorOptions,
+    loaded: Option<SimLoaded>,
+}
+
+#[derive(Debug)]
+struct SimLoaded {
+    machine: Machine,
+    runner: SpiceRunner,
+}
+
+impl SimBackend {
+    /// Creates a backend simulating the paper's Table 1 machine with
+    /// `threads` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        SimBackend::with_config(MachineConfig::itanium2_cmp(), threads)
+    }
+
+    /// Creates a backend with the reduced test machine (small caches, short
+    /// latencies) — fast enough for unit tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`.
+    #[must_use]
+    pub fn tiny(threads: usize) -> Self {
+        SimBackend::with_config(MachineConfig::test_tiny(threads), threads)
+    }
+
+    /// Creates a backend simulating an arbitrary machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`.
+    #[must_use]
+    pub fn with_config(config: MachineConfig, threads: usize) -> Self {
+        assert!(threads >= 2, "Spice needs at least two threads");
+        SimBackend {
+            config,
+            threads,
+            predictor: PredictorOptions::default(),
+            loaded: None,
+        }
+    }
+
+    /// Overrides the predictor options (re-memoization, load balancing, …).
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorOptions) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// The runner driving the loaded program, for stats inspection.
+    #[must_use]
+    pub fn runner(&self) -> Option<&SpiceRunner> {
+        self.loaded.as_ref().map(|l| &l.runner)
+    }
+}
+
+impl ExecutionBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn load(
+        &mut self,
+        mut program: Program,
+        kernel: FuncId,
+        options: LoadOptions,
+    ) -> Result<(), BackendError> {
+        let analysis = match options.loop_header {
+            Some(h) => LoopAnalysis::analyze(&program, kernel, h),
+            None => LoopAnalysis::analyze_outermost(&program, kernel),
+        }
+        .map_err(|e| BackendError::Analysis(e.to_string()))?;
+        let mut predictor = self.predictor;
+        if predictor.initial_work_estimate.is_none() {
+            predictor.initial_work_estimate = options.work_estimate;
+        }
+        let spice = SpiceTransform::new(SpiceOptions {
+            threads: self.threads,
+            predictor,
+        })
+        .apply(&mut program, &analysis)
+        .map_err(|e| BackendError::Analysis(e.to_string()))?;
+        // The machine's memory is sized by the program's globals plus the
+        // larger of the machine's own heap reservation and the one the
+        // caller requested — so both backends honor `LoadOptions::heap_words`
+        // and a workload cannot fit on one substrate but not the other.
+        let mut config = self.config.clone().with_cores(self.threads);
+        config.heap_words = config.heap_words.max(options.heap_words);
+        let config = config;
+        let machine = Machine::new(config, program);
+        let runner = SpiceRunner::new(spice, predictor);
+        self.loaded = Some(SimLoaded { machine, runner });
+        Ok(())
+    }
+
+    fn mem(&self) -> &FlatMemory {
+        self.loaded.as_ref().expect("load() first").machine.mem()
+    }
+
+    fn mem_mut(&mut self) -> &mut FlatMemory {
+        self.loaded
+            .as_mut()
+            .expect("load() first")
+            .machine
+            .mem_mut()
+    }
+
+    fn run_invocation(&mut self, args: &[i64]) -> Result<ExecutionReport, BackendError> {
+        let loaded = self.loaded.as_mut().ok_or(BackendError::NotLoaded)?;
+        let report = loaded
+            .runner
+            .run_invocation(&mut loaded.machine, args)
+            .map_err(|e| match e {
+                PipelineError::Sim(s) => BackendError::Engine(s.to_string()),
+                PipelineError::Memory(t) => BackendError::Memory(t),
+            })?;
+
+        let worker_cores: Vec<usize> = loaded
+            .runner
+            .spice()
+            .workers
+            .iter()
+            .map(|w| w.core)
+            .collect();
+        Ok(report.to_execution_report(&worker_cores))
+    }
+}
+
+/// Which execution substrate to run a Spice loop on — selected by value by
+/// the workload suite, the experiment harness and the examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Cycle-accurate Table 1 machine (full latencies).
+    Sim,
+    /// Reduced test machine (fast, for unit tests).
+    SimTiny,
+    /// Native OS threads through the interpreting chunk runtime.
+    Native,
+}
+
+impl BackendChoice {
+    /// Every available backend, for exhaustive cross-checks.
+    #[must_use]
+    pub fn all() -> [BackendChoice; 3] {
+        [
+            BackendChoice::Sim,
+            BackendChoice::SimTiny,
+            BackendChoice::Native,
+        ]
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Sim => f.write_str("sim"),
+            BackendChoice::SimTiny => f.write_str("sim-tiny"),
+            BackendChoice::Native => f.write_str("native"),
+        }
+    }
+}
+
+/// Instantiates the chosen backend with `threads` threads.
+///
+/// # Panics
+///
+/// Panics if `threads < 2`.
+#[must_use]
+pub fn make_backend(choice: BackendChoice, threads: usize) -> Box<dyn ExecutionBackend> {
+    match choice {
+        BackendChoice::Sim => Box::new(SimBackend::new(threads)),
+        BackendChoice::SimTiny => Box::new(SimBackend::tiny(threads)),
+        BackendChoice::Native => Box::new(NativeLoopBackend::new(threads)),
+    }
+}
+
+/// Instantiates the chosen backend with explicit predictor options (the
+/// native backend's predictor is structural, so only the work estimate in
+/// [`LoadOptions`] applies to it).
+#[must_use]
+pub fn make_backend_with(
+    choice: BackendChoice,
+    threads: usize,
+    predictor: PredictorOptions,
+) -> Box<dyn ExecutionBackend> {
+    match choice {
+        BackendChoice::Sim => Box::new(SimBackend::new(threads).with_predictor(predictor)),
+        BackendChoice::SimTiny => Box::new(SimBackend::tiny(threads).with_predictor(predictor)),
+        BackendChoice::Native => Box::new(NativeLoopBackend::new(threads)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_ir::builder::FunctionBuilder;
+    use spice_ir::exec::ExecutionCost;
+    use spice_ir::{BinOp, Operand};
+
+    fn list_min_program(capacity: i64) -> (Program, FuncId, i64) {
+        let mut program = Program::new();
+        let nodes = program.add_global("nodes", capacity * 2);
+        let mut b = FunctionBuilder::new("list_min");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.copy(head);
+        let wm = b.copy(i64::MAX);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let better = b.binop(BinOp::Lt, w, wm);
+        let nw = b.select(better, w, wm);
+        b.copy_into(wm, nw);
+        let nx = b.load(c, 1);
+        b.copy_into(c, nx);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(wm)));
+        let f = program.add_func(b.finish());
+        (program, f, nodes)
+    }
+
+    fn write_list(mem: &mut FlatMemory, base: i64, weights: &[i64]) -> i64 {
+        for (i, w) in weights.iter().enumerate() {
+            let addr = base + 2 * i as i64;
+            let next = if i + 1 < weights.len() { addr + 2 } else { 0 };
+            mem.write(addr, *w).unwrap();
+            mem.write(addr + 1, next).unwrap();
+        }
+        base
+    }
+
+    /// The acceptance demonstration: the same loop, the same driver code,
+    /// two backends, identical results.
+    #[test]
+    fn both_backends_agree_through_one_call_site() {
+        let weights: Vec<i64> = (0..250).map(|i| ((i * 53) % 997) + 1).collect();
+        let expected = *weights.iter().min().unwrap();
+
+        for choice in [BackendChoice::SimTiny, BackendChoice::Native] {
+            let (program, f, nodes) = list_min_program(weights.len() as i64 + 4);
+            let mut backend = make_backend(choice, 4);
+            backend
+                .load(
+                    program,
+                    f,
+                    LoadOptions::new(4096, Some(weights.len() as u64)),
+                )
+                .unwrap();
+            let head = write_list(backend.mem_mut(), nodes, &weights);
+            for inv in 0..3 {
+                let report = backend.run_invocation(&[head]).unwrap();
+                assert_eq!(
+                    report.return_value,
+                    Some(expected),
+                    "{choice} invocation {inv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_backend_reports_cycles_and_workers() {
+        let weights: Vec<i64> = (0..120).map(|i| i + 3).collect();
+        let (program, f, nodes) = list_min_program(weights.len() as i64 + 4);
+        let mut backend = SimBackend::tiny(2);
+        backend
+            .load(
+                program,
+                f,
+                LoadOptions::new(4096, Some(weights.len() as u64)),
+            )
+            .unwrap();
+        let head = write_list(backend.mem_mut(), nodes, &weights);
+        let report = backend.run_invocation(&[head]).unwrap();
+        assert!(matches!(report.cost, ExecutionCost::Cycles(c) if c > 0));
+        assert_eq!(report.workers.len(), 1);
+        assert_eq!(report.work_per_thread.len(), 2);
+        assert_eq!(backend.name(), "sim");
+        assert_eq!(backend.threads(), 2);
+        assert!(backend.runner().is_some());
+    }
+
+    #[test]
+    fn run_before_load_errors() {
+        let mut backend = SimBackend::tiny(2);
+        assert!(matches!(
+            backend.run_invocation(&[0]),
+            Err(BackendError::NotLoaded)
+        ));
+    }
+}

@@ -38,7 +38,10 @@ impl LoopTimingModel {
     /// Panics if any component is negative.
     #[must_use]
     pub fn new(t1: f64, t2: f64, t3: f64) -> Self {
-        assert!(t1 >= 0.0 && t2 >= 0.0 && t3 >= 0.0, "latencies must be non-negative");
+        assert!(
+            t1 >= 0.0 && t2 >= 0.0 && t3 >= 0.0,
+            "latencies must be non-negative"
+        );
         LoopTimingModel { t1, t2, t3 }
     }
 

@@ -18,6 +18,7 @@
 //! | [`valuepred`] | §2.2, §7 | last-value / stride / increment-trace predictors and the Spice memoization criterion, for accuracy comparisons |
 //! | [`baseline`] | §2 | the `t1`/`t2`/`t3` analytic model of TLS with and without value prediction, and schedule rendering for Figures 2/3/5 |
 //! | [`pipeline`] | §5 | invocation-by-invocation execution of a transformed loop on the `spice-sim` machine |
+//! | [`backend`] | — | the simulator [`spice_ir::exec::ExecutionBackend`] and by-value backend selection (sim vs. native threads) |
 //!
 //! ## Quick example
 //!
@@ -81,6 +82,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod backend;
 pub mod baseline;
 pub mod pipeline;
 pub mod predictor;
@@ -88,6 +90,7 @@ pub mod transform;
 pub mod valuepred;
 
 pub use analysis::{Applicability, LoopAnalysis};
+pub use backend::{make_backend, make_backend_with, BackendChoice, SimBackend};
 pub use pipeline::{run_sequential, InvocationReport, PipelineError, SpiceRunner};
 pub use predictor::{HostPredictor, PredictorLayout, PredictorOptions};
 pub use transform::{SpiceOptions, SpiceParallelLoop, SpiceTransform, TransformError};

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use spice_ir::exec::{ExecutionCost, ExecutionReport, MisspeculationCause, WorkerReport};
 use spice_ir::{FuncId, TrapKind};
 use spice_sim::machine::RunSummary;
 use spice_sim::{InvocationStats, Machine, SimError};
@@ -66,6 +67,48 @@ pub struct InvocationReport {
     pub work: Vec<u64>,
     /// Full per-core simulator report.
     pub summary: RunSummary,
+}
+
+impl InvocationReport {
+    /// Converts this simulator-specific report into the backend-neutral
+    /// [`ExecutionReport`] of the shared execution layer. `worker_cores`
+    /// maps worker index to simulated core (from
+    /// [`SpiceParallelLoop::workers`]), used to attribute trap causes.
+    #[must_use]
+    pub fn to_execution_report(&self, worker_cores: &[usize]) -> ExecutionReport {
+        let committed = usize::try_from(self.valid_workers).unwrap_or(usize::MAX);
+        let workers: Vec<WorkerReport> = worker_cores
+            .iter()
+            .enumerate()
+            .map(|(i, &core)| {
+                let commit = i < committed;
+                let cause = if commit {
+                    None
+                } else if let Some(trap) = self.summary.cores.get(core).and_then(|c| c.trapped) {
+                    Some(MisspeculationCause::Fault(trap))
+                } else if i > committed {
+                    Some(MisspeculationCause::SquashCascade)
+                } else {
+                    Some(MisspeculationCause::StalePrediction)
+                };
+                WorkerReport {
+                    committed: commit,
+                    cause,
+                    work: self.work.get(i + 1).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        ExecutionReport {
+            backend: "sim",
+            cost: ExecutionCost::Cycles(self.cycles),
+            return_value: self.return_value,
+            misspeculated: self.misspeculated,
+            committed_chunks: committed.min(worker_cores.len()),
+            squashed_chunks: worker_cores.len().saturating_sub(committed),
+            workers,
+            work_per_thread: self.work.clone(),
+        }
+    }
 }
 
 /// Runs a Spice-transformed loop across invocations, driving the centralized
@@ -251,10 +294,8 @@ mod tests {
 
         let mut machine = Machine::new(MachineConfig::test_tiny(2), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner = SpiceRunner::new(
-            spice,
-            predictor_options_with_estimate(weights.len() as u64),
-        );
+        let mut runner =
+            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
 
         // Several invocations over the same (unchanged) list: after the first
         // one the predictions must hit and the result stays correct.
@@ -295,7 +336,8 @@ mod tests {
         // Sequential baseline.
         let mut m_seq = Machine::new(MachineConfig::test_tiny(1), p_seq);
         let head_seq = build_list(m_seq.mem_mut(), base_seq, &weights);
-        let (seq_cycles, seq_val) = run_sequential(&mut m_seq, f_seq, &[head_seq, out_seq]).unwrap();
+        let (seq_cycles, seq_val) =
+            run_sequential(&mut m_seq, f_seq, &[head_seq, out_seq]).unwrap();
         assert_eq!(seq_val, Some(sequential_min(&weights)));
 
         // Spice with 4 threads.
@@ -305,10 +347,8 @@ mod tests {
             .unwrap();
         let mut machine = Machine::new(MachineConfig::test_tiny(4), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner = SpiceRunner::new(
-            spice,
-            predictor_options_with_estimate(weights.len() as u64),
-        );
+        let mut runner =
+            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
 
         let mut best_cycles = u64::MAX;
         for _ in 0..5 {
@@ -329,7 +369,11 @@ mod tests {
             .work_per_core
             .iter()
             .any(|w| w.iter().filter(|&&x| x > 0).count() >= 3);
-        assert!(spread, "work never spread across cores: {:?}", runner.stats().work_per_core);
+        assert!(
+            spread,
+            "work never spread across cores: {:?}",
+            runner.stats().work_per_core
+        );
     }
 
     #[test]
@@ -345,10 +389,8 @@ mod tests {
 
         let mut machine = Machine::new(MachineConfig::test_tiny(2), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner = SpiceRunner::new(
-            spice,
-            predictor_options_with_estimate(weights.len() as u64),
-        );
+        let mut runner =
+            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
 
         // Warm up so the sva holds a real node address.
         runner

@@ -69,7 +69,11 @@ impl std::fmt::Display for TransformError {
         match self {
             TransformError::NotApplicable(a) => write!(f, "loop not applicable: {a}"),
             TransformError::Verification(errs) => {
-                write!(f, "transformed program failed verification: {} errors", errs.len())
+                write!(
+                    f,
+                    "transformed program failed verification: {} errors",
+                    errs.len()
+                )
             }
         }
     }
@@ -258,6 +262,7 @@ impl SpiceTransform {
 
         // Generate workers from the pristine copy of the main function.
         let mut workers = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for wi in 0..t - 1 {
             let (func, recovery_block) = build_worker(
                 program,
@@ -631,7 +636,11 @@ fn rewrite_main(
         let status = b.recv(w.channels.status);
         b.send(w.channels.command, 1i64);
         for group in liveouts {
-            let tmps: Vec<Reg> = group.regs.iter().map(|_| b.recv(w.channels.liveout)).collect();
+            let tmps: Vec<Reg> = group
+                .regs
+                .iter()
+                .map(|_| b.recv(w.channels.liveout))
+                .collect();
             match &group.kind {
                 CombineKind::Reduction(kind) => {
                     let acc = group.regs[0];

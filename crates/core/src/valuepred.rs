@@ -359,14 +359,7 @@ mod tests {
         assert_eq!(p.name(), "increment-trace");
 
         // The plain stride predictor gets at most one of these right.
-        let inv: InvocationTrace = vec![
-            vec![0],
-            vec![1],
-            vec![11],
-            vec![12],
-            vec![22],
-            vec![23],
-        ];
+        let inv: InvocationTrace = vec![vec![0], vec![1], vec![11], vec![12], vec![22], vec![23]];
         let mut sp = StridePredictor::new();
         let st = evaluate_predictor(&mut sp, &[inv]);
         assert!(st.correct <= 1);

@@ -1,0 +1,481 @@
+//! The execution-backend abstraction: one API over every way of running a
+//! Spice-parallelizable loop.
+//!
+//! The reproduction has two execution substrates — the cycle-accurate timing
+//! simulator (`spice-sim`, driven through the transformation pipeline in
+//! `spice-core`) and the native-OS-thread chunk runtime (`spice-runtime`).
+//! Historically they exposed disjoint APIs (`RunSummary`/`InvocationStats`
+//! vs. `ChunkOutcome`), so every workload, bench and test was hard-wired to
+//! exactly one of them. This module defines the shared seam:
+//!
+//! * [`ExecutionBackend`] — load an IR program once, then run the target
+//!   loop invocation by invocation, with the backend carrying the memoized
+//!   chunk-boundary predictions and load-balancing state across invocations
+//!   (paper Algorithm 2);
+//! * [`ExecutionReport`] — the common per-invocation result: a cost that is
+//!   either simulated cycles or wall time, the return value, committed and
+//!   squashed chunk counts, per-worker mis-speculation causes and per-thread
+//!   work counters;
+//! * [`SpiceLoopSpec`] / [`derive_loop_spec`] — the backend-neutral summary
+//!   of the target loop (header, speculated cursor registers, recognised
+//!   reductions, live-outs) that a backend needs to execute it in chunks.
+//!
+//! Consumers hold a `Box<dyn ExecutionBackend>` and never mention a machine
+//! or a thread pool: `spice_workloads::run_workload_on` drives any workload
+//! over any backend from a single call site.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::interp::FlatMemory;
+use crate::liveness::{loop_live_ins, Liveness};
+use crate::loops::{LoopForest, LoopId};
+use crate::reduction::{detect_reductions, Reduction};
+use crate::types::{BlockId, FuncId, Reg, TrapKind};
+use crate::Program;
+
+/// Backend-neutral description of a Spice-parallelizable loop: everything an
+/// execution backend needs to chunk the iteration space, start speculative
+/// chunks from predicted live-ins, and recombine partial results.
+#[derive(Debug, Clone)]
+pub struct SpiceLoopSpec {
+    /// Function containing the loop.
+    pub func: FuncId,
+    /// The loop's header block — the per-iteration chunk boundary.
+    pub header: BlockId,
+    /// The unique preheader block.
+    pub preheader: BlockId,
+    /// The loop's single exit target block.
+    pub exit_block: BlockId,
+    /// All blocks of the loop, sorted.
+    pub blocks: Vec<BlockId>,
+    /// Loop-carried live-ins that must be value-speculated — the set `S` of
+    /// Algorithm 1 (the "cursor" registers a chunk starts from).
+    pub cursors: Vec<Reg>,
+    /// Recognised reductions (removed from `S` by the reduction
+    /// transformation; combined across chunks at commit time).
+    pub reductions: Vec<Reduction>,
+    /// Invariant live-ins (safe to read from the sequential entry state).
+    pub invariant: Vec<Reg>,
+    /// Registers defined inside the loop that are live after it.
+    pub live_outs: Vec<Reg>,
+}
+
+/// Why a loop cannot be described by a [`SpiceLoopSpec`]. Mirrors the
+/// applicability conditions of the transformation (paper §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The function has no loop (with the requested header).
+    NoSuchLoop,
+    /// The loop has no unique preheader block.
+    NoPreheader,
+    /// The loop exits through more than one edge.
+    MultipleExits,
+    /// Every loop-carried live-in is a reduction; nothing to speculate.
+    NothingToSpeculate,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoSuchLoop => f.write_str("no loop with the requested header"),
+            SpecError::NoPreheader => f.write_str("loop has no unique preheader"),
+            SpecError::MultipleExits => f.write_str("loop has more than one exit edge"),
+            SpecError::NothingToSpeculate => {
+                f.write_str("all loop-carried live-ins are reductions; nothing to speculate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Derives the [`SpiceLoopSpec`] of the loop of `func` whose header is
+/// `header`, or of the largest top-level loop when `header` is `None`.
+///
+/// This bundles the same IR analyses the transformation front-end uses
+/// (natural loops, liveness, reduction detection) so that backends with no
+/// access to the `spice-core` analysis stack — notably the native-thread
+/// runtime — can chunk a loop on their own.
+///
+/// # Errors
+///
+/// Returns the applicability condition that failed.
+pub fn derive_loop_spec(
+    program: &Program,
+    func: FuncId,
+    header: Option<BlockId>,
+) -> Result<SpiceLoopSpec, SpecError> {
+    let f = program.func(func);
+    let cfg = Cfg::new(f);
+    let dom = DomTree::new(&cfg);
+    let forest = LoopForest::new(f, &cfg, &dom);
+    let loop_id: LoopId = match header {
+        Some(h) => forest.loop_with_header(h).ok_or(SpecError::NoSuchLoop)?,
+        None => {
+            let mut best: Option<(usize, LoopId)> = None;
+            for id in forest.top_level() {
+                let size = forest.get(id).blocks.len();
+                if best.is_none_or(|(s, _)| size > s) {
+                    best = Some((size, id));
+                }
+            }
+            best.ok_or(SpecError::NoSuchLoop)?.1
+        }
+    };
+    let l = forest.get(loop_id);
+    let preheader = forest
+        .preheader(loop_id, f, &cfg)
+        .ok_or(SpecError::NoPreheader)?;
+    if l.exits.len() != 1 {
+        return Err(SpecError::MultipleExits);
+    }
+    let exit_block = l.exits[0].1;
+
+    let liveness = Liveness::new(f, &cfg);
+    let live = loop_live_ins(f, &cfg, &liveness, l);
+    let reductions = detect_reductions(f, l, &live);
+    let covered = reductions.covered_regs();
+    let cursors: Vec<Reg> = live
+        .carried
+        .iter()
+        .copied()
+        .filter(|r| !covered.contains(r))
+        .collect();
+    if cursors.is_empty() {
+        return Err(SpecError::NothingToSpeculate);
+    }
+
+    Ok(SpiceLoopSpec {
+        func,
+        header: l.header,
+        preheader,
+        exit_block,
+        blocks: l.blocks_sorted(),
+        cursors,
+        reductions: reductions.reductions,
+        invariant: live.invariant,
+        live_outs: live.live_outs,
+    })
+}
+
+/// What one invocation cost, in the backend's native unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionCost {
+    /// Simulated cycles (timing-model backends).
+    Cycles(u64),
+    /// Wall-clock nanoseconds (native-thread backends).
+    WallNanos(u128),
+}
+
+impl ExecutionCost {
+    /// The raw magnitude, unit discarded — only comparable against costs of
+    /// the same backend.
+    #[must_use]
+    pub fn magnitude(&self) -> u128 {
+        match self {
+            ExecutionCost::Cycles(c) => u128::from(*c),
+            ExecutionCost::WallNanos(n) => *n,
+        }
+    }
+}
+
+/// Why a speculative chunk was squashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisspeculationCause {
+    /// The chunk's starting prediction no longer appeared in the traversal
+    /// (boundary mismatch — the paper's primary squash reason).
+    StalePrediction,
+    /// The chunk trapped while executing (e.g. chased a dangling pointer).
+    Fault(TrapKind),
+    /// An earlier chunk failed, so this chunk's starting point was never
+    /// validated and it was squashed in the cascade.
+    SquashCascade,
+    /// The chunk never ran (no prediction was available yet — e.g. the
+    /// first invocation, before anything was memoized).
+    NoPrediction,
+}
+
+/// Per-worker slice of an [`ExecutionReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Whether the chunk was validated and committed.
+    pub committed: bool,
+    /// Squash cause for uncommitted chunks.
+    pub cause: Option<MisspeculationCause>,
+    /// Iterations (or retired instructions, for timing backends) executed.
+    pub work: u64,
+}
+
+/// The common result of one parallel loop invocation, produced by every
+/// [`ExecutionBackend`].
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Which backend produced this report.
+    pub backend: &'static str,
+    /// Cost of the invocation in the backend's native unit.
+    pub cost: ExecutionCost,
+    /// Return value of the kernel function.
+    pub return_value: Option<i64>,
+    /// Whether any speculative chunk was squashed.
+    pub misspeculated: bool,
+    /// Number of speculative chunks validated and committed.
+    pub committed_chunks: usize,
+    /// Number of speculative chunks squashed.
+    pub squashed_chunks: usize,
+    /// Per-worker outcomes (speculative threads only; the main thread is
+    /// never squashed).
+    pub workers: Vec<WorkerReport>,
+    /// Work executed by each thread, main thread first.
+    pub work_per_thread: Vec<u64>,
+}
+
+impl ExecutionReport {
+    /// Convenience: the per-worker squash causes of this invocation.
+    #[must_use]
+    pub fn misspeculation_causes(&self) -> Vec<MisspeculationCause> {
+        self.workers.iter().filter_map(|w| w.cause).collect()
+    }
+}
+
+/// Mean, over invocations, of the coefficient of variation of per-thread
+/// work — 0 means perfectly balanced chunks. Invocations with fewer than two
+/// active threads are skipped. One definition shared by every backend's
+/// aggregate statistics, so "imbalance" means the same thing in every table.
+#[must_use]
+pub fn work_imbalance(work_per_invocation: &[Vec<u64>]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for inv in work_per_invocation {
+        let active: Vec<f64> = inv.iter().map(|&w| w as f64).filter(|&w| w > 0.0).collect();
+        if active.len() < 2 {
+            continue;
+        }
+        let mean = active.iter().sum::<f64>() / active.len() as f64;
+        if mean == 0.0 {
+            continue;
+        }
+        let var = active.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / active.len() as f64;
+        total += var.sqrt() / mean;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Errors surfaced by an execution backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// `run_invocation` was called before `load`.
+    NotLoaded,
+    /// The target loop cannot be executed by this backend.
+    Spec(SpecError),
+    /// The loop analysis or transformation failed (message from the
+    /// backend's front-end).
+    Analysis(String),
+    /// The underlying engine failed (simulator error, deadlocked thread…).
+    Engine(String),
+    /// A non-speculative memory access trapped.
+    Memory(TrapKind),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::NotLoaded => f.write_str("backend has no loaded program"),
+            BackendError::Spec(e) => write!(f, "loop not chunkable: {e}"),
+            BackendError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            BackendError::Engine(m) => write!(f, "execution failed: {m}"),
+            BackendError::Memory(t) => write!(f, "non-speculative memory access failed: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<SpecError> for BackendError {
+    fn from(e: SpecError) -> Self {
+        BackendError::Spec(e)
+    }
+}
+
+impl From<TrapKind> for BackendError {
+    fn from(t: TrapKind) -> Self {
+        BackendError::Memory(t)
+    }
+}
+
+/// Options for [`ExecutionBackend::load`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoadOptions {
+    /// Heap words to reserve past the program's globals.
+    pub heap_words: usize,
+    /// Header of the target loop; `None` selects the function's largest
+    /// top-level loop.
+    pub loop_header: Option<BlockId>,
+    /// Expected iterations of the first invocation — seeds the load
+    /// balancer so memoization starts immediately (paper Algorithm 2).
+    pub work_estimate: Option<u64>,
+}
+
+impl LoadOptions {
+    /// Options with a heap reservation and a first-invocation estimate.
+    #[must_use]
+    pub fn new(heap_words: usize, work_estimate: Option<u64>) -> Self {
+        LoadOptions {
+            heap_words,
+            loop_header: None,
+            work_estimate,
+        }
+    }
+}
+
+/// One way of executing a Spice loop: the timing simulator, the
+/// native-thread chunk runtime, or anything future PRs add (sharded,
+/// distributed, …).
+///
+/// Lifecycle: [`load`](ExecutionBackend::load) once per program, mutate the
+/// canonical memory through [`mem_mut`](ExecutionBackend::mem_mut) (workload
+/// drivers build their data structures there), then call
+/// [`run_invocation`](ExecutionBackend::run_invocation) per loop invocation.
+/// The backend carries predictions and load-balancing state between
+/// invocations, exactly like the paper's runtime.
+pub trait ExecutionBackend {
+    /// Short stable name ("sim", "native", …) used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Total threads (main + speculative workers) this backend runs with.
+    fn threads(&self) -> usize;
+
+    /// Loads a program and prepares the target loop of `kernel` for chunked
+    /// execution. Resets any predictor state from a previous program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the loop cannot be analysed, chunked,
+    /// or transformed by this backend.
+    fn load(
+        &mut self,
+        program: Program,
+        kernel: FuncId,
+        options: LoadOptions,
+    ) -> Result<(), BackendError>;
+
+    /// The canonical flat memory image. Workload drivers read expected
+    /// results from here between invocations.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called before [`load`](ExecutionBackend::load).
+    fn mem(&self) -> &FlatMemory;
+
+    /// Mutable canonical memory — workload drivers initialize and mutate
+    /// their data structures here between invocations.
+    ///
+    /// # Panics
+    ///
+    /// May panic if called before [`load`](ExecutionBackend::load).
+    fn mem_mut(&mut self) -> &mut FlatMemory;
+
+    /// Runs one invocation of the loaded kernel with `args`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] if the non-speculative execution itself
+    /// fails. Mis-speculation is *not* an error — it is reported in the
+    /// [`ExecutionReport`].
+    fn run_invocation(&mut self, args: &[i64]) -> Result<ExecutionReport, BackendError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, Operand};
+
+    fn list_min_program() -> (Program, FuncId) {
+        let mut program = Program::new();
+        let _nodes = program.add_global("nodes", 64);
+        let mut b = FunctionBuilder::new("list_min");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.copy(head);
+        let wm = b.copy(i64::MAX);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let better = b.binop(BinOp::Lt, w, wm);
+        let nw = b.select(better, w, wm);
+        b.copy_into(wm, nw);
+        let nx = b.load(c, 1);
+        b.copy_into(c, nx);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(wm)));
+        let f = program.add_func(b.finish());
+        (program, f)
+    }
+
+    #[test]
+    fn derive_finds_cursor_and_reduction() {
+        let (p, f) = list_min_program();
+        let spec = derive_loop_spec(&p, f, None).unwrap();
+        assert_eq!(spec.cursors.len(), 1, "one speculated cursor");
+        assert_eq!(spec.reductions.len(), 1, "the min reduction");
+        assert!(!spec.blocks.is_empty());
+        assert_ne!(spec.header, spec.exit_block);
+    }
+
+    #[test]
+    fn derive_rejects_loopless_functions() {
+        let mut b = FunctionBuilder::new("noloop");
+        b.ret(None);
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        assert_eq!(
+            derive_loop_spec(&p, f, None).unwrap_err(),
+            SpecError::NoSuchLoop
+        );
+    }
+
+    #[test]
+    fn report_helpers() {
+        let report = ExecutionReport {
+            backend: "test",
+            cost: ExecutionCost::Cycles(100),
+            return_value: Some(7),
+            misspeculated: true,
+            committed_chunks: 1,
+            squashed_chunks: 1,
+            workers: vec![
+                WorkerReport {
+                    committed: true,
+                    cause: None,
+                    work: 10,
+                },
+                WorkerReport {
+                    committed: false,
+                    cause: Some(MisspeculationCause::StalePrediction),
+                    work: 3,
+                },
+            ],
+            work_per_thread: vec![10, 10, 0],
+        };
+        assert_eq!(report.cost.magnitude(), 100);
+        assert_eq!(
+            report.misspeculation_causes(),
+            vec![MisspeculationCause::StalePrediction]
+        );
+        assert_eq!(ExecutionCost::WallNanos(5).magnitude(), 5);
+    }
+}

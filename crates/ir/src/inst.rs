@@ -343,16 +343,13 @@ impl Terminator {
     /// Rewrites every register mentioned by this terminator through `map`.
     pub fn remap_regs(&mut self, mut map: impl FnMut(Reg) -> Reg) {
         match self {
-            Terminator::CondBr { cond, .. } => {
-                if let Operand::Reg(r) = cond {
-                    *r = map(*r);
-                }
-            }
-            Terminator::Ret { value: Some(op) } => {
-                if let Operand::Reg(r) = op {
-                    *r = map(*r);
-                }
-            }
+            Terminator::CondBr {
+                cond: Operand::Reg(r),
+                ..
+            } => *r = map(*r),
+            Terminator::Ret {
+                value: Some(Operand::Reg(r)),
+            } => *r = map(*r),
             _ => {}
         }
     }

@@ -121,6 +121,21 @@ impl FlatMemory {
         self.heap_next
     }
 
+    /// Moves the allocation cursor — used by backends that mirror this
+    /// memory into another substrate and perform allocations there, so the
+    /// cursor stays consistent across invocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` would move the cursor backwards or out of memory.
+    pub fn set_heap_next(&mut self, addr: i64) {
+        assert!(
+            addr >= self.heap_next && addr as usize <= self.words.len(),
+            "allocation cursor must move forward within memory"
+        );
+        self.heap_next = addr;
+    }
+
     /// Reads a word without going through the [`MemPort`] trait.
     ///
     /// # Errors
@@ -154,6 +169,14 @@ impl FlatMemory {
     pub fn words(&self) -> &[i64] {
         &self.words
     }
+
+    /// Mutable view of all words — used by backends that mirror this memory
+    /// into a different substrate (e.g. the native runtime's shared heap)
+    /// and copy the result back after an invocation.
+    #[must_use]
+    pub fn words_mut(&mut self) -> &mut [i64] {
+        &mut self.words
+    }
 }
 
 impl MemPort for FlatMemory {
@@ -170,9 +193,7 @@ impl MemPort for FlatMemory {
             return Err(TrapKind::OutOfMemory);
         }
         let base = self.heap_next;
-        let end = base
-            .checked_add(words)
-            .ok_or(TrapKind::OutOfMemory)?;
+        let end = base.checked_add(words).ok_or(TrapKind::OutOfMemory)?;
         if end as usize > self.words.len() {
             return Err(TrapKind::OutOfMemory);
         }
@@ -674,7 +695,15 @@ pub fn run_function(
     mem: &mut FlatMemory,
 ) -> Result<RunOutcome, TrapKind> {
     let mut sys = LocalSys::new();
-    run_function_with(program, func, args, mem, &mut sys, DEFAULT_FUEL, |_, _, _| {})
+    run_function_with(
+        program,
+        func,
+        args,
+        mem,
+        &mut sys,
+        DEFAULT_FUEL,
+        |_, _, _| {},
+    )
 }
 
 /// Runs `func` to completion with full control over the system port, fuel
@@ -898,10 +927,7 @@ mod tests {
         let mut mem = FlatMemory::new(64);
         let mut sys = LocalSys::new();
         let mut t = ThreadState::new(&p, f, &[]);
-        assert_eq!(
-            t.step(&p, &mut mem, &mut sys).unwrap(),
-            StepEvent::Blocked
-        );
+        assert_eq!(t.step(&p, &mut mem, &mut sys).unwrap(), StepEvent::Blocked);
         // Still runnable; delivering a value unblocks it.
         sys.send(1, 5);
         assert!(matches!(

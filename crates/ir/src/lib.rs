@@ -22,6 +22,10 @@
 //! * [`interp`] — functional execution: a steppable [`interp::ThreadState`]
 //!   used by the multi-core timing simulator, and single-threaded
 //!   convenience runners used by tests and the value profiler.
+//! * [`exec`] — the [`exec::ExecutionBackend`] abstraction: one API over
+//!   every way of running a Spice loop (timing simulator, native threads),
+//!   with the backend-neutral [`exec::ExecutionReport`] and
+//!   [`exec::SpiceLoopSpec`].
 //! * [`verify`] — structural verification, run after every transformation.
 //!
 //! ## Quick example
@@ -65,6 +69,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod exec;
 mod function;
 mod inst;
 pub mod interp;
@@ -75,6 +80,10 @@ pub mod reduction;
 mod types;
 pub mod verify;
 
+pub use exec::{
+    derive_loop_spec, BackendError, ExecutionBackend, ExecutionCost, ExecutionReport, LoadOptions,
+    MisspeculationCause, SpecError, SpiceLoopSpec, WorkerReport,
+};
 pub use function::{Block, Function, Global, Program, GLOBAL_BASE};
 pub use inst::{Inst, InstClass, Terminator};
 pub use types::{BinOp, BlockId, FuncId, Operand, Reg, TrapKind};

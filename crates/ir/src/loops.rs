@@ -114,10 +114,9 @@ impl LoopForest {
         }
 
         // Nesting: the parent of a loop is the smallest strictly-containing loop.
-        let snapshots: Vec<(BlockId, HashSet<BlockId>)> = loops
-            .iter()
-            .map(|l| (l.header, l.blocks.clone()))
-            .collect();
+        let snapshots: Vec<(BlockId, HashSet<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..loops.len() {
             let mut best: Option<(usize, usize)> = None; // (index, size)
             for (j, (hdr, blocks)) in snapshots.iter().enumerate() {
@@ -129,7 +128,7 @@ impl LoopForest {
                     && loops[i].blocks.is_subset(blocks)
                 {
                     let size = blocks.len();
-                    if best.map_or(true, |(_, s)| size < s) {
+                    if best.is_none_or(|(_, s)| size < s) {
                         best = Some((j, size));
                     }
                 }

@@ -156,11 +156,13 @@ pub fn detect_reductions(func: &Function, l: &Loop, live: &LoopLiveIns) -> Reduc
             } if *dst == acc => {
                 let Some(tdef) = single_def(*t) else { continue };
                 match tdef {
-                    Inst::Binary { op, dst: td, lhs, rhs }
-                        if td == t && op.is_reduction_op() =>
-                    {
-                        let reads_self =
-                            *lhs == Operand::Reg(acc) || *rhs == Operand::Reg(acc);
+                    Inst::Binary {
+                        op,
+                        dst: td,
+                        lhs,
+                        rhs,
+                    } if td == t && op.is_reduction_op() => {
+                        let reads_self = *lhs == Operand::Reg(acc) || *rhs == Operand::Reg(acc);
                         // acc used only in the binop; t used only in the copy.
                         if reads_self
                             && use_count.get(&acc).copied().unwrap_or(0) == 1
@@ -181,7 +183,9 @@ pub fn detect_reductions(func: &Function, l: &Loop, live: &LoopLiveIns) -> Reduc
                         if_true,
                         if_false,
                     } if td == t && *if_false == Operand::Reg(acc) => {
-                        let Some(cdef) = single_def(*cond) else { continue };
+                        let Some(cdef) = single_def(*cond) else {
+                            continue;
+                        };
                         let Inst::Binary { op, lhs, rhs, .. } = cdef else {
                             continue;
                         };
@@ -189,24 +193,16 @@ pub fn detect_reductions(func: &Function, l: &Loop, live: &LoopLiveIns) -> Reduc
                         // selected new value.
                         let x = *if_true;
                         let kind = match (op, lhs, rhs) {
-                            (BinOp::Lt | BinOp::Le, l, r)
-                                if *l == x && *r == Operand::Reg(acc) =>
-                            {
+                            (BinOp::Lt | BinOp::Le, l, r) if *l == x && *r == Operand::Reg(acc) => {
                                 Some(ReductionKind::Min)
                             }
-                            (BinOp::Gt | BinOp::Ge, l, r)
-                                if *l == x && *r == Operand::Reg(acc) =>
-                            {
+                            (BinOp::Gt | BinOp::Ge, l, r) if *l == x && *r == Operand::Reg(acc) => {
                                 Some(ReductionKind::Max)
                             }
-                            (BinOp::Gt | BinOp::Ge, l, r)
-                                if *r == x && *l == Operand::Reg(acc) =>
-                            {
+                            (BinOp::Gt | BinOp::Ge, l, r) if *r == x && *l == Operand::Reg(acc) => {
                                 Some(ReductionKind::Min)
                             }
-                            (BinOp::Lt | BinOp::Le, l, r)
-                                if *r == x && *l == Operand::Reg(acc) =>
-                            {
+                            (BinOp::Lt | BinOp::Le, l, r) if *r == x && *l == Operand::Reg(acc) => {
                                 Some(ReductionKind::Max)
                             }
                             _ => None,
@@ -438,10 +434,7 @@ mod tests {
         b.ret(Some(Operand::Reg(best)));
         let f = b.finish();
         let (reds, _) = analyze(&f);
-        assert_eq!(
-            reds.for_reg(best).map(|r| r.kind),
-            Some(ReductionKind::Max)
-        );
+        assert_eq!(reds.for_reg(best).map(|r| r.kind), Some(ReductionKind::Max));
     }
 
     #[test]

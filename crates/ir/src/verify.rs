@@ -83,7 +83,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "{func}: register {reg} was never allocated")
             }
             VerifyError::UseBeforeDef { func, reg, block } => {
-                write!(f, "{func}: register {reg} may be used before definition in {block}")
+                write!(
+                    f,
+                    "{func}: register {reg} may be used before definition in {block}"
+                )
             }
             VerifyError::UnknownCallee { func, callee } => {
                 write!(f, "{func}: call to unknown function {callee}")
@@ -245,7 +248,10 @@ pub fn verify_program(program: &Program) -> Result<(), Vec<VerifyError>> {
         }
         for block in &func.blocks {
             for inst in &block.insts {
-                if let Inst::Call { func: callee, args, .. } = inst {
+                if let Inst::Call {
+                    func: callee, args, ..
+                } = inst
+                {
                     if callee.index() >= program.funcs.len() {
                         errors.push(VerifyError::UnknownCallee {
                             func: func.name.clone(),
@@ -362,9 +368,14 @@ mod tests {
         p.add_func(mb.finish());
 
         let errs = verify_program(&p).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, VerifyError::CallArityMismatch { expected: 1, passed: 0, .. })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::CallArityMismatch {
+                expected: 1,
+                passed: 0,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -375,9 +386,9 @@ mod tests {
         mb.ret(None);
         p.add_func(mb.finish());
         let errs = verify_program(&p).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, VerifyError::UnknownCallee { callee, .. } if *callee == FuncId(9))));
+        assert!(errs.iter().any(
+            |e| matches!(e, VerifyError::UnknownCallee { callee, .. } if *callee == FuncId(9))
+        ));
     }
 
     #[test]

@@ -159,11 +159,7 @@ impl Analyzer {
             state.sampled_invocations += 1;
             state.total_iterations += state.current.len() as u64;
             if let Some(prev) = &state.previous_signatures {
-                let hits = state
-                    .current
-                    .iter()
-                    .filter(|s| prev.contains(*s))
-                    .count();
+                let hits = state.current.iter().filter(|s| prev.contains(*s)).count();
                 let f = hits as f64 / state.current.len() as f64;
                 if f > self.config.iteration_threshold {
                     state.predictable_invocations += 1;
@@ -180,11 +176,7 @@ impl Analyzer {
         }
         let mut h = DefaultHasher::new();
         values.hash(&mut h);
-        self.sites
-            .entry(site)
-            .or_default()
-            .current
-            .push(h.finish());
+        self.sites.entry(site).or_default().current.push(h.finish());
     }
 
     /// Produces the per-loop verdicts.
@@ -284,7 +276,9 @@ mod tests {
     #[test]
     fn fully_churning_loop_is_unpredictable() {
         let mut a = Analyzer::new(AnalyzerConfig::default());
-        let invs: Vec<Vec<i64>> = (0..4).map(|k| ((k * 100)..(k * 100 + 20)).collect()).collect();
+        let invs: Vec<Vec<i64>> = (0..4)
+            .map(|k| ((k * 100)..(k * 100 + 20)).collect())
+            .collect();
         feed(&mut a, 3, &invs);
         let v = &a.verdicts()[0];
         assert_eq!(v.predictable_invocations, 0);
@@ -301,7 +295,14 @@ mod tests {
         feed(
             &mut a,
             1,
-            &[stable.clone(), stable.clone(), other.clone(), other, stable.clone(), stable],
+            &[
+                stable.clone(),
+                stable.clone(),
+                other.clone(),
+                other,
+                stable.clone(),
+                stable,
+            ],
         );
         let v = &a.verdicts()[0];
         // Predictable transitions: 1->2 (stable), 3->4 (other), 5->6 (stable)
@@ -326,11 +327,26 @@ mod tests {
 
     #[test]
     fn bins_cover_their_ranges() {
-        assert_eq!(PredictabilityBin::from_fraction(0.0), PredictabilityBin::None);
-        assert_eq!(PredictabilityBin::from_fraction(0.1), PredictabilityBin::Low);
-        assert_eq!(PredictabilityBin::from_fraction(0.3), PredictabilityBin::Average);
-        assert_eq!(PredictabilityBin::from_fraction(0.6), PredictabilityBin::Good);
-        assert_eq!(PredictabilityBin::from_fraction(0.9), PredictabilityBin::High);
+        assert_eq!(
+            PredictabilityBin::from_fraction(0.0),
+            PredictabilityBin::None
+        );
+        assert_eq!(
+            PredictabilityBin::from_fraction(0.1),
+            PredictabilityBin::Low
+        );
+        assert_eq!(
+            PredictabilityBin::from_fraction(0.3),
+            PredictabilityBin::Average
+        );
+        assert_eq!(
+            PredictabilityBin::from_fraction(0.6),
+            PredictabilityBin::Good
+        );
+        assert_eq!(
+            PredictabilityBin::from_fraction(0.9),
+            PredictabilityBin::High
+        );
         assert_eq!(PredictabilityBin::High.label(), "high");
     }
 }

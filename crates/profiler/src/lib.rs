@@ -82,8 +82,7 @@ pub fn profile_workload(
 /// instructions of a run that belong to the loop rooted at `header`
 /// (Table 2's "hotness" column, measured the way the paper's instrumenter
 /// selects candidate loops — by dynamic instruction count).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
-#[derive(serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, serde::Deserialize)]
 pub struct HotnessReport {
     /// Instructions retired inside the loop.
     pub loop_instructions: u64,
@@ -139,12 +138,20 @@ pub fn measure_hotness(
     };
     let mut loop_insts: u64 = 0;
     let mut total: u64 = 0;
-    run_function_with(program, func, args, mem, sys, PROFILE_FUEL, |fid, block, _| {
-        total += 1;
-        if fid == func && loop_blocks.contains(&block) {
-            loop_insts += 1;
-        }
-    })?;
+    run_function_with(
+        program,
+        func,
+        args,
+        mem,
+        sys,
+        PROFILE_FUEL,
+        |fid, block, _| {
+            total += 1;
+            if fid == func && loop_blocks.contains(&block) {
+                loop_insts += 1;
+            }
+        },
+    )?;
     Ok(HotnessReport {
         loop_instructions: loop_insts,
         total_instructions: total,
@@ -203,10 +210,20 @@ mod tests {
         let mut mem = FlatMemory::for_program(&built.program, 1 << 20);
         let args = wl.init(&mut mem);
         let mut sys = LocalSys::new();
-        let report =
-            measure_hotness(&built.program, built.kernel, None, &args, &mut mem, &mut sys)
-                .unwrap();
-        assert!(report.fraction() > 0.9, "fraction was {}", report.fraction());
+        let report = measure_hotness(
+            &built.program,
+            built.kernel,
+            None,
+            &args,
+            &mut mem,
+            &mut sys,
+        )
+        .unwrap();
+        assert!(
+            report.fraction() > 0.9,
+            "fraction was {}",
+            report.fraction()
+        );
         assert!(report.total_instructions > report.loop_instructions);
     }
 

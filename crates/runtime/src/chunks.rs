@@ -98,31 +98,7 @@ impl NativeSpiceLoop {
     /// Computes each thread's memoization thresholds `(local threshold, sva
     /// row)` from the last invocation's work distribution.
     fn memo_plan(&self) -> Vec<Vec<(u64, usize)>> {
-        let t = self.threads;
-        let mut plan = vec![Vec::new(); t];
-        let total: u64 = self.last_work.iter().sum();
-        if total == 0 {
-            return plan;
-        }
-        let mut prefix = vec![0u64; t + 1];
-        for i in 0..t {
-            prefix[i + 1] = prefix[i] + self.last_work.get(i).copied().unwrap_or(0);
-        }
-        for k in 1..t {
-            let g = (k as u64 * total) / t as u64;
-            let mut tid = t - 1;
-            for i in 0..t {
-                if self.last_work.get(i).copied().unwrap_or(0) > 0 && g <= prefix[i + 1] {
-                    tid = i;
-                    break;
-                }
-            }
-            plan[tid].push(((g - prefix[tid]).max(1), k - 1));
-        }
-        for p in &mut plan {
-            p.sort_unstable();
-        }
-        plan
+        chunk_memo_plan(&self.last_work, self.threads)
     }
 
     /// Runs one loop invocation starting from `start`, returning the combined
@@ -219,11 +195,52 @@ impl NativeSpiceLoop {
     }
 }
 
+/// The centralized half of the load balancer (paper Algorithm 2): given the
+/// per-thread work distribution of the previous invocation, computes for
+/// every thread the list of `(local iteration threshold, prediction row)`
+/// pairs at which it should memoize its live-in values, so the next
+/// invocation's chunk boundaries split the iteration space evenly.
+///
+/// Shared by [`NativeSpiceLoop`] (kernel-based chunks) and the IR-level
+/// [`NativeLoopBackend`](crate::ir_backend::NativeLoopBackend).
+#[must_use]
+pub fn chunk_memo_plan(last_work: &[u64], threads: usize) -> Vec<Vec<(u64, usize)>> {
+    let t = threads;
+    let mut plan = vec![Vec::new(); t];
+    let total: u64 = last_work.iter().sum();
+    if total == 0 {
+        return plan;
+    }
+    let mut prefix = vec![0u64; t + 1];
+    for i in 0..t {
+        prefix[i + 1] = prefix[i] + last_work.get(i).copied().unwrap_or(0);
+    }
+    for k in 1..t {
+        let g = (k as u64 * total) / t as u64;
+        let mut tid = t - 1;
+        for i in 0..t {
+            if last_work.get(i).copied().unwrap_or(0) > 0 && g <= prefix[i + 1] {
+                tid = i;
+                break;
+            }
+        }
+        plan[tid].push(((g - prefix[tid]).max(1), k - 1));
+    }
+    for p in &mut plan {
+        p.sort_unstable();
+    }
+    plan
+}
+
+/// Predictor feedback gathered inside the thread scope: memoized `(row,
+/// cursor)` pairs and the per-thread work distribution.
+type ChunkFeedback = (Vec<(usize, i64)>, Vec<u64>);
+
 /// Internal carrier pairing an outcome with the predictor feedback gathered
 /// inside the thread scope.
 struct OutcomeWithFeedback<A> {
     outcome: ChunkOutcome<A>,
-    feedback: Option<(Vec<(usize, i64)>, Vec<u64>)>,
+    feedback: Option<ChunkFeedback>,
 }
 
 impl<A> ChunkOutcome<A> {
@@ -387,11 +404,7 @@ mod tests {
         for _ in 0..4 {
             let out = exec.run_invocation(&heap, &ListMin, head);
             assert_eq!(out.acc, expected);
-            let active = out
-                .iterations_per_thread
-                .iter()
-                .filter(|&&n| n > 0)
-                .count();
+            let active = out.iterations_per_thread.iter().filter(|&&n| n > 0).count();
             if active >= 3 && !out.misspeculated {
                 saw_parallel = true;
             }
@@ -421,11 +434,7 @@ mod tests {
     fn build_list_stride3(heap: &mut SharedHeap, base: i64, weights: &[i64]) -> i64 {
         for (i, w) in weights.iter().enumerate() {
             let addr = base + 3 * i as i64;
-            let next = if i + 1 < weights.len() {
-                addr + 3
-            } else {
-                0
-            };
+            let next = if i + 1 < weights.len() { addr + 3 } else { 0 };
             heap.fill(addr, &[*w, next, 0]);
         }
         base

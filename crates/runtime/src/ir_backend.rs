@@ -1,0 +1,986 @@
+//! The native-thread [`ExecutionBackend`]: Spice chunked execution of an
+//! *unmodified* IR loop on real OS threads.
+//!
+//! Where the simulator backend runs the code-generated transformation
+//! (worker functions, channels, resteers) on simulated cores, this backend
+//! realizes the same execution model interpretively: every thread steps a
+//! [`ThreadState`] over the **original** kernel function, the speculative
+//! workers are teleported to the loop header with their cursor registers set
+//! to the live-in values memoized during the previous invocation, and the
+//! main thread validates and commits their buffered stores in thread order —
+//! the paper's Figures 4/5 with the interpreter standing in for hardware.
+//!
+//! Memory follows the `spice-runtime` speculation contract: the canonical
+//! [`FlatMemory`] image is mirrored into a [`SharedHeap`] per invocation,
+//! workers buffer writes in [`SpecView`]s, only validated buffers are
+//! committed, and the heap is copied back afterwards so workload drivers see
+//! one coherent memory between invocations.
+//!
+//! Chunk boundaries, squash recovery and the load balancer are the same
+//! protocol as [`chunks`](crate::chunks) (immediate hand-off on matching
+//! start, ordered commit, [`chunk_memo_plan`] thresholds); the difference is
+//! that a "chunk" here is a slice of the *source loop's* iteration space
+//! rather than of a hand-written [`ChunkKernel`](crate::chunks::ChunkKernel).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use spice_ir::exec::{
+    derive_loop_spec, BackendError, ExecutionBackend, ExecutionCost, ExecutionReport, LoadOptions,
+    MisspeculationCause, SpiceLoopSpec, WorkerReport,
+};
+use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState};
+use spice_ir::reduction::ReductionKind;
+use spice_ir::{BlockId, FuncId, InstClass, Program, Reg, TrapKind};
+
+use crate::chunks::chunk_memo_plan;
+use crate::heap::{SharedHeap, SpecView};
+
+/// Default per-thread interpreter step budget per invocation. A stale
+/// prediction can send a speculative chunk on an unbounded walk (the paper's
+/// "loop forever" case); the budget bounds it when the squash flag cannot.
+const DEFAULT_STEP_BUDGET: u64 = 200_000_000;
+
+/// How often (in steps) a worker polls its squash flag between header
+/// arrivals — inner loops (e.g. mcf's climb) may not pass the header for a
+/// while.
+const SQUASH_POLL_INTERVAL: u64 = 1024;
+
+/// Spice execution of IR loops on native OS threads, behind the shared
+/// [`ExecutionBackend`] API.
+#[derive(Debug)]
+pub struct NativeLoopBackend {
+    threads: usize,
+    step_budget: u64,
+    loaded: Option<Loaded>,
+}
+
+#[derive(Debug)]
+struct Loaded {
+    program: Program,
+    kernel: FuncId,
+    spec: SpiceLoopSpec,
+    mem: FlatMemory,
+    /// Memoized chunk-start live-ins, one row per speculative worker, one
+    /// value per cursor register.
+    predictions: Vec<Vec<i64>>,
+    /// Per-thread iteration counts of the previous invocation (main first),
+    /// feeding the load balancer.
+    last_work: Vec<u64>,
+}
+
+impl NativeLoopBackend {
+    /// Creates a backend running `threads` OS threads (one non-speculative
+    /// main + `threads - 1` speculative workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2`.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "Spice needs at least two threads");
+        NativeLoopBackend {
+            threads,
+            step_budget: DEFAULT_STEP_BUDGET,
+            loaded: None,
+        }
+    }
+
+    /// Overrides the per-thread interpreter step budget.
+    #[must_use]
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = steps;
+        self
+    }
+
+    /// Current chunk-boundary predictions (one row per worker), for tests
+    /// and diagnostics.
+    #[must_use]
+    pub fn predictions(&self) -> Option<&[Vec<i64>]> {
+        self.loaded.as_ref().map(|l| l.predictions.as_slice())
+    }
+}
+
+impl ExecutionBackend for NativeLoopBackend {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn load(
+        &mut self,
+        program: Program,
+        kernel: FuncId,
+        options: LoadOptions,
+    ) -> Result<(), BackendError> {
+        let spec = derive_loop_spec(&program, kernel, options.loop_header)?;
+        let mem = FlatMemory::for_program(&program, options.heap_words.max(1024));
+        let width = spec.cursors.len();
+        let mut last_work = Vec::new();
+        if let Some(estimate) = options.work_estimate {
+            last_work = vec![0; self.threads];
+            last_work[0] = estimate;
+        }
+        self.loaded = Some(Loaded {
+            program,
+            kernel,
+            spec,
+            mem,
+            predictions: vec![vec![0; width]; self.threads - 1],
+            last_work,
+        });
+        Ok(())
+    }
+
+    fn mem(&self) -> &FlatMemory {
+        &self.loaded.as_ref().expect("load() first").mem
+    }
+
+    fn mem_mut(&mut self) -> &mut FlatMemory {
+        &mut self.loaded.as_mut().expect("load() first").mem
+    }
+
+    fn run_invocation(&mut self, args: &[i64]) -> Result<ExecutionReport, BackendError> {
+        let budget = self.step_budget;
+        let threads = self.threads;
+        let loaded = self.loaded.as_mut().ok_or(BackendError::NotLoaded)?;
+        let workers = threads - 1;
+
+        let mut heap = SharedHeap::from_words(loaded.mem.words());
+        let memo_plan = chunk_memo_plan(&loaded.last_work, threads);
+        let squash: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
+        let predictions = loaded.predictions.clone();
+        let program = &loaded.program;
+        let kernel = loaded.kernel;
+        let spec = &loaded.spec;
+        let alloc_base = loaded.mem.heap_next();
+
+        // Time the chunked execution only: the memory mirroring above/below
+        // is backend plumbing, not part of the loop's parallel runtime.
+        let started = Instant::now();
+        let outcome: Result<Invocation, BackendError> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for wi in 0..workers {
+                let start = predictions[wi].clone();
+                let successor = predictions.get(wi + 1).cloned();
+                let plan = memo_plan[wi + 1].clone();
+                let flag = &squash[wi];
+                let heap_ref = &heap;
+                let spawn_args = args;
+                if start.iter().all(|&v| v == 0) {
+                    handles.push(None);
+                    continue;
+                }
+                handles.push(Some(scope.spawn(move || {
+                    run_worker_chunk(
+                        program, kernel, spec, spawn_args, heap_ref, &start, successor, flag,
+                        &plan, budget,
+                    )
+                })));
+            }
+
+            // Main (non-speculative) chunk on the calling thread, stopping at
+            // the first worker's predicted boundary.
+            let boundary = predictions
+                .first()
+                .filter(|p| workers > 0 && p.iter().any(|&v| v != 0))
+                .cloned();
+            let mut port = DirectPort {
+                heap: &heap,
+                alloc_next: alloc_base,
+            };
+            let mut main = run_main_chunk(
+                program,
+                kernel,
+                spec,
+                args,
+                &mut port,
+                boundary,
+                &memo_plan[0],
+                budget,
+            )?;
+
+            // Ordered validation and commit (paper §3: the main thread is the
+            // only committer, one chunk at a time, in thread order).
+            let mut committed = 0usize;
+            let mut still_valid = main.matched;
+            let mut end_reached = false;
+            let mut resume_finals: Option<Vec<(Reg, i64)>> = None;
+            let mut reports = Vec::with_capacity(workers);
+            let mut work = vec![main.iterations];
+            let mut memos = main.memos;
+            // Registers whose resume values come from reduction combining,
+            // not from copying the last committed chunk's state.
+            let combined_regs: Vec<Reg> = spec
+                .reductions
+                .iter()
+                .flat_map(|r| std::iter::once(r.reg).chain(r.payloads.iter().copied()))
+                .collect();
+
+            for (wi, handle) in handles.into_iter().enumerate() {
+                let Some(handle) = handle else {
+                    reports.push(WorkerReport {
+                        committed: false,
+                        cause: Some(MisspeculationCause::NoPrediction),
+                        work: 0,
+                    });
+                    work.push(0);
+                    still_valid = false;
+                    continue;
+                };
+                if !still_valid || end_reached {
+                    // The chain is broken: flag every not-yet-joined worker at
+                    // once, so they all stop at their next poll instead of
+                    // winding down serially as the join loop reaches them.
+                    for flag in &squash[wi..] {
+                        flag.store(true, Ordering::Release);
+                    }
+                }
+                let result = handle.join().expect("worker thread panicked");
+                let valid = still_valid
+                    && !end_reached
+                    && result.fault.is_none()
+                    && (result.matched || result.reached_exit);
+                if valid {
+                    for (addr, value) in &result.writes {
+                        // SAFETY: ordered commit — one worker at a time, by
+                        // the main thread, after every worker stopped writing
+                        // (`SpecPort` bounds-checks each buffered address).
+                        unsafe { heap.write(*addr, *value) };
+                    }
+                    combine_reductions(spec, &mut main.state, &result.finals);
+                    memos.extend(result.memos.iter().cloned());
+                    work.push(result.iterations);
+                    committed += 1;
+                    end_reached = result.reached_exit;
+                    still_valid = result.matched || result.reached_exit;
+                    resume_finals = Some(result.finals);
+                    reports.push(WorkerReport {
+                        committed: true,
+                        cause: None,
+                        work: result.iterations,
+                    });
+                } else {
+                    let cause = if !still_valid || end_reached {
+                        MisspeculationCause::SquashCascade
+                    } else {
+                        result.fault.unwrap_or(MisspeculationCause::StalePrediction)
+                    };
+                    still_valid = false;
+                    work.push(0);
+                    reports.push(WorkerReport {
+                        committed: false,
+                        cause: Some(cause),
+                        work: result.iterations,
+                    });
+                }
+            }
+
+            // Resume the main thread: on success from the terminal state of
+            // the last committed chunk; after a squash from the first
+            // non-validated boundary (which the last valid chunk reached
+            // itself, so it is a genuine traversal point).
+            let return_value = if let Some(v) = main.finished {
+                v
+            } else {
+                if let Some(finals) = &resume_finals {
+                    for (reg, value) in finals {
+                        if !combined_regs.contains(reg) {
+                            main.state.set_reg(*reg, *value);
+                        }
+                    }
+                }
+                // Resume through the same port, so allocations made during
+                // the main chunk are not handed out a second time.
+                let (value, extra_iterations) =
+                    finish_main(program, spec, &mut main.state, &mut port, budget)?;
+                work[0] += extra_iterations;
+                value
+            };
+
+            Ok(Invocation {
+                return_value,
+                committed,
+                reports,
+                work,
+                memos,
+                alloc_next: port.alloc_next,
+            })
+        });
+        let outcome = outcome?;
+        let elapsed = started.elapsed();
+
+        // Publish the invocation's memory effects and predictor feedback.
+        loaded.mem.words_mut().copy_from_slice(heap.words_mut());
+        loaded.mem.set_heap_next(outcome.alloc_next);
+        for (row, cursors) in outcome.memos {
+            if row < loaded.predictions.len() {
+                loaded.predictions[row] = cursors;
+            }
+        }
+        loaded.last_work = outcome.work.clone();
+
+        Ok(ExecutionReport {
+            backend: "native",
+            cost: ExecutionCost::WallNanos(elapsed.as_nanos()),
+            return_value: outcome.return_value,
+            misspeculated: outcome.committed < workers,
+            committed_chunks: outcome.committed,
+            squashed_chunks: workers - outcome.committed,
+            workers: outcome.reports,
+            work_per_thread: outcome.work,
+        })
+    }
+}
+
+/// Result of one invocation, gathered inside the thread scope.
+struct Invocation {
+    return_value: Option<i64>,
+    committed: usize,
+    reports: Vec<WorkerReport>,
+    work: Vec<u64>,
+    memos: Vec<(usize, Vec<i64>)>,
+    /// The main port's allocation cursor after the invocation, persisted
+    /// into the canonical memory so `alloc` addresses never repeat.
+    alloc_next: i64,
+}
+
+/// A worker's view of its chunk after it stopped.
+struct WorkerChunk {
+    /// The chunk ended on its successor's predicted boundary.
+    matched: bool,
+    /// The chunk ran the loop to its natural exit.
+    reached_exit: bool,
+    /// Why the chunk is invalid, if it faulted.
+    fault: Option<MisspeculationCause>,
+    iterations: u64,
+    memos: Vec<(usize, Vec<i64>)>,
+    writes: Vec<(i64, i64)>,
+    /// Final values of the spec-relevant registers (cursors, reductions,
+    /// payloads, live-outs) at the stop point.
+    finals: Vec<(Reg, i64)>,
+}
+
+/// The main thread's chunk: its paused (or finished) interpreter state.
+struct MainChunk {
+    state: ThreadState,
+    /// Set when the function returned before reaching the boundary.
+    finished: Option<Option<i64>>,
+    matched: bool,
+    iterations: u64,
+    memos: Vec<(usize, Vec<i64>)>,
+}
+
+/// Non-speculative port: reads and writes go straight to the shared heap
+/// (the main thread is the only direct writer during an invocation).
+struct DirectPort<'h> {
+    heap: &'h SharedHeap,
+    alloc_next: i64,
+}
+
+impl MemPort for DirectPort<'_> {
+    fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
+        self.heap
+            .read(addr)
+            .ok_or(TrapKind::OutOfBoundsAccess { addr })
+    }
+
+    fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
+        if addr < 0 || addr as usize >= self.heap.len() {
+            return Err(TrapKind::OutOfBoundsAccess { addr });
+        }
+        // SAFETY: Spice protocol — the main thread is the single
+        // non-speculative writer while workers only read or buffer.
+        unsafe { self.heap.write(addr, value) };
+        Ok(())
+    }
+
+    fn alloc(&mut self, words: i64) -> Result<i64, TrapKind> {
+        if words < 0 {
+            return Err(TrapKind::OutOfMemory);
+        }
+        let base = self.alloc_next;
+        let end = base.checked_add(words).ok_or(TrapKind::OutOfMemory)?;
+        if end as usize > self.heap.len() {
+            return Err(TrapKind::OutOfMemory);
+        }
+        self.alloc_next = end;
+        Ok(base)
+    }
+}
+
+/// Speculative port: reads prefer the thread's own buffered writes, writes
+/// are buffered (bounds-checked now so the later commit cannot fault).
+struct SpecPort<'h> {
+    view: SpecView<'h>,
+    heap_len: usize,
+}
+
+impl MemPort for SpecPort<'_> {
+    fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
+        self.view
+            .read(addr)
+            .ok_or(TrapKind::OutOfBoundsAccess { addr })
+    }
+
+    fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
+        if addr < 0 || addr as usize >= self.heap_len {
+            return Err(TrapKind::OutOfBoundsAccess { addr });
+        }
+        self.view.write(addr, value);
+        Ok(())
+    }
+
+    fn alloc(&mut self, _words: i64) -> Result<i64, TrapKind> {
+        // Speculative allocation is unsupported; the chunk squashes.
+        Err(TrapKind::OutOfMemory)
+    }
+}
+
+/// System port for untransformed kernels: they contain no channel or
+/// speculation intrinsics, so everything is inert. A `Recv` (which would
+/// block forever) surfaces as [`StepEvent::Blocked`] and the caller treats
+/// it as a fault.
+struct NopSys;
+
+impl SysPort for NopSys {
+    fn send(&mut self, _chan: i64, _value: i64) {}
+    fn try_recv(&mut self, _chan: i64) -> Option<i64> {
+        None
+    }
+    fn resteer(&mut self, _core: i64, _target: BlockId) {}
+}
+
+/// Steps `state` until it next *arrives* at `block` (enters it through a
+/// branch). Returns `Ok(None)` on arrival, `Ok(Some(v))` if the function
+/// finished first, `Err` on trap/block/budget-exhaustion.
+fn step_to_block_arrival(
+    program: &Program,
+    state: &mut ThreadState,
+    mem: &mut dyn MemPort,
+    sys: &mut dyn SysPort,
+    block: BlockId,
+    steps_left: &mut u64,
+) -> Result<Option<Option<i64>>, TrapKind> {
+    loop {
+        if *steps_left == 0 {
+            return Err(TrapKind::OutOfFuel);
+        }
+        *steps_left -= 1;
+        match state.step(program, mem, sys)? {
+            StepEvent::Executed(info) => {
+                if info.class == InstClass::Branch && state.current_block() == block {
+                    return Ok(None);
+                }
+            }
+            StepEvent::Finished(v) => return Ok(Some(v)),
+            StepEvent::Halted => return Ok(Some(None)),
+            StepEvent::Blocked => return Err(TrapKind::UnsupportedIntrinsic),
+        }
+    }
+}
+
+/// Snapshot of the spec-relevant registers of a stopped chunk.
+fn snapshot_finals(spec: &SpiceLoopSpec, state: &ThreadState) -> Vec<(Reg, i64)> {
+    let mut regs: Vec<Reg> = spec.cursors.clone();
+    regs.extend(spec.live_outs.iter().copied());
+    for r in &spec.reductions {
+        regs.push(r.reg);
+        regs.extend(r.payloads.iter().copied());
+    }
+    regs.sort_unstable();
+    regs.dedup();
+    regs.into_iter().map(|r| (r, state.reg(r))).collect()
+}
+
+fn cursor_values(spec: &SpiceLoopSpec, state: &ThreadState) -> Vec<i64> {
+    spec.cursors.iter().map(|&r| state.reg(r)).collect()
+}
+
+/// Runs one speculative worker chunk: teleport to the header with the
+/// predicted cursors, iterate until the successor's boundary, the loop's
+/// natural exit, a fault, or a squash.
+#[allow(clippy::too_many_arguments)]
+fn run_worker_chunk(
+    program: &Program,
+    kernel: FuncId,
+    spec: &SpiceLoopSpec,
+    args: &[i64],
+    heap: &SharedHeap,
+    start: &[i64],
+    successor: Option<Vec<i64>>,
+    squash: &AtomicBool,
+    memo_plan: &[(u64, usize)],
+    budget: u64,
+) -> WorkerChunk {
+    let mut state = ThreadState::new(program, kernel, args);
+    let mut port = SpecPort {
+        view: SpecView::new(heap),
+        heap_len: heap.len(),
+    };
+    let mut sys = NopSys;
+    let mut steps = budget;
+    let fault =
+        |cause: MisspeculationCause, iterations, memos, port: SpecPort<'_>, state: &ThreadState| {
+            WorkerChunk {
+                matched: false,
+                reached_exit: false,
+                fault: Some(cause),
+                iterations,
+                memos,
+                writes: port.view.into_writes(),
+                finals: snapshot_finals(spec, state),
+            }
+        };
+
+    // Reach the loop header once through the function's own entry code
+    // (binds invariant live-ins), then teleport into the chunk.
+    match step_to_block_arrival(
+        program,
+        &mut state,
+        &mut port,
+        &mut sys,
+        spec.header,
+        &mut steps,
+    ) {
+        Ok(None) => {}
+        Ok(Some(_)) | Err(_) => {
+            return fault(
+                MisspeculationCause::Fault(TrapKind::UnsupportedIntrinsic),
+                0,
+                Vec::new(),
+                port,
+                &state,
+            );
+        }
+    }
+    for (reg, value) in spec.cursors.iter().zip(start) {
+        state.set_reg(*reg, *value);
+    }
+    for r in &spec.reductions {
+        state.set_reg(r.reg, r.kind.identity());
+    }
+    // Entry/preheader code belongs to the main thread's execution; any stores
+    // it made were buffered above only to keep this thread's reads coherent.
+    // Drop them so a validated chunk commits loop-body stores exclusively —
+    // otherwise every worker would replay pre-loop stores over values the
+    // main thread wrote later in the invocation.
+    port.view = SpecView::new(heap);
+
+    let successor_active = successor
+        .as_ref()
+        .is_some_and(|s| s.iter().any(|&v| v != 0));
+    let mut iterations: u64 = 0;
+    let mut memo_idx = 0usize;
+    let mut memos = Vec::new();
+    let mut since_poll: u64 = 0;
+    loop {
+        // Boundary checks, on every header arrival.
+        let cur = cursor_values(spec, &state);
+        if successor_active {
+            let succ = successor.as_ref().expect("active successor");
+            if cur == *succ && (iterations > 0 || start == succ.as_slice()) {
+                return WorkerChunk {
+                    matched: true,
+                    reached_exit: false,
+                    fault: None,
+                    iterations,
+                    memos,
+                    writes: port.view.into_writes(),
+                    finals: snapshot_finals(spec, &state),
+                };
+            }
+        }
+        if squash.load(Ordering::Acquire) {
+            return fault(
+                MisspeculationCause::SquashCascade,
+                iterations,
+                memos,
+                port,
+                &state,
+            );
+        }
+        if memo_idx < memo_plan.len() && iterations >= memo_plan[memo_idx].0 {
+            // Never memoize the exit sentinel (all-zero cursors): a chunk
+            // cannot start from "done", and an all-zero row doubles as the
+            // no-prediction marker. Skipping keeps the row's previous value,
+            // like the kernel-based runtime, which stops before memoizing 0.
+            if cur.iter().any(|&v| v != 0) {
+                memos.push((memo_plan[memo_idx].1, cur));
+            }
+            memo_idx += 1;
+        }
+
+        // One iteration: step until the next header arrival (or the exit).
+        loop {
+            if steps == 0 {
+                return fault(
+                    MisspeculationCause::Fault(TrapKind::OutOfFuel),
+                    iterations,
+                    memos,
+                    port,
+                    &state,
+                );
+            }
+            steps -= 1;
+            since_poll += 1;
+            if since_poll >= SQUASH_POLL_INTERVAL {
+                since_poll = 0;
+                if squash.load(Ordering::Acquire) {
+                    return fault(
+                        MisspeculationCause::SquashCascade,
+                        iterations,
+                        memos,
+                        port,
+                        &state,
+                    );
+                }
+            }
+            match state.step(program, &mut port, &mut sys) {
+                Ok(StepEvent::Executed(info)) => {
+                    if info.class == InstClass::Branch {
+                        if state.current_block() == spec.exit_block {
+                            // The loop genuinely ended inside this chunk; the
+                            // main thread executes the exit code itself.
+                            return WorkerChunk {
+                                matched: false,
+                                reached_exit: true,
+                                fault: None,
+                                iterations: iterations + 1,
+                                memos,
+                                writes: port.view.into_writes(),
+                                finals: snapshot_finals(spec, &state),
+                            };
+                        }
+                        if state.current_block() == spec.header {
+                            iterations += 1;
+                            break;
+                        }
+                    }
+                }
+                Ok(StepEvent::Finished(_)) | Ok(StepEvent::Halted) => {
+                    return fault(
+                        MisspeculationCause::Fault(TrapKind::UnsupportedIntrinsic),
+                        iterations,
+                        memos,
+                        port,
+                        &state,
+                    );
+                }
+                Ok(StepEvent::Blocked) => {
+                    return fault(
+                        MisspeculationCause::Fault(TrapKind::UnsupportedIntrinsic),
+                        iterations,
+                        memos,
+                        port,
+                        &state,
+                    );
+                }
+                Err(trap) => {
+                    return fault(
+                        MisspeculationCause::Fault(trap),
+                        iterations,
+                        memos,
+                        port,
+                        &state,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs the main thread's chunk up to the first worker's predicted boundary
+/// (or to completion when there is none / it is never reached).
+#[allow(clippy::too_many_arguments)]
+fn run_main_chunk(
+    program: &Program,
+    kernel: FuncId,
+    spec: &SpiceLoopSpec,
+    args: &[i64],
+    port: &mut DirectPort<'_>,
+    boundary: Option<Vec<i64>>,
+    memo_plan: &[(u64, usize)],
+    budget: u64,
+) -> Result<MainChunk, BackendError> {
+    let mut state = ThreadState::new(program, kernel, args);
+    let mut sys = NopSys;
+    let mut steps = budget;
+
+    match step_to_block_arrival(program, &mut state, port, &mut sys, spec.header, &mut steps) {
+        Ok(None) => {}
+        Ok(Some(v)) => {
+            return Ok(MainChunk {
+                state,
+                finished: Some(v),
+                matched: false,
+                iterations: 0,
+                memos: Vec::new(),
+            })
+        }
+        Err(trap) => return Err(engine_trap(trap)),
+    }
+
+    let start = cursor_values(spec, &state);
+    let boundary_active = boundary.as_ref().is_some_and(|b| b.iter().any(|&v| v != 0));
+    let mut iterations: u64 = 0;
+    let mut memo_idx = 0usize;
+    let mut memos = Vec::new();
+    loop {
+        let cur = cursor_values(spec, &state);
+        if boundary_active {
+            let b = boundary.as_ref().expect("active boundary");
+            if cur == *b && (iterations > 0 || start == *b) {
+                return Ok(MainChunk {
+                    state,
+                    finished: None,
+                    matched: true,
+                    iterations,
+                    memos,
+                });
+            }
+        }
+        if memo_idx < memo_plan.len() && iterations >= memo_plan[memo_idx].0 {
+            // See run_worker_chunk: the all-zero exit sentinel is never a
+            // valid chunk start, so it is never memoized.
+            if cur.iter().any(|&v| v != 0) {
+                memos.push((memo_plan[memo_idx].1, cur));
+            }
+            memo_idx += 1;
+        }
+        match step_to_block_arrival(program, &mut state, port, &mut sys, spec.header, &mut steps) {
+            Ok(None) => iterations += 1,
+            Ok(Some(v)) => {
+                return Ok(MainChunk {
+                    state,
+                    finished: Some(v),
+                    matched: false,
+                    iterations,
+                    memos,
+                })
+            }
+            Err(trap) => return Err(engine_trap(trap)),
+        }
+    }
+}
+
+/// Runs the (already repositioned) main thread to completion, counting the
+/// additional loop iterations it executes.
+fn finish_main(
+    program: &Program,
+    spec: &SpiceLoopSpec,
+    state: &mut ThreadState,
+    port: &mut DirectPort<'_>,
+    budget: u64,
+) -> Result<(Option<i64>, u64), BackendError> {
+    let mut sys = NopSys;
+    let mut steps = budget;
+    let mut iterations: u64 = 0;
+    loop {
+        if steps == 0 {
+            return Err(engine_trap(TrapKind::OutOfFuel));
+        }
+        steps -= 1;
+        match state.step(program, port, &mut sys) {
+            Ok(StepEvent::Executed(info)) => {
+                if info.class == InstClass::Branch && state.current_block() == spec.header {
+                    iterations += 1;
+                }
+            }
+            Ok(StepEvent::Finished(v)) => return Ok((v, iterations)),
+            Ok(StepEvent::Halted) => return Ok((None, iterations)),
+            Ok(StepEvent::Blocked) => return Err(engine_trap(TrapKind::UnsupportedIntrinsic)),
+            Err(trap) => return Err(engine_trap(trap)),
+        }
+    }
+}
+
+fn engine_trap(trap: TrapKind) -> BackendError {
+    BackendError::Engine(format!("main thread trapped: {trap}"))
+}
+
+/// Folds a committed chunk's reduction accumulators (and payloads) into the
+/// main thread's registers, in thread order.
+fn combine_reductions(spec: &SpiceLoopSpec, main: &mut ThreadState, finals: &[(Reg, i64)]) {
+    let lookup = |reg: Reg| finals.iter().find(|(r, _)| *r == reg).map(|(_, v)| *v);
+    for red in &spec.reductions {
+        let Some(theirs) = lookup(red.reg) else {
+            continue;
+        };
+        let ours = main.reg(red.reg);
+        match red.kind {
+            ReductionKind::Min => {
+                // Strict comparison keeps the earliest chunk's value on ties,
+                // matching the sequential first-minimum semantics.
+                if theirs < ours {
+                    main.set_reg(red.reg, theirs);
+                    for &p in &red.payloads {
+                        if let Some(v) = lookup(p) {
+                            main.set_reg(p, v);
+                        }
+                    }
+                }
+            }
+            ReductionKind::Max => {
+                if theirs > ours {
+                    main.set_reg(red.reg, theirs);
+                    for &p in &red.payloads {
+                        if let Some(v) = lookup(p) {
+                            main.set_reg(p, v);
+                        }
+                    }
+                }
+            }
+            ReductionKind::Binop(op) => {
+                if let Ok(v) = op.eval(ours, theirs) {
+                    main.set_reg(red.reg, v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice_ir::builder::FunctionBuilder;
+    use spice_ir::{BinOp, Operand};
+
+    /// The canonical list-minimum loop with an argmin payload and a store in
+    /// the exit block, over `(weight, next)` node pairs.
+    fn list_min_program(capacity: i64) -> (Program, FuncId, i64, i64) {
+        let mut program = Program::new();
+        let nodes = program.add_global("nodes", capacity * 2);
+        let out = program.add_global("out", 1);
+        let mut b = FunctionBuilder::new("list_min");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let c = b.copy(head);
+        let wm = b.copy(i64::MAX);
+        let cm = b.copy(0i64);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let better = b.binop(BinOp::Lt, w, wm);
+        let nw = b.select(better, w, wm);
+        b.copy_into(wm, nw);
+        let nc = b.select(better, c, cm);
+        b.copy_into(cm, nc);
+        let nx = b.load(c, 1);
+        b.copy_into(c, nx);
+        b.br(header);
+        b.switch_to(exit);
+        b.store(cm, out, 0);
+        b.ret(Some(Operand::Reg(wm)));
+        let f = program.add_func(b.finish());
+        (program, f, nodes, out)
+    }
+
+    fn write_list(mem: &mut FlatMemory, base: i64, weights: &[i64]) -> i64 {
+        for (i, w) in weights.iter().enumerate() {
+            let addr = base + 2 * i as i64;
+            let next = if i + 1 < weights.len() { addr + 2 } else { 0 };
+            mem.write(addr, *w).unwrap();
+            mem.write(addr + 1, next).unwrap();
+        }
+        base
+    }
+
+    #[test]
+    fn native_backend_runs_list_min_and_learns_boundaries() {
+        let weights: Vec<i64> = (0..400).map(|i| ((i * 37) % 211) + 5).collect();
+        let (program, f, nodes, out) = list_min_program(weights.len() as i64 + 4);
+        let mut backend = NativeLoopBackend::new(4);
+        backend
+            .load(
+                program,
+                f,
+                LoadOptions::new(4096, Some(weights.len() as u64)),
+            )
+            .unwrap();
+        let head = write_list(backend.mem_mut(), nodes, &weights);
+        let expected = *weights.iter().min().unwrap();
+
+        let mut saw_parallel = false;
+        for inv in 0..4 {
+            let report = backend.run_invocation(&[head]).unwrap();
+            assert_eq!(report.return_value, Some(expected), "invocation {inv}");
+            assert_eq!(report.backend, "native");
+            // The exit-block store committed through the direct port.
+            let argmin = backend.mem().read(out).unwrap();
+            assert_eq!(backend.mem().read(argmin).unwrap(), expected);
+            if report.committed_chunks == 3 {
+                saw_parallel = true;
+                assert!(!report.misspeculated);
+                let active = report.work_per_thread.iter().filter(|&&w| w > 0).count();
+                assert!(active >= 3, "work: {:?}", report.work_per_thread);
+            }
+        }
+        assert!(saw_parallel, "chunk predictions never converged");
+    }
+
+    #[test]
+    fn stale_native_predictions_squash_but_stay_correct() {
+        let weights: Vec<i64> = (0..300).map(|i| 1000 - i).collect();
+        let (program, f, nodes, _) = list_min_program(weights.len() as i64 + 4);
+        let mut backend = NativeLoopBackend::new(3);
+        backend
+            .load(
+                program,
+                f,
+                LoadOptions::new(4096, Some(weights.len() as u64)),
+            )
+            .unwrap();
+        let head = write_list(backend.mem_mut(), nodes, &weights);
+        backend.run_invocation(&[head]).unwrap();
+        backend.run_invocation(&[head]).unwrap();
+
+        // Rebuild a shorter list skipping every other node: many memoized
+        // cursors no longer appear in the traversal.
+        let shorter: Vec<i64> = weights.iter().copied().step_by(2).collect();
+        for w in backend.mem_mut().words_mut().iter_mut() {
+            *w = 0;
+        }
+        let head2 = {
+            let mem = backend.mem_mut();
+            for (i, w) in shorter.iter().enumerate() {
+                let addr = nodes + 4 * i as i64;
+                let next = if i + 1 < shorter.len() { addr + 4 } else { 0 };
+                mem.write(addr, *w).unwrap();
+                mem.write(addr + 1, next).unwrap();
+            }
+            nodes
+        };
+        let out = backend.run_invocation(&[head2]).unwrap();
+        assert_eq!(out.return_value, Some(*shorter.iter().min().unwrap()));
+        // Re-learning: after another invocation the new boundaries hold.
+        let out2 = backend.run_invocation(&[head2]).unwrap();
+        assert_eq!(out2.return_value, Some(*shorter.iter().min().unwrap()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two threads")]
+    fn single_thread_is_rejected() {
+        let _ = NativeLoopBackend::new(1);
+    }
+
+    #[test]
+    fn run_before_load_errors() {
+        let mut backend = NativeLoopBackend::new(2);
+        assert!(matches!(
+            backend.run_invocation(&[0]),
+            Err(BackendError::NotLoaded)
+        ));
+    }
+}

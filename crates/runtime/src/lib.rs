@@ -3,11 +3,13 @@
 //! The timing simulator (`spice-sim`) reproduces the paper's *measurements*;
 //! this crate reproduces its *execution model* on real OS threads, for use as
 //! a library runtime: a shared word heap with speculative write buffering
-//! ([`heap::SharedHeap`], [`heap::SpecView`]), and a chunked speculative loop
+//! ([`heap::SharedHeap`], [`heap::SpecView`]), a chunked speculative loop
 //! executor ([`chunks::NativeSpiceLoop`]) that carries memoized chunk
 //! boundaries and the load-balancing work model across invocations — the
 //! software equivalent of the paper's §3 architectural support plus
-//! Algorithm 2.
+//! Algorithm 2 — and [`ir_backend::NativeLoopBackend`], which runs
+//! *unmodified* `spice-ir` loops in Spice chunks on OS threads behind the
+//! shared [`spice_ir::exec::ExecutionBackend`] API.
 //!
 //! Speculation and rollback fight Rust's ownership model (a squashed thread
 //! must never have published anything); the design confines that tension to
@@ -45,6 +47,8 @@
 
 pub mod chunks;
 pub mod heap;
+pub mod ir_backend;
 
-pub use chunks::{ChunkKernel, ChunkOutcome, NativeSpiceLoop};
+pub use chunks::{chunk_memo_plan, ChunkKernel, ChunkOutcome, NativeSpiceLoop};
 pub use heap::{HeapAccess, SharedHeap, SpecView};
+pub use ir_backend::NativeLoopBackend;

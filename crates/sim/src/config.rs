@@ -43,7 +43,7 @@ impl CacheConfig {
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / self.line_bytes;
         assert!(
-            lines % self.assoc == 0 && lines > 0,
+            lines.is_multiple_of(self.assoc) && lines > 0,
             "cache size must be a multiple of assoc * line size"
         );
         lines / self.assoc
@@ -286,10 +286,7 @@ mod tests {
     #[test]
     fn table1_rows_mention_all_levels() {
         let rows = MachineConfig::itanium2_cmp().table1_rows();
-        let joined: String = rows
-            .iter()
-            .map(|(k, v)| format!("{k}: {v}\n"))
-            .collect();
+        let joined: String = rows.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
         assert!(joined.contains("L1D"));
         assert!(joined.contains("L2"));
         assert!(joined.contains("L3"));

@@ -145,7 +145,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation exceeded {limit} cycles")
             }
             SimError::UnrecoveredTrap { core, trap } => {
-                write!(f, "thread on core {core} trapped and was never recovered: {trap}")
+                write!(
+                    f,
+                    "thread on core {core} trapped and was never recovered: {trap}"
+                )
             }
             SimError::NoSuchCore { core } => write!(f, "no such core: {core}"),
         }
@@ -208,7 +211,8 @@ struct CoreSysPort<'a> {
 
 impl SysPort for CoreSysPort<'_> {
     fn send(&mut self, chan: i64, value: i64) {
-        self.channels.send(chan, value, self.now + self.comm_latency);
+        self.channels
+            .send(chan, value, self.now + self.comm_latency);
     }
 
     fn try_recv(&mut self, chan: i64) -> Option<i64> {
@@ -478,13 +482,12 @@ impl Machine {
                 let result = thread.step(&self.program, &mut mem_port, &mut sys_port);
                 let mem_latency = mem_port.latency;
                 let spec_action = sys_port.spec_action;
-                drop(mem_port);
-                drop(sys_port);
 
                 match result {
                     Ok(StepEvent::Executed(info)) => {
-                        let co_issuable = matches!(info.class, InstClass::IntAlu | InstClass::Other)
-                            && mem_latency == 0;
+                        let co_issuable =
+                            matches!(info.class, InstClass::IntAlu | InstClass::Other)
+                                && mem_latency == 0;
                         let cost = if co_issuable {
                             1
                         } else {
@@ -574,8 +577,7 @@ impl Machine {
                         t.resteer_to(target);
                         self.cores[idx].done = false;
                         self.cores[idx].blocked = false;
-                        self.cores[idx].busy_until =
-                            now + self.config.inter_core_latency;
+                        self.cores[idx].busy_until = now + self.config.inter_core_latency;
                     }
                 }
             }
@@ -585,9 +587,7 @@ impl Machine {
     }
 
     fn all_done(&self) -> bool {
-        self.cores
-            .iter()
-            .all(|c| c.thread.is_none() || c.done)
+        self.cores.iter().all(|c| c.thread.is_none() || c.done)
     }
 
     fn progress_possible(&self) -> bool {
@@ -713,10 +713,8 @@ mod tests {
         let mut p = Program::new();
         let f = p.add_func(b.finish());
         let cfg = tiny(1);
-        let expected_min = cfg.l1d.hit_latency
-            + cfg.l2.hit_latency
-            + cfg.l3.hit_latency
-            + cfg.memory_latency;
+        let expected_min =
+            cfg.l1d.hit_latency + cfg.l2.hit_latency + cfg.l3.hit_latency + cfg.memory_latency;
         let mut m = Machine::new(cfg, p);
         m.spawn(0, f, &[]).unwrap();
         let summary = m.run().unwrap();
@@ -948,9 +946,6 @@ mod tests {
         cfg.max_cycles = 500;
         let mut m = Machine::new(cfg, p);
         m.spawn(0, f, &[]).unwrap();
-        assert_eq!(
-            m.run(),
-            Err(SimError::MaxCyclesExceeded { limit: 500 })
-        );
+        assert_eq!(m.run(), Err(SimError::MaxCyclesExceeded { limit: 500 }));
     }
 }

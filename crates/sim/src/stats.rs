@@ -57,30 +57,11 @@ impl InvocationStats {
     }
 
     /// Mean, over invocations, of the coefficient of variation of per-core
-    /// work — 0 means perfectly balanced chunks.
+    /// work — 0 means perfectly balanced chunks (shared definition:
+    /// [`spice_ir::exec::work_imbalance`]).
     #[must_use]
     pub fn load_imbalance(&self) -> f64 {
-        let mut total = 0.0;
-        let mut n = 0usize;
-        for inv in &self.work_per_core {
-            let active: Vec<f64> = inv.iter().map(|&w| w as f64).filter(|&w| w > 0.0).collect();
-            if active.len() < 2 {
-                continue;
-            }
-            let mean = active.iter().sum::<f64>() / active.len() as f64;
-            if mean == 0.0 {
-                continue;
-            }
-            let var =
-                active.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / active.len() as f64;
-            total += var.sqrt() / mean;
-            n += 1;
-        }
-        if n == 0 {
-            0.0
-        } else {
-            total / n as f64
-        }
+        spice_ir::exec::work_imbalance(&self.work_per_core)
     }
 }
 

@@ -1,0 +1,120 @@
+//! Backend-equivalence properties: the timing-simulator backend and the
+//! native-thread backend, driven through the one shared
+//! `ExecutionBackend`/`run_workload_on` call site, must produce identical
+//! reductions and live-outs on the `linked_list_min` (otter) and
+//! `tree_update` (mcf) example loops — for randomized workload
+//! configurations, thread counts, and inter-invocation mutations.
+//!
+//! "Identical" is checked two ways per case:
+//! * every invocation's kernel return value (the loop's reduction) matches
+//!   between backends, and
+//! * the workload's global data region (node payloads, live-out stores like
+//!   mcf's potentials and otter's argmin cell) is bit-identical afterwards.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spice_core::backend::{make_backend, BackendChoice};
+use spice_workloads::{
+    run_workload_on, McfConfig, McfWorkload, OtterConfig, OtterWorkload, SpiceWorkload,
+};
+
+/// Runs one workload instance per backend and asserts equivalence. `probe`
+/// builds a throwaway instance to measure the workload's global data region
+/// (backend-added globals, like the sim's predictor arrays, live past it).
+fn assert_backends_equivalent(
+    label: &str,
+    threads: usize,
+    mut make_workload: impl FnMut() -> Box<dyn SpiceWorkload>,
+) {
+    let data_end = {
+        let mut probe = make_workload();
+        probe.build().program.data_end() as usize
+    };
+
+    let mut reference: Option<(Vec<Option<i64>>, Vec<i64>)> = None;
+    for choice in [BackendChoice::SimTiny, BackendChoice::Native] {
+        let mut workload = make_workload();
+        let mut backend = make_backend(choice, threads);
+        let summary = run_workload_on(workload.as_mut(), backend.as_mut())
+            .unwrap_or_else(|e| panic!("{label} on {choice}: {e}"));
+        let data: Vec<i64> = backend.mem().words()[..data_end].to_vec();
+        match &reference {
+            None => reference = Some((summary.return_values, data)),
+            Some((ref_returns, ref_data)) => {
+                assert_eq!(
+                    ref_returns, &summary.return_values,
+                    "{label} ({threads} threads): reductions diverged between backends"
+                );
+                assert_eq!(
+                    ref_data, &data,
+                    "{label} ({threads} threads): live-out memory diverged between backends"
+                );
+            }
+        }
+    }
+}
+
+/// Property: for random list lengths, mutation rates and thread counts, the
+/// `linked_list_min` loop (otter's `find_lightest_cl`) computes identical
+/// minima and identical final list memory on both backends.
+#[test]
+fn linked_list_min_equivalent_across_backends() {
+    for case in 0u64..6 {
+        let mut rng = StdRng::seed_from_u64(0x11_57 ^ (case * 6151));
+        let config = OtterConfig {
+            initial_len: rng.gen_range(60..220usize),
+            inserts_per_invocation: rng.gen_range(1..5usize),
+            invocations: rng.gen_range(4..9usize),
+            seed: rng.gen_range(1..1_000_000u64),
+        };
+        let threads = rng.gen_range(2..5usize);
+        assert_backends_equivalent("linked_list_min", threads, || {
+            Box::new(OtterWorkload::new(config.clone()))
+        });
+    }
+}
+
+/// Property: for random tree sizes, cost churn and re-parenting rates, the
+/// `tree_update` loop (mcf's `refresh_potential`) computes identical
+/// checksums and — critically, since every visited node is *written*
+/// speculatively — identical potentials in every node on both backends.
+#[test]
+fn tree_update_equivalent_across_backends() {
+    for case in 0u64..6 {
+        let mut rng = StdRng::seed_from_u64(0x7EEE ^ (case * 3571));
+        let config = McfConfig {
+            nodes: rng.gen_range(50..200usize),
+            invocations: rng.gen_range(4..9usize),
+            cost_updates_per_invocation: rng.gen_range(1..8usize),
+            reparents_per_invocation: rng.gen_range(0..3usize),
+            seed: rng.gen_range(1..1_000_000u64),
+        };
+        let threads = rng.gen_range(2..5usize);
+        assert_backends_equivalent("tree_update", threads, || {
+            Box::new(McfWorkload::new(config.clone()))
+        });
+    }
+}
+
+/// Eight threads also agree (more chunks, more boundaries, more commits).
+#[test]
+fn eight_threads_agree_on_both_example_loops() {
+    assert_backends_equivalent("linked_list_min", 8, || {
+        Box::new(OtterWorkload::new(OtterConfig {
+            initial_len: 200,
+            inserts_per_invocation: 2,
+            invocations: 6,
+            seed: 0x88,
+        }))
+    });
+    assert_backends_equivalent("tree_update", 8, || {
+        Box::new(McfWorkload::new(McfConfig {
+            nodes: 150,
+            invocations: 6,
+            cost_updates_per_invocation: 4,
+            reparents_per_invocation: 1,
+            seed: 0x88,
+        }))
+    });
+}

@@ -52,7 +52,8 @@ fn check_workload(mut make: impl FnMut() -> Box<dyn SpiceWorkload>, threads: usi
             .run_invocation(&mut machine, &args)
             .unwrap_or_else(|e| panic!("{} with {threads} threads: {e}", wl.name()));
         assert_eq!(
-            report.return_value, seq_results[inv],
+            report.return_value,
+            seq_results[inv],
             "{} invocation {inv} with {threads} threads diverged from sequential",
             wl.name()
         );
@@ -164,6 +165,12 @@ fn sjeng_actually_misspeculates_sometimes() {
         }
     }
     let rate = runner.stats().misspeculation_rate();
-    assert!(rate > 0.05, "sjeng misspeculation rate suspiciously low: {rate}");
-    assert!(rate < 0.9, "sjeng misspeculation rate suspiciously high: {rate}");
+    assert!(
+        rate > 0.05,
+        "sjeng misspeculation rate suspiciously low: {rate}"
+    );
+    assert!(
+        rate < 0.9,
+        "sjeng misspeculation rate suspiciously high: {rate}"
+    );
 }

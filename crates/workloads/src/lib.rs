@@ -24,8 +24,11 @@ pub mod otter;
 pub mod sjeng;
 pub mod suite;
 
+use spice_ir::exec::LoadOptions;
 use spice_ir::interp::FlatMemory;
 use spice_ir::{BlockId, FuncId, Program};
+
+pub use spice_ir::exec::ExecutionBackend;
 
 pub use ks::{KsConfig, KsWorkload};
 pub use mcf::{McfConfig, McfWorkload};
@@ -89,6 +92,116 @@ pub trait SpiceWorkload {
 
     /// Total number of invocations the driver produces.
     fn invocations(&self) -> usize;
+}
+
+/// Default heap words reserved past a workload program's globals when
+/// loading it into a backend.
+pub const DEFAULT_WORKLOAD_HEAP_WORDS: usize = 256 * 1024;
+
+/// Aggregate result of driving one workload over one backend.
+#[derive(Debug, Clone)]
+pub struct BackendRunSummary {
+    /// Backend that executed the workload.
+    pub backend: &'static str,
+    /// Invocations executed.
+    pub invocations: usize,
+    /// Sum of per-invocation costs (cycles or wall nanoseconds — one unit
+    /// per backend, per [`spice_ir::exec::ExecutionCost`]).
+    pub total_cost: u128,
+    /// Kernel return value of every invocation, in order.
+    pub return_values: Vec<Option<i64>>,
+    /// Number of invocations with at least one squashed chunk.
+    pub misspeculated_invocations: usize,
+    /// Per-invocation, per-thread work counters (main thread first).
+    pub work_per_thread: Vec<Vec<u64>>,
+}
+
+impl BackendRunSummary {
+    /// Fraction of invocations that mis-speculated.
+    #[must_use]
+    pub fn misspeculation_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            return 0.0;
+        }
+        self.misspeculated_invocations as f64 / self.invocations as f64
+    }
+
+    /// Mean, over invocations, of the coefficient of variation of per-thread
+    /// work — 0 means perfectly balanced chunks (shared definition:
+    /// [`spice_ir::exec::work_imbalance`]).
+    #[must_use]
+    pub fn load_imbalance(&self) -> f64 {
+        spice_ir::exec::work_imbalance(&self.work_per_thread)
+    }
+}
+
+/// Drives `workload` over `backend` from build to the last invocation — the
+/// single call site through which any workload runs on any execution
+/// substrate (the timing simulator, native threads, or whatever a future
+/// backend adds).
+///
+/// Every invocation's return value is checked against the workload's
+/// host-computed expectation; a mismatch is an error (speculation must never
+/// change results — paper §3).
+///
+/// # Errors
+///
+/// Returns a description of the first backend failure or result mismatch.
+pub fn run_workload_on(
+    workload: &mut dyn SpiceWorkload,
+    backend: &mut dyn ExecutionBackend,
+) -> Result<BackendRunSummary, String> {
+    let built = workload.build();
+    let mut options = LoadOptions::new(
+        DEFAULT_WORKLOAD_HEAP_WORDS,
+        Some(workload.expected_iterations()),
+    );
+    options.loop_header = built.loop_header_hint;
+    backend
+        .load(built.program, built.kernel, options)
+        .map_err(|e| format!("{}: load failed: {e}", workload.name()))?;
+
+    let mut args = workload.init(backend.mem_mut());
+    let mut summary = BackendRunSummary {
+        backend: backend.name(),
+        invocations: 0,
+        total_cost: 0,
+        return_values: Vec::new(),
+        misspeculated_invocations: 0,
+        work_per_thread: Vec::new(),
+    };
+    let mut inv = 0usize;
+    loop {
+        let expected = workload.expected_result(backend.mem());
+        let report = backend
+            .run_invocation(&args)
+            .map_err(|e| format!("{}: invocation {inv}: {e}", workload.name()))?;
+        if let Some(e) = expected {
+            if report.return_value != Some(e) {
+                return Err(format!(
+                    "{}: backend `{}` returned {:?}, expected {e} (invocation {inv})",
+                    workload.name(),
+                    backend.name(),
+                    report.return_value
+                ));
+            }
+        }
+        summary.invocations += 1;
+        summary.total_cost += report.cost.magnitude();
+        summary.return_values.push(report.return_value);
+        if report.misspeculated {
+            summary.misspeculated_invocations += 1;
+        }
+        summary.work_per_thread.push(report.work_per_thread.clone());
+        match workload.next_invocation(backend.mem_mut(), inv) {
+            Some(a) => {
+                args = a;
+                inv += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(summary)
 }
 
 /// The paper's four evaluation loops (Table 2 / Figure 7) with default

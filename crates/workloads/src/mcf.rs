@@ -108,7 +108,7 @@ impl McfWorkload {
         arena.write(mem, 0, PRED, 0).expect("in bounds");
         for i in 1..n {
             let p = self.parent[i];
-            arena.write(mem, i, PRED, arena.addr(p) as i64).expect("in bounds");
+            arena.write(mem, i, PRED, arena.addr(p)).expect("in bounds");
             if first_child[p] == 0 {
                 first_child[p] = i;
                 last_child[p] = i;
@@ -260,7 +260,12 @@ impl SpiceWorkload for McfWorkload {
         // Collect RNG choices first to avoid holding two mutable borrows.
         let parents: Vec<usize> = (1..n).map(|i| self.rng.gen_range(0..i)).collect();
         let costs: Vec<(i64, i64)> = (1..n)
-            .map(|_| (self.rng.gen_range(1..=500), i64::from(self.rng.gen_bool(0.5))))
+            .map(|_| {
+                (
+                    self.rng.gen_range(1..=500),
+                    i64::from(self.rng.gen_bool(0.5)),
+                )
+            })
             .collect();
         for (i, p) in (1..n).zip(parents) {
             self.parent[i] = p;
@@ -341,7 +346,11 @@ mod tests {
         let mut args = wl.init(&mut mem);
         for inv in 0.. {
             let out = run_function(&built.program, built.kernel, &args, &mut mem).unwrap();
-            assert_eq!(out.return_value, Some(wl.reference_checksum()), "invocation {inv}");
+            assert_eq!(
+                out.return_value,
+                Some(wl.reference_checksum()),
+                "invocation {inv}"
+            );
             // Every non-root node's potential matches the host mirror.
             for i in 1..80 {
                 let got = wl.arena().read(&mem, i, POTENTIAL).unwrap();

@@ -125,7 +125,9 @@ impl SjengWorkload {
             material = material.wrapping_add(p.value);
             let inputs = [sc, p.value, p.pos, p.ptype, sc, p.value, p.pos];
             for k in 0..7 {
-                states[k] = states[k].wrapping_mul(STATE_PRIMES[k]).wrapping_add(inputs[k]);
+                states[k] = states[k]
+                    .wrapping_mul(STATE_PRIMES[k])
+                    .wrapping_add(inputs[k]);
             }
         }
         let mix: i64 = states.iter().fold(0i64, |a, &s| a.wrapping_add(s));
@@ -221,7 +223,11 @@ impl SpiceWorkload for SjengWorkload {
         for i in 0..4 {
             b.switch_to(dispatch[i]);
             let is = b.binop(BinOp::Eq, t, (i + 1) as i64);
-            let fallthrough = if i < 3 { dispatch[i + 1] } else { type_blocks[5] };
+            let fallthrough = if i < 3 {
+                dispatch[i + 1]
+            } else {
+                type_blocks[5]
+            };
             b.cond_br(is, type_blocks[i + 1], fallthrough);
         }
 
@@ -394,6 +400,9 @@ mod tests {
             8,
             "sjeng must speculate 8 live-ins (pointer + 7 states), got {speculated:?}"
         );
-        assert!(reds.reductions.len() >= 2, "score and material are reductions");
+        assert!(
+            reds.reductions.len() >= 2,
+            "score and material are reductions"
+        );
     }
 }

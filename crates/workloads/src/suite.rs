@@ -42,7 +42,13 @@ pub struct ChurnListWorkload {
 impl ChurnListWorkload {
     /// Creates a loop with the given target invocation predictability.
     #[must_use]
-    pub fn new(name: &'static str, predictability: f64, len: usize, invocations: usize, seed: u64) -> Self {
+    pub fn new(
+        name: &'static str,
+        predictability: f64,
+        len: usize,
+        invocations: usize,
+        seed: u64,
+    ) -> Self {
         ChurnListWorkload {
             name,
             predictability: predictability.clamp(0.0, 1.0),
@@ -65,7 +71,9 @@ impl ChurnListWorkload {
         // otherwise recycle the very same slots.
         let old: Vec<usize> = self.list.order.clone();
         self.list = ListMirror::new(NEXT);
-        let values: Vec<i64> = (0..self.len).map(|_| self.rng.gen_range(0..10_000)).collect();
+        let values: Vec<i64> = (0..self.len)
+            .map(|_| self.rng.gen_range(0..10_000))
+            .collect();
         {
             let arena = self.arena.as_mut().expect("built");
             for v in values {
@@ -225,6 +233,30 @@ impl SuiteBenchmark {
                     invocations,
                     0x5EED_0000 + (i as u64) * 977 + self.name.len() as u64,
                 )
+            })
+            .collect()
+    }
+
+    /// Runs every loop of this benchmark on a freshly made backend — the
+    /// corpus-side consumer of the shared execution layer. The caller picks
+    /// the substrate by value (e.g. `|| spice_core::make_backend(choice,
+    /// threads)`); each loop gets its own backend instance so predictor
+    /// state never leaks between loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution failure or result mismatch.
+    pub fn run_on_backend(
+        &self,
+        make_backend: &mut dyn FnMut() -> Box<dyn crate::ExecutionBackend>,
+        invocations: usize,
+        list_len: usize,
+    ) -> Result<Vec<crate::BackendRunSummary>, String> {
+        self.workloads(invocations, list_len)
+            .into_iter()
+            .map(|mut wl| {
+                let mut backend = make_backend();
+                crate::run_workload_on(&mut wl, backend.as_mut())
             })
             .collect()
     }

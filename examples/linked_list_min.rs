@@ -1,13 +1,15 @@
 //! The otter scenario end to end: the `find_lightest_cl` loop over a mutating
-//! clause list, run for many invocations under Spice with 4 threads, with
-//! per-invocation statistics — the workload behind the paper's Figure 1 and
+//! clause list, run for many invocations under Spice — on the cycle-accurate
+//! timing simulator *and* on real OS threads, through the one shared
+//! `ExecutionBackend` call site. The workload behind the paper's Figure 1 and
 //! one of the four bars of Figure 7.
 //!
-//! Run with: `cargo run -p spice-bench --example linked_list_min`
+//! Run with: `cargo run --example linked_list_min`
 
-use spice_bench::experiments::{run_workload_sequential, run_workload_spice};
-use spice_core::pipeline::predictor_options_with_estimate;
-use spice_workloads::{OtterConfig, OtterWorkload, SpiceWorkload};
+use spice_bench::experiments::{run_workload_backend, run_workload_sequential};
+use spice_core::backend::BackendChoice;
+use spice_core::predictor::PredictorOptions;
+use spice_workloads::{OtterConfig, OtterWorkload};
 
 fn main() {
     let config = OtterConfig {
@@ -20,25 +22,51 @@ fn main() {
     let mut sequential = OtterWorkload::new(config.clone());
     let seq_cycles = run_workload_sequential(&mut sequential).expect("sequential run");
 
-    for threads in [2usize, 4] {
-        let mut wl = OtterWorkload::new(config.clone());
-        let estimate = wl.expected_iterations();
-        let result = run_workload_spice(&mut wl, threads, predictor_options_with_estimate(estimate))
-            .expect("spice run");
-        println!(
-            "otter/find_lightest_cl with {threads} threads: {:.2}x speedup over 1 thread \
-             ({} vs {} cycles), mis-speculation rate {:.1}%, load imbalance {:.3}",
-            seq_cycles as f64 / result.cycles as f64,
-            result.cycles,
-            seq_cycles,
-            result.misspeculation_rate * 100.0,
-            result.load_imbalance,
-        );
+    // The same loop, the same driver, two execution substrates.
+    let mut reference_results = None;
+    for choice in [BackendChoice::Sim, BackendChoice::Native] {
+        for threads in [2usize, 4] {
+            let mut wl = OtterWorkload::new(config.clone());
+            let summary =
+                run_workload_backend(&mut wl, choice, threads, PredictorOptions::default())
+                    .expect("backend run");
+            match choice {
+                BackendChoice::Sim | BackendChoice::SimTiny => println!(
+                    "otter/find_lightest_cl [{choice}, {threads} threads]: {:.2}x speedup over 1 \
+                     thread ({} vs {seq_cycles} cycles), mis-speculation {:.1}%, imbalance {:.3}",
+                    seq_cycles as f64 / summary.total_cost as f64,
+                    summary.total_cost,
+                    summary.misspeculation_rate() * 100.0,
+                    summary.load_imbalance(),
+                ),
+                BackendChoice::Native => println!(
+                    "otter/find_lightest_cl [{choice}, {threads} threads]: {:.2} ms wall time on \
+                     real threads, mis-speculation {:.1}%, imbalance {:.3}",
+                    summary.total_cost as f64 / 1e6,
+                    summary.misspeculation_rate() * 100.0,
+                    summary.load_imbalance(),
+                ),
+            }
+            // Every backend must compute identical per-invocation results.
+            match &reference_results {
+                None => reference_results = Some(summary.return_values.clone()),
+                Some(reference) => assert_eq!(
+                    reference, &summary.return_values,
+                    "backend {choice} diverged from the first backend's results"
+                ),
+            }
+        }
     }
     println!();
     println!(
         "The list loses its lightest clause and gains {} new clauses every invocation, yet the",
         config.inserts_per_invocation
     );
-    println!("memoized chunk boundaries almost always survive — that is the paper's second insight.");
+    println!(
+        "memoized chunk boundaries almost always survive — that is the paper's second insight."
+    );
+    println!(
+        "Both backends computed identical results for all {} invocations.",
+        config.invocations
+    );
 }

@@ -2,7 +2,7 @@
 //! whether its live-ins are predictable enough, then Spice-parallelize it —
 //! the automation path the paper sketches at the end of §6.
 //!
-//! Run with: `cargo run -p spice-bench --example profile_then_parallelize`
+//! Run with: `cargo run --example profile_then_parallelize`
 
 use spice_bench::experiments::{run_workload_sequential, run_workload_spice};
 use spice_core::pipeline::predictor_options_with_estimate;
@@ -33,8 +33,8 @@ fn consider(name: &'static str, predictability: f64) {
     let seq_cycles = run_workload_sequential(&mut seq).expect("sequential");
     let mut par = ChurnListWorkload::new(name, predictability, 250, 16, 99);
     let estimate = par.expected_iterations();
-    let result = run_workload_spice(&mut par, 4, predictor_options_with_estimate(estimate))
-        .expect("spice");
+    let result =
+        run_workload_spice(&mut par, 4, predictor_options_with_estimate(estimate)).expect("spice");
     println!(
         "  Spice (4 threads): {:.2}x speedup, mis-speculation {:.1}%\n",
         seq_cycles as f64 / result.cycles as f64,

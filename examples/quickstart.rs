@@ -1,7 +1,7 @@
 //! Quickstart: build the paper's Figure 1(a) loop by hand, Spice it with two
 //! threads, and compare simulated cycles against single-threaded execution.
 //!
-//! Run with: `cargo run -p spice-bench --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
 use spice_core::analysis::LoopAnalysis;
 use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
@@ -83,7 +83,9 @@ fn main() {
     // Invocation 1 trains the predictor; invocation 2 runs chunked.
     let mut last = None;
     for inv in 0..3 {
-        let report = runner.run_invocation(&mut machine, &[head]).expect("invocation");
+        let report = runner
+            .run_invocation(&mut machine, &[head])
+            .expect("invocation");
         println!(
             "invocation {inv}: {} cycles, mis-speculated = {}, return = {:?}",
             report.cycles, report.misspeculated, report.return_value

@@ -1,13 +1,15 @@
 //! The 181.mcf scenario: `refresh_potential` walking a spanning tree and
-//! storing a new potential into every node, parallelized with Spice so the
-//! speculative workers buffer their stores until the main thread commits
-//! them in order.
+//! storing a new potential into every node. On the simulator the speculative
+//! workers buffer stores in the modeled hardware; on the native backend they
+//! buffer in `SpecView`s committed by the main thread — the same protocol,
+//! selected by value through the shared `ExecutionBackend` layer.
 //!
-//! Run with: `cargo run -p spice-bench --example tree_update`
+//! Run with: `cargo run --example tree_update`
 
-use spice_bench::experiments::{run_workload_sequential, run_workload_spice};
-use spice_core::pipeline::predictor_options_with_estimate;
-use spice_workloads::{McfConfig, McfWorkload, SpiceWorkload};
+use spice_bench::experiments::{run_workload_backend, run_workload_sequential};
+use spice_core::backend::BackendChoice;
+use spice_core::predictor::PredictorOptions;
+use spice_workloads::{McfConfig, McfWorkload};
 
 fn main() {
     let config = McfConfig {
@@ -20,23 +22,48 @@ fn main() {
 
     let mut sequential = McfWorkload::new(config.clone());
     let seq_cycles = run_workload_sequential(&mut sequential).expect("sequential run");
-    println!("sequential refresh_potential: {seq_cycles} cycles over {} invocations", config.invocations);
+    println!(
+        "sequential refresh_potential: {seq_cycles} cycles over {} invocations",
+        config.invocations
+    );
 
-    for threads in [2usize, 4] {
-        let mut wl = McfWorkload::new(config.clone());
-        let estimate = wl.expected_iterations();
-        let result = run_workload_spice(&mut wl, threads, predictor_options_with_estimate(estimate))
-            .expect("spice run");
-        println!(
-            "spice with {threads} threads: {} cycles -> {:.2}x, mis-speculation {:.1}%, imbalance {:.3}",
-            result.cycles,
-            seq_cycles as f64 / result.cycles as f64,
-            result.misspeculation_rate * 100.0,
-            result.load_imbalance,
-        );
+    let mut reference_results = None;
+    for choice in [BackendChoice::Sim, BackendChoice::Native] {
+        for threads in [2usize, 4] {
+            let mut wl = McfWorkload::new(config.clone());
+            let summary =
+                run_workload_backend(&mut wl, choice, threads, PredictorOptions::default())
+                    .expect("backend run");
+            match choice {
+                BackendChoice::Sim | BackendChoice::SimTiny => println!(
+                    "spice [{choice}, {threads} threads]: {} cycles -> {:.2}x, mis-speculation \
+                     {:.1}%, imbalance {:.3}",
+                    summary.total_cost,
+                    seq_cycles as f64 / summary.total_cost as f64,
+                    summary.misspeculation_rate() * 100.0,
+                    summary.load_imbalance(),
+                ),
+                BackendChoice::Native => println!(
+                    "spice [{choice}, {threads} threads]: {:.2} ms wall time, mis-speculation \
+                     {:.1}%, imbalance {:.3}",
+                    summary.total_cost as f64 / 1e6,
+                    summary.misspeculation_rate() * 100.0,
+                    summary.load_imbalance(),
+                ),
+            }
+            match &reference_results {
+                None => reference_results = Some(summary.return_values.clone()),
+                Some(reference) => assert_eq!(
+                    reference, &summary.return_values,
+                    "backend {choice} diverged from the first backend's results"
+                ),
+            }
+        }
     }
     println!();
     println!("Every visited node is written speculatively by the workers; the stores stay in the");
-    println!("per-core speculative buffers until the main thread validates the chunk and commits");
-    println!("them in thread order (paper §3, \"Speculative State\").");
+    println!(
+        "per-thread speculative buffers until the main thread validates the chunk and commits"
+    );
+    println!("them in thread order (paper §3, \"Speculative State\") — on both substrates.");
 }

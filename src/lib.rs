@@ -1,0 +1,26 @@
+//! # spice — facade for the CGO 2008 Spice reproduction
+//!
+//! Re-exports every subsystem crate under one roof and hosts the runnable
+//! examples (`cargo run --example quickstart`, `--example linked_list_min`,
+//! `--example tree_update`, `--example profile_then_parallelize`).
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | SSA-lite IR, analyses, interpreter, the [`ir::exec::ExecutionBackend`] abstraction |
+//! | [`core`] | the Spice transformation, value predictor, simulator backend |
+//! | [`sim`] | cycle-stepped multi-core timing simulator (Table 1 machine) |
+//! | [`runtime`] | native-thread chunk runtime and the native backend |
+//! | [`profiler`] | loop live-in value profiler (§6 / Figure 8) |
+//! | [`workloads`] | paper benchmark loops and the backend-generic driver |
+//! | [`bench`] | experiment harness for every table and figure |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use spice_bench as bench;
+pub use spice_core as core;
+pub use spice_ir as ir;
+pub use spice_profiler as profiler;
+pub use spice_runtime as runtime;
+pub use spice_sim as sim;
+pub use spice_workloads as workloads;

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! exact API surface the workspace uses — `rngs::StdRng`, `SeedableRng::
+//! seed_from_u64`, `Rng::gen_range` over integer ranges and `Rng::gen_bool`
+//! — backed by the public-domain xoshiro256++ generator seeded through
+//! SplitMix64. Output differs from the real `StdRng` (which is ChaCha12),
+//! but every consumer in this repository only needs *deterministic*
+//! pseudo-randomness for reproducible workload drivers, which this supplies.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can serve as a `gen_range` argument: a half-open or inclusive
+/// integer range.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw generator interface.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore + Sized {
+    /// Draws one value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 random bits give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_below(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = uniform_below(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+/// Uniform value in `[0, span)` by rejection sampling (avoids modulo bias).
+fn uniform_below(rng: &mut dyn RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // span fits in u64 for every range this workspace uses (i64/usize spans).
+    let span64 = u64::try_from(span).expect("range span exceeds u64");
+    let zone = u64::MAX - (u64::MAX % span64);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return u128::from(v % span64);
+        }
+    }
+}
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 seed expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-20..=20i64);
+            assert!((-20..=20).contains(&v));
+            let u = r.gen_range(0..17usize);
+            assert!(u < 17);
+            let w = r.gen_range(5..6i64);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "observed {frac}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

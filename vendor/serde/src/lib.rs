@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! See `vendor/serde_derive/src/lib.rs` for the rationale. This stub keeps
+//! the *names* the codebase imports — `serde::Serialize`, `serde::Deserialize`
+//! as both traits and derive macros — so that `use serde::{Deserialize,
+//! Serialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged.
+//! The traits are blanket-implemented markers; the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
