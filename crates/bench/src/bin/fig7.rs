@@ -1,9 +1,13 @@
-//! Reproduces Figure 7: loop speedups with 2 and 4 threads.
+//! Reproduces Figure 7: loop speedups with 2 and 4 threads, plus the
+//! conflict-carrying workloads' recovery-cost rows.
 //!
 //! Prints the text table and writes `BENCH_fig7.json` (machine-readable,
 //! hand-emitted JSON — no serialization dependency) so the performance
-//! trajectory of the reproduction can accumulate across runs. Pass `--small`
-//! for the reduced-size inputs, `--out PATH` to redirect the JSON.
+//! trajectory of the reproduction can accumulate across runs. There is one
+//! emit path and one artifact: `--small` selects reduced-size inputs and is
+//! recorded in the JSON's `small` field, but writes to the same file, so the
+//! trajectory always has a single source of truth. Pass `--out PATH` to
+//! redirect the JSON elsewhere.
 
 use std::fmt::Write as _;
 
@@ -25,14 +29,15 @@ fn to_json(rows: &[Fig7Row], small: bool) -> String {
             s,
             "    {{\"benchmark\": \"{}\", \"threads\": {}, \"sequential_cycles\": {}, \
              \"spice_cycles\": {}, \"speedup\": {:.6}, \"misspeculation_rate\": {:.6}, \
-             \"load_imbalance\": {:.6}}}{comma}",
+             \"load_imbalance\": {:.6}, \"dependence_violations\": {}}}{comma}",
             r.benchmark,
             r.threads,
             r.sequential_cycles,
             r.spice_cycles,
             r.speedup,
             r.misspeculation_rate,
-            r.load_imbalance
+            r.load_imbalance,
+            r.dependence_violations
         );
     }
     s.push_str("  ]\n}\n");
@@ -46,15 +51,7 @@ fn main() {
         args.iter()
             .position(|a| a == "--out")
             .and_then(|i| args.get(i + 1).cloned())
-            .unwrap_or_else(|| {
-                // Small runs default to a separate file so a quick `--small`
-                // never clobbers the committed full-size trajectory artifact.
-                if small {
-                    "BENCH_fig7_small.json".to_string()
-                } else {
-                    "BENCH_fig7.json".to_string()
-                }
-            })
+            .unwrap_or_else(|| "BENCH_fig7.json".to_string())
     };
     let rows = fig7(small).expect("fig7");
     print!("{}", format_fig7(&rows));

@@ -116,6 +116,7 @@ impl ExecutionBackend for SimBackend {
         let spice = SpiceTransform::new(SpiceOptions {
             threads: self.threads,
             predictor,
+            conflict_policy: options.conflict_policy,
         })
         .apply(&mut program, &analysis)
         .map_err(|e| BackendError::Analysis(e.to_string()))?;
@@ -125,6 +126,10 @@ impl ExecutionBackend for SimBackend {
         // and a workload cannot fit on one substrate but not the other.
         let mut config = self.config.clone().with_cores(self.threads);
         config.heap_words = config.heap_words.max(options.heap_words);
+        // The machine's conflict detection backs the generated `spec.check`
+        // instructions; skip the tracking entirely when the policy asserts
+        // independence (the checks are not emitted either).
+        config.conflict_detection = options.conflict_policy.detects();
         let config = config;
         let machine = Machine::new(config, program);
         let runner = SpiceRunner::new(spice, predictor);
@@ -335,5 +340,97 @@ mod tests {
             backend.run_invocation(&[0]),
             Err(BackendError::NotLoaded)
         ));
+    }
+
+    /// A loop with a genuine cross-chunk RAW dependence: node `i` stores
+    /// `value(i) + 1` into node `i+1`'s value word before the next iteration
+    /// loads it. Both backends must detect the violation at commit, squash,
+    /// recover by re-executing on the main thread, and still return the
+    /// sequential result.
+    fn chained_increment_program(capacity: i64) -> (Program, FuncId, i64) {
+        let mut program = Program::new();
+        let nodes = program.add_global("nodes", capacity * 2);
+        let mut b = FunctionBuilder::new("chained_increment");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let poke = b.new_block();
+        let advance = b.new_block();
+        let exit = b.new_block();
+        let c = b.copy(head);
+        let sum = b.copy(0i64);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let s = b.binop(BinOp::Add, sum, w);
+        b.copy_into(sum, s);
+        let nx = b.load(c, 1);
+        let has_next = b.binop(BinOp::Ne, nx, 0i64);
+        b.cond_br(has_next, poke, advance);
+        b.switch_to(poke);
+        let bumped = b.binop(BinOp::Add, w, 1i64);
+        b.store(bumped, nx, 0);
+        b.br(advance);
+        b.switch_to(advance);
+        b.copy_into(c, nx);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(sum)));
+        let f = program.add_func(b.finish());
+        (program, f, nodes)
+    }
+
+    #[test]
+    fn both_backends_squash_and_recover_cross_chunk_dependences() {
+        use spice_ir::exec::MisspeculationCause;
+        let n: i64 = 150;
+        let v0: i64 = 30;
+        let expected = n * v0 + n * (n - 1) / 2;
+        for choice in [BackendChoice::SimTiny, BackendChoice::Native] {
+            let (program, f, nodes) = chained_increment_program(n + 4);
+            let mut backend = make_backend(choice, 3);
+            backend
+                .load(program, f, LoadOptions::new(4096, Some(n as u64)))
+                .unwrap();
+            {
+                let mem = backend.mem_mut();
+                for i in 0..n {
+                    let addr = nodes + 2 * i;
+                    let next = if i + 1 < n { addr + 2 } else { 0 };
+                    mem.write(addr, if i == 0 { v0 } else { 0 }).unwrap();
+                    mem.write(addr + 1, next).unwrap();
+                }
+            }
+            let mut saw_violation = false;
+            for inv in 0..5 {
+                let report = backend.run_invocation(&[nodes]).unwrap();
+                assert_eq!(report.return_value, Some(expected), "{choice} inv {inv}");
+                for i in 1..n {
+                    assert_eq!(
+                        backend.mem().read(nodes + 2 * i).unwrap(),
+                        v0 + i,
+                        "{choice} node {i} after invocation {inv}"
+                    );
+                }
+                if report
+                    .misspeculation_causes()
+                    .iter()
+                    .any(|c| matches!(c, MisspeculationCause::DependenceViolation { .. }))
+                {
+                    saw_violation = true;
+                    assert!(report.squashed_chunks > 0, "{choice}");
+                }
+            }
+            assert!(
+                saw_violation,
+                "{choice}: the conflict detector never fired on a conflict-carrying loop"
+            );
+        }
     }
 }

@@ -82,10 +82,19 @@ impl InvocationReport {
             .enumerate()
             .map(|(i, &core)| {
                 let commit = i < committed;
+                let conflict = self
+                    .summary
+                    .cores
+                    .get(core)
+                    .and_then(|c| c.spec_conflict_addr);
                 let cause = if commit {
                     None
                 } else if let Some(trap) = self.summary.cores.get(core).and_then(|c| c.trapped) {
                     Some(MisspeculationCause::Fault(trap))
+                } else if let Some(addr) = conflict {
+                    // The merge chain's spec.check found this chunk's read
+                    // set overlapping an earlier chunk's committed writes.
+                    Some(MisspeculationCause::DependenceViolation { addr })
                 } else if i > committed {
                     Some(MisspeculationCause::SquashCascade)
                 } else {

@@ -19,6 +19,7 @@
 use serde::{Deserialize, Serialize};
 
 use spice_ir::builder::FunctionBuilder;
+use spice_ir::exec::ConflictPolicy;
 use spice_ir::reduction::ReductionKind;
 use spice_ir::verify::{verify_program, VerifyError};
 use spice_ir::{BinOp, BlockId, FuncId, Inst, Operand, Program, Reg};
@@ -35,6 +36,11 @@ pub struct SpiceOptions {
     /// estimate) — consumed by [`crate::predictor::HostPredictor`], carried
     /// here so a single options value configures a whole run.
     pub predictor: PredictorOptions,
+    /// How cross-chunk memory dependences are treated. Under the default
+    /// [`ConflictPolicy::Detect`], the main thread's merge chain emits a
+    /// `spec.check` per worker and, on a violation, squashes from that
+    /// worker and resumes the loop itself from the violated boundary.
+    pub conflict_policy: ConflictPolicy,
 }
 
 impl SpiceOptions {
@@ -44,6 +50,7 @@ impl SpiceOptions {
         SpiceOptions {
             threads,
             predictor: PredictorOptions::default(),
+            conflict_policy: ConflictPolicy::default(),
         }
     }
 }
@@ -292,6 +299,7 @@ impl SpiceTransform {
             &liveouts,
             &invariants_sent,
             &workers,
+            self.options.conflict_policy,
         );
 
         if let Err(errs) = verify_program(program) {
@@ -541,6 +549,24 @@ fn build_worker(
 }
 
 /// Rewrites the main function in place.
+///
+/// Control-flow shape of the rewritten function (conflict handling under
+/// [`ConflictPolicy::Detect`]):
+///
+/// ```text
+/// preheader ─▶ check ──resumed──▶ memo ─▶ header ─▶ body … latch ─▶ check
+///                └─▶ compare ──hit──▶ merge ──resumed──▶ finish
+///                        └─▶ memo        └─▶ chain ─▶ w1.dispatch …
+/// dispatch(k) ─valid──▶ w(k).valid: recv status; spec.check core k
+///                │          ├─conflict─▶ w(k).conflict: resteer, ack,
+///                │          │            still_valid=0, need_resume=1
+///                │          └─▶ w(k).commit: command, live-outs, ack
+///                └─▶ w(k).squash: resteer, ack
+/// tail ──need_resume──▶ resume: resumed=1 ─▶ check   (main re-executes
+///   └─▶ finish: publish predictor feedback ─▶ exit    from the violated
+///                                                     boundary itself)
+/// ```
+#[allow(clippy::too_many_arguments)]
 fn rewrite_main(
     program: &mut Program,
     analysis: &LoopAnalysis,
@@ -548,6 +574,7 @@ fn rewrite_main(
     liveouts: &[LiveOutGroup],
     invariants_sent: &[Reg],
     workers: &[WorkerInfo],
+    conflict_policy: ConflictPolicy,
 ) {
     let func = analysis.func;
     let exit_from = analysis.exit_edge.0;
@@ -568,13 +595,25 @@ fn rewrite_main(
     let memo_idx = b.fresh();
     let valid_count = b.fresh();
     let still_valid = b.fresh();
+    // Set when a conflict squash leaves un-executed iterations behind: the
+    // main thread must re-enter the loop from the violated boundary. A
+    // status-0 chain break needs no resume (that worker ran to the exit).
+    let need_resume = b.fresh();
+    // Set while the main thread is re-executing after a squash: boundary
+    // detection is off (the old boundaries are behind it) and the loop exit
+    // bypasses the already-run merge chain.
+    let resumed = b.fresh();
     let pred_regs: Vec<Reg> = analysis.speculated.iter().map(|_| b.fresh()).collect();
 
     let check_bb = b.new_labeled_block("spice.check");
+    let compare_bb = b.new_labeled_block("spice.compare");
     let memo_bb = b.new_labeled_block("spice.memo");
     let hit_bb = b.new_labeled_block("spice.hit");
     let merge_bb = b.new_labeled_block("spice.merge");
+    let chain_bb = b.new_labeled_block("spice.chain");
     let tail_bb = b.new_labeled_block("spice.tail");
+    let resume_bb = b.new_labeled_block("spice.resume");
+    let finish_bb = b.new_labeled_block("spice.finish");
 
     // --- Preheader: send invariant live-ins, load predictions, init state.
     b.switch_to(analysis.preheader);
@@ -587,12 +626,18 @@ fn rewrite_main(
     b.copy_into(my_work, 0i64);
     b.copy_into(memo_idx, 0i64);
     b.copy_into(valid_count, 0i64);
+    b.copy_into(need_resume, 0i64);
+    b.copy_into(resumed, 0i64);
     for (j, p) in pred_regs.iter().enumerate() {
         b.load_into(*p, layout.sva_addr(0, j), 0);
     }
 
-    // --- Detection block.
+    // --- Detection block: after a squash-resume, the memoized boundaries
+    // are behind the main thread, so the comparison is skipped.
     b.switch_to(check_bb);
+    b.cond_br(resumed, memo_bb, compare_bb);
+
+    b.switch_to(compare_bb);
     let all_eq = emit_compare_all(&mut b, &analysis.speculated, &pred_regs);
     b.cond_br(all_eq, hit_bb, memo_bb);
 
@@ -613,8 +658,12 @@ fn rewrite_main(
     b.copy_into(success, 1i64);
     b.br(merge_bb);
 
-    // --- Merge chain.
+    // --- Merge chain. The loop exit lands here; after a squash-resume the
+    // chain has already run, so fall through to the feedback stores.
     b.switch_to(merge_bb);
+    b.cond_br(resumed, finish_bb, chain_bb);
+
+    b.switch_to(chain_bb);
     b.copy_into(still_valid, success);
     let mut next_dispatch = b.new_labeled_block("spice.w1.dispatch");
     b.br(next_dispatch);
@@ -631,9 +680,37 @@ fn rewrite_main(
         b.switch_to(dispatch);
         b.cond_br(still_valid, valid_bb, squash_bb);
 
-        // Valid worker: commit it, pull its live-outs and combine.
+        // Valid worker: its start boundary was validated and it finished its
+        // chunk. Under ConflictPolicy::Detect, ask the memory system whether
+        // the chunk's speculative read set hit a word committed earlier this
+        // invocation (the main chunk's stores or an earlier worker's commit)
+        // before granting the commit — the paper's hardware conflict check,
+        // placed exactly at the in-order commit point.
         b.switch_to(valid_bb);
         let status = b.recv(w.channels.status);
+        if conflict_policy.detects() {
+            let conflict_bb = b.new_labeled_block(format!("spice.w{}.conflict", w.tid));
+            let commit_bb = b.new_labeled_block(format!("spice.w{}.commit", w.tid));
+            let conflict = b.spec_check(w.core as i64);
+            b.cond_br(conflict, conflict_bb, commit_bb);
+
+            // Dependence violation: squash this worker (its buffered stores
+            // are discarded by the recovery code) and remember that the main
+            // thread must re-execute from this worker's start boundary — its
+            // cursor registers already hold exactly that state (the last
+            // committed chunk ended there, or the main chunk did for w1).
+            b.switch_to(conflict_bb);
+            b.push(Inst::Resteer {
+                core: Operand::Imm(w.core as i64),
+                target: w.recovery_block,
+            });
+            let _ack = b.recv(w.channels.ack);
+            b.copy_into(still_valid, 0i64);
+            b.copy_into(need_resume, 1i64);
+            b.br(next_dispatch);
+
+            b.switch_to(commit_bb);
+        }
         b.send(w.channels.command, 1i64);
         for group in liveouts {
             let tmps: Vec<Reg> = group
@@ -686,9 +763,19 @@ fn rewrite_main(
         b.br(next_dispatch);
     }
 
-    // --- Tail: publish predictor feedback and fall through to the original
-    // post-loop code.
+    // --- Tail: if a conflict squash left iterations unexecuted, re-enter
+    // the loop from the violated boundary (the speculated registers hold it;
+    // reductions carry the committed prefix). Otherwise publish predictor
+    // feedback and fall through to the original post-loop code.
     b.switch_to(tail_bb);
+    b.cond_br(need_resume, resume_bb, finish_bb);
+
+    b.switch_to(resume_bb);
+    b.copy_into(resumed, 1i64);
+    b.copy_into(need_resume, 0i64);
+    b.br(check_bb);
+
+    b.switch_to(finish_bb);
     b.store(my_work, layout.work_addr(0), 0);
     b.store(valid_count, layout.status_base, 0);
     b.br(exit_target);

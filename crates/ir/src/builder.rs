@@ -261,6 +261,18 @@ impl FunctionBuilder {
         });
     }
 
+    /// Emits a conflict-detection query for the thread on `core` into a
+    /// fresh register (1 = its speculative read set conflicts with writes
+    /// committed earlier in this invocation).
+    pub fn spec_check(&mut self, core: impl Into<Operand>) -> Reg {
+        let dst = self.func.fresh_reg();
+        self.push(Inst::SpecCheck {
+            dst,
+            core: core.into(),
+        });
+        dst
+    }
+
     /// Emits a profiling hook.
     pub fn profile_hook(&mut self, site: u32, regs: Vec<Reg>) {
         self.push(Inst::ProfileHook { site, regs });

@@ -23,6 +23,20 @@
 //! Consumers hold a `Box<dyn ExecutionBackend>` and never mention a machine
 //! or a thread pool: `spice_workloads::run_workload_on` drives any workload
 //! over any backend from a single call site.
+//!
+//! The [`conflict`] submodule adds the memory-dependence speculation layer:
+//! word-granular [`AccessSet`] read/write-set summaries and the
+//! [`ConflictPolicy`] chosen per [`LoadOptions`]. Under the default
+//! [`ConflictPolicy::Detect`], every backend tracks each speculative chunk's
+//! read set alongside its store buffer and squashes — with
+//! [`MisspeculationCause::DependenceViolation`] — any chunk whose reads
+//! intersect an earlier uncommitted chunk's writes, so loops with genuine
+//! cross-chunk memory flow dependences (e.g. mcf's real
+//! `refresh_potential`) execute correctly on both substrates.
+
+pub mod conflict;
+
+pub use conflict::{AccessSet, ConflictPolicy};
 
 use crate::cfg::Cfg;
 use crate::dom::DomTree;
@@ -193,6 +207,15 @@ pub enum MisspeculationCause {
     /// The chunk never ran (no prediction was available yet — e.g. the
     /// first invocation, before anything was memoized).
     NoPrediction,
+    /// The chunk read a word that a logically earlier, not-yet-committed
+    /// chunk wrote — a cross-chunk memory flow (RAW) dependence violated by
+    /// the speculation ([`ConflictPolicy::Detect`]). `addr` is the smallest
+    /// conflicting word address, as a diagnosis witness.
+    DependenceViolation {
+        /// Smallest word address present in both the chunk's read set and an
+        /// earlier chunk's write set.
+        addr: i64,
+    },
 }
 
 /// Per-worker slice of an [`ExecutionReport`].
@@ -318,6 +341,11 @@ pub struct LoadOptions {
     /// Expected iterations of the first invocation — seeds the load
     /// balancer so memoization starts immediately (paper Algorithm 2).
     pub work_estimate: Option<u64>,
+    /// How the backend treats cross-chunk memory dependences. The default,
+    /// [`ConflictPolicy::Detect`], tracks read/write sets and squashes
+    /// violating chunks; [`ConflictPolicy::AssumeIndependent`] skips all
+    /// tracking for loops known to carry no cross-chunk memory flow.
+    pub conflict_policy: ConflictPolicy,
 }
 
 impl LoadOptions {
@@ -328,7 +356,15 @@ impl LoadOptions {
             heap_words,
             loop_header: None,
             work_estimate,
+            conflict_policy: ConflictPolicy::default(),
         }
+    }
+
+    /// The same options with an explicit conflict policy.
+    #[must_use]
+    pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> Self {
+        self.conflict_policy = policy;
+        self
     }
 }
 

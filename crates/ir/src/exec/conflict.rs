@@ -1,0 +1,274 @@
+//! Memory-dependence speculation support: per-chunk read/write-set
+//! summaries and the policy selecting how a backend uses them.
+//!
+//! The paper assumes hardware read/write-set conflict detection (§3,
+//! "Conflict Detection"): speculative chunks may race through loops that
+//! carry genuine cross-chunk memory flow dependences, because the memory
+//! system compares every chunk's speculative *read set* against the *write
+//! sets* of logically earlier chunks at commit time and squashes from the
+//! first violation. This module is the software form of that hardware
+//! contract, shared by every execution backend:
+//!
+//! * [`AccessSet`] — a word-granular set of memory addresses with a
+//!   page-coarsened bitmap representation: membership and intersection
+//!   operate on 64-word pages, so the common case (disjoint working sets)
+//!   is rejected with a handful of page-key comparisons instead of a
+//!   per-address scan. A coarse `[lo, hi]` span gives an O(1) fast reject
+//!   before the page walk.
+//! * [`ConflictPolicy`] — how a backend treats cross-chunk dependences:
+//!   detect-and-squash (the default, faithful to the paper's hardware), or
+//!   assume-independent (the pre-subsystem behaviour, for loops *known* to
+//!   carry no cross-chunk memory flow, where tracking is pure overhead).
+//!
+//! A set's lifetime is one speculation epoch (a loop invocation): consumers
+//! build fresh sets — or [`AccessSet::clear`] recycled ones — per epoch, as
+//! the native backend's per-invocation validation and the simulator's
+//! `ConflictTracker` both do.
+//!
+//! The violation condition is the classic TLS RAW check, applied in commit
+//! order: chunk `k` is violated iff `reads(k) ∩ (writes(0) ∪ … ∪
+//! writes(k-1))` is non-empty, where chunk 0 is the non-speculative main
+//! chunk and only *committed* earlier chunks contribute their write sets.
+//! Reads satisfied from a chunk's own store buffer are excluded by the
+//! recording side (store-to-load forwarding cannot observe a stale value),
+//! which keeps the check exact at word granularity.
+
+use std::collections::BTreeMap;
+
+/// Number of words covered by one page bitmap (64 = one `u64` of bits).
+const PAGE_WORDS: i64 = 64;
+
+/// A word-granular set of memory addresses with a page-coarsened
+/// representation: each 64-word page present in the set maps to a bitmap of
+/// the words accessed within it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSet {
+    pages: BTreeMap<i64, u64>,
+    len: usize,
+    /// Coarse `[lo, hi]` address span, for an O(1) disjointness fast-path.
+    span: Option<(i64, i64)>,
+}
+
+impl AccessSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        AccessSet::default()
+    }
+
+    /// Number of distinct word addresses in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn page_of(addr: i64) -> (i64, u64) {
+        (
+            addr.div_euclid(PAGE_WORDS),
+            1u64 << addr.rem_euclid(PAGE_WORDS),
+        )
+    }
+
+    /// Inserts a word address. Returns `true` if it was not already present.
+    pub fn insert(&mut self, addr: i64) -> bool {
+        let (page, bit) = Self::page_of(addr);
+        let slot = self.pages.entry(page).or_insert(0);
+        if *slot & bit != 0 {
+            return false;
+        }
+        *slot |= bit;
+        self.len += 1;
+        self.span = Some(match self.span {
+            None => (addr, addr),
+            Some((lo, hi)) => (lo.min(addr), hi.max(addr)),
+        });
+        true
+    }
+
+    /// Inserts every address of `addrs`.
+    pub fn extend(&mut self, addrs: impl IntoIterator<Item = i64>) {
+        for a in addrs {
+            self.insert(a);
+        }
+    }
+
+    /// Whether `addr` is in the set.
+    #[must_use]
+    pub fn contains(&self, addr: i64) -> bool {
+        let (page, bit) = Self::page_of(addr);
+        self.pages.get(&page).is_some_and(|slot| slot & bit != 0)
+    }
+
+    /// Whether the two sets share any word address.
+    #[must_use]
+    pub fn intersects(&self, other: &AccessSet) -> bool {
+        self.first_overlap(other).is_some()
+    }
+
+    /// The smallest word address present in both sets, or `None` when they
+    /// are disjoint. The witness address is what a squash report carries.
+    #[must_use]
+    pub fn first_overlap(&self, other: &AccessSet) -> Option<i64> {
+        // Span fast reject, then walk the smaller page map.
+        let (a, b) = (self.span?, other.span?);
+        if a.1 < b.0 || b.1 < a.0 {
+            return None;
+        }
+        let (small, large) = if self.pages.len() <= other.pages.len() {
+            (&self.pages, &other.pages)
+        } else {
+            (&other.pages, &self.pages)
+        };
+        let mut best: Option<i64> = None;
+        for (&page, &bits) in small {
+            if let Some(&other_bits) = large.get(&page) {
+                let both = bits & other_bits;
+                if both != 0 {
+                    let addr = page * PAGE_WORDS + i64::from(both.trailing_zeros());
+                    best = Some(match best {
+                        None => addr,
+                        Some(b) => b.min(addr),
+                    });
+                    // Pages are walked in ascending key order, so the first
+                    // overlapping page already holds the smallest address.
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes every address, recycling the set for a new epoch.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.len = 0;
+        self.span = None;
+    }
+
+    /// Iterates the word addresses in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.pages.iter().flat_map(|(&page, &bits)| {
+            (0..PAGE_WORDS).filter_map(move |i| {
+                if bits & (1u64 << i) != 0 {
+                    Some(page * PAGE_WORDS + i)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// How an execution backend treats cross-chunk memory dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictPolicy {
+    /// Track read/write sets and squash, from the first violating chunk, any
+    /// speculative chunk whose read set intersects an earlier chunk's write
+    /// set — the software realization of the paper's hardware conflict
+    /// detection, and the default: correctness never depends on the loop
+    /// being dependence-free.
+    #[default]
+    Detect,
+    /// Skip all tracking: the caller asserts the loop carries no cross-chunk
+    /// memory flow dependences (as every pre-subsystem workload did by
+    /// construction), trading the safety net for zero tracking overhead.
+    AssumeIndependent,
+}
+
+impl ConflictPolicy {
+    /// Whether this policy requires read/write-set tracking.
+    #[must_use]
+    pub fn detects(&self) -> bool {
+        matches!(self, ConflictPolicy::Detect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_len() {
+        let mut s = AccessSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "duplicate insert reports false");
+        assert!(s.insert(64));
+        assert!(s.insert(63));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5) && s.contains(63) && s.contains(64));
+        assert!(!s.contains(6));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 64]);
+    }
+
+    #[test]
+    fn word_granularity_within_a_page() {
+        // Adjacent words on the same 64-word page must not alias.
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        a.insert(100);
+        b.insert(101);
+        assert!(!a.intersects(&b), "adjacent words are distinct");
+        b.insert(100);
+        assert_eq!(a.first_overlap(&b), Some(100));
+    }
+
+    #[test]
+    fn overlap_reports_smallest_witness() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        a.extend([10, 200, 3000]);
+        b.extend([3000, 200]);
+        assert_eq!(a.first_overlap(&b), Some(200));
+        assert_eq!(b.first_overlap(&a), Some(200));
+    }
+
+    #[test]
+    fn span_fast_path_rejects_disjoint_ranges() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        a.extend(0..100);
+        b.extend(10_000..10_100);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.first_overlap(&b), None);
+        let empty = AccessSet::new();
+        assert!(!a.intersects(&empty));
+        assert!(!empty.intersects(&a));
+    }
+
+    #[test]
+    fn clear_recycles_the_set() {
+        let mut s = AccessSet::new();
+        s.insert(9);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(9));
+        s.insert(70);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![70]);
+    }
+
+    #[test]
+    fn negative_addresses_are_handled() {
+        // Out-of-range speculative addresses trap before reaching a set in
+        // practice, but the representation must not panic on them.
+        let mut s = AccessSet::new();
+        s.insert(-1);
+        s.insert(-64);
+        assert!(s.contains(-1) && s.contains(-64));
+        assert!(!s.contains(-2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![-64, -1]);
+    }
+
+    #[test]
+    fn policy_default_detects() {
+        assert_eq!(ConflictPolicy::default(), ConflictPolicy::Detect);
+        assert!(ConflictPolicy::Detect.detects());
+        assert!(!ConflictPolicy::AssumeIndependent.detects());
+    }
+}

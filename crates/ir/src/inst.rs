@@ -101,6 +101,18 @@ pub enum Inst {
     SpecCommit,
     /// Discard buffered speculative state.
     SpecAbort,
+    /// Query the memory system's conflict detection (paper §3, "Conflict
+    /// Detection"): `dst` receives 1 if the speculative read set of the
+    /// thread on `core` intersects the write set already committed during
+    /// this loop invocation — a cross-chunk memory dependence violation —
+    /// and 0 otherwise. Executed by the non-speculative main thread while
+    /// validating chunks in order.
+    SpecCheck {
+        /// Destination register for the conflict verdict (0 or 1).
+        dst: Reg,
+        /// Core whose speculative read set is checked.
+        core: Operand,
+    },
     /// Redirect the thread running on `core` to `target` in its own
     /// function — the paper's remote resteer instruction used to force a
     /// mis-speculated thread into its recovery block.
@@ -136,7 +148,8 @@ impl Inst {
             | Inst::Select { dst, .. }
             | Inst::Load { dst, .. }
             | Inst::Alloc { dst, .. }
-            | Inst::Recv { dst, .. } => Some(*dst),
+            | Inst::Recv { dst, .. }
+            | Inst::SpecCheck { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } => *dst,
             Inst::Store { .. }
             | Inst::Send { .. }
@@ -190,6 +203,7 @@ impl Inst {
             }
             Inst::Recv { chan, .. } => push(chan),
             Inst::Resteer { core, .. } => push(core),
+            Inst::SpecCheck { core, .. } => push(core),
             Inst::ProfileHook { regs, .. } => out.extend(regs.iter().copied()),
             Inst::SpecBegin | Inst::SpecCommit | Inst::SpecAbort | Inst::Halt | Inst::Nop => {}
         }
@@ -272,6 +286,10 @@ impl Inst {
                 *dst = map(*dst);
             }
             Inst::Resteer { core, .. } => map_op(core, &mut map),
+            Inst::SpecCheck { dst, core } => {
+                map_op(core, &mut map);
+                *dst = map(*dst);
+            }
             Inst::ProfileHook { regs, .. } => {
                 for r in regs.iter_mut() {
                     *r = map(*r);
@@ -417,7 +435,9 @@ impl Inst {
             Inst::Call { .. } => InstClass::Branch,
             Inst::Send { .. } => InstClass::Send,
             Inst::Recv { .. } => InstClass::Recv,
-            Inst::SpecBegin | Inst::SpecCommit | Inst::SpecAbort => InstClass::Spec,
+            Inst::SpecBegin | Inst::SpecCommit | Inst::SpecAbort | Inst::SpecCheck { .. } => {
+                InstClass::Spec
+            }
             Inst::Resteer { .. } => InstClass::Resteer,
             Inst::Halt | Inst::Nop | Inst::ProfileHook { .. } => InstClass::Other,
         }

@@ -61,6 +61,14 @@ pub trait SysPort {
     /// Discards buffered speculative state.
     fn spec_abort(&mut self) {}
 
+    /// Answers a [`Inst::SpecCheck`]: 1 if the speculative read set of the
+    /// thread on `core` conflicts with the writes committed so far in this
+    /// loop invocation, 0 otherwise. Back-ends without conflict detection
+    /// (single-threaded runs, profilers) report no conflicts.
+    fn spec_conflict(&mut self, _core: i64) -> i64 {
+        0
+    }
+
     /// Requests that the thread on `core` be redirected to `target` in its
     /// current function.
     fn resteer(&mut self, core: i64, target: BlockId);
@@ -624,6 +632,11 @@ impl ThreadState {
             }
             Inst::SpecAbort => {
                 sys.spec_abort();
+                InstOutcome::Retired(ExecInfo::plain(class))
+            }
+            Inst::SpecCheck { dst, core } => {
+                let verdict = sys.spec_conflict(self.operand(*core));
+                self.regs[dst.index()] = verdict;
                 InstOutcome::Retired(ExecInfo::plain(class))
             }
             Inst::Resteer { core, target } => {

@@ -53,6 +53,7 @@ impl fmt::Display for Inst {
             Inst::SpecBegin => f.write_str("spec.begin"),
             Inst::SpecCommit => f.write_str("spec.commit"),
             Inst::SpecAbort => f.write_str("spec.abort"),
+            Inst::SpecCheck { dst, core } => write!(f, "{dst} = spec.check core {core}"),
             Inst::Resteer { core, target } => write!(f, "resteer core {core}, {target}"),
             Inst::Halt => f.write_str("halt"),
             Inst::Nop => f.write_str("nop"),

@@ -17,6 +17,8 @@
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 
+use spice_ir::exec::AccessSet;
+
 /// A flat, word-addressable heap shared by the Spice threads of one loop.
 #[derive(Debug)]
 pub struct SharedHeap {
@@ -121,21 +123,44 @@ impl SharedHeap {
 /// A speculative view of a [`SharedHeap`]: reads see the thread's own
 /// buffered writes first, writes are buffered and never touch shared memory
 /// until [`SpecView::into_writes`] hands them to the committer.
+///
+/// With read tracking enabled ([`SpecView::with_read_tracking`]), the view
+/// additionally records its *load set* — every address read through
+/// [`SpecView::read_tracked`] that was **not** satisfied by the thread's own
+/// store buffer — as an [`AccessSet`]. This is the per-chunk half of the
+/// memory-dependence speculation subsystem: at commit time the runtime
+/// intersects a chunk's load set against the write sets of logically earlier
+/// chunks and squashes on overlap (a RAW violation). Store-forwarded reads
+/// are excluded because they can never observe a stale value.
 #[derive(Debug)]
 pub struct SpecView<'h> {
     heap: &'h SharedHeap,
     writes: HashMap<i64, i64>,
     order: Vec<i64>,
+    reads: AccessSet,
+    track_reads: bool,
 }
 
 impl<'h> SpecView<'h> {
-    /// Creates an empty speculative view.
+    /// Creates an empty speculative view without read tracking.
     #[must_use]
     pub fn new(heap: &'h SharedHeap) -> Self {
         SpecView {
             heap,
             writes: HashMap::new(),
             order: Vec::new(),
+            reads: AccessSet::new(),
+            track_reads: false,
+        }
+    }
+
+    /// Creates an empty speculative view, recording the load set when
+    /// `track` is set (the [`spice_ir::exec::ConflictPolicy::Detect`] mode).
+    #[must_use]
+    pub fn with_read_tracking(heap: &'h SharedHeap, track: bool) -> Self {
+        SpecView {
+            track_reads: track,
+            ..SpecView::new(heap)
         }
     }
 
@@ -146,6 +171,26 @@ impl<'h> SpecView<'h> {
             return Some(*v);
         }
         self.heap.read(addr)
+    }
+
+    /// Reads a word like [`read`](Self::read), recording `addr` in the load
+    /// set when read tracking is on and the read fell through to the shared
+    /// heap (i.e. was not store-forwarded from this thread's own buffer).
+    #[must_use]
+    pub fn read_tracked(&mut self, addr: i64) -> Option<i64> {
+        if let Some(v) = self.writes.get(&addr) {
+            return Some(*v);
+        }
+        if self.track_reads {
+            self.reads.insert(addr);
+        }
+        self.heap.read(addr)
+    }
+
+    /// The load set recorded so far (empty unless read tracking is on).
+    #[must_use]
+    pub fn reads(&self) -> &AccessSet {
+        &self.reads
     }
 
     /// Buffers a speculative write.
@@ -161,14 +206,34 @@ impl<'h> SpecView<'h> {
         self.order.len()
     }
 
+    /// Discards the buffered writes while keeping the recorded load set
+    /// (and the tracking mode). Used when a worker finishes replaying the
+    /// loop's entry code: the replayed stores must not be committed twice,
+    /// but the replay's reads ran concurrently with the main chunk, so a
+    /// load of a word the loop later writes is a genuine dependence the
+    /// validation must still see.
+    pub fn drop_writes(&mut self) {
+        self.writes.clear();
+        self.order.clear();
+    }
+
     /// Consumes the view and returns the buffered writes in first-write
     /// order, for an ordered commit.
     #[must_use]
     pub fn into_writes(self) -> Vec<(i64, i64)> {
-        self.order
+        self.into_parts().0
+    }
+
+    /// Consumes the view and returns the buffered writes (first-write order)
+    /// together with the recorded load set.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<(i64, i64)>, AccessSet) {
+        let writes = self
+            .order
             .into_iter()
             .map(|a| (a, self.writes[&a]))
-            .collect()
+            .collect();
+        (writes, self.reads)
     }
 }
 
@@ -250,6 +315,28 @@ mod tests {
         buffered.write(3, 99);
         assert_eq!(buffered.read(3), Some(99));
         assert_eq!(h.read(3), Some(7));
+    }
+
+    #[test]
+    fn read_tracking_records_only_heap_fallthrough_reads() {
+        let h = SharedHeap::new(64);
+        let mut v = SpecView::with_read_tracking(&h, true);
+        v.write(10, 7);
+        assert_eq!(v.read_tracked(10), Some(7), "store-forwarded");
+        assert_eq!(v.read_tracked(20), Some(0), "fell through to heap");
+        let _ = v.read_tracked(999); // out of bounds still recorded: the
+                                     // chunk faults, but the set must not lie
+        assert!(!v.reads().contains(10), "forwarded reads are not stale");
+        assert!(v.reads().contains(20));
+        assert!(v.reads().contains(999));
+        let (writes, reads) = v.into_parts();
+        assert_eq!(writes, vec![(10, 7)]);
+        assert_eq!(reads.len(), 2);
+
+        // Tracking off: the load set stays empty.
+        let mut quiet = SpecView::with_read_tracking(&h, false);
+        assert_eq!(quiet.read_tracked(20), Some(0));
+        assert!(quiet.reads().is_empty());
     }
 
     #[test]

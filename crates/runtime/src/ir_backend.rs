@@ -26,8 +26,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use spice_ir::exec::{
-    derive_loop_spec, BackendError, ExecutionBackend, ExecutionCost, ExecutionReport, LoadOptions,
-    MisspeculationCause, SpiceLoopSpec, WorkerReport,
+    derive_loop_spec, AccessSet, BackendError, ConflictPolicy, ExecutionBackend, ExecutionCost,
+    ExecutionReport, LoadOptions, MisspeculationCause, SpiceLoopSpec, WorkerReport,
 };
 use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState};
 use spice_ir::reduction::ReductionKind;
@@ -67,6 +67,10 @@ struct Loaded {
     /// Per-thread iteration counts of the previous invocation (main first),
     /// feeding the load balancer.
     last_work: Vec<u64>,
+    /// How cross-chunk memory dependences are treated: under
+    /// [`ConflictPolicy::Detect`] every chunk records its load set and the
+    /// ordered validation squashes RAW violations.
+    policy: ConflictPolicy,
 }
 
 impl NativeLoopBackend {
@@ -131,6 +135,7 @@ impl ExecutionBackend for NativeLoopBackend {
             mem,
             predictions: vec![vec![0; width]; self.threads - 1],
             last_work,
+            policy: options.conflict_policy,
         });
         Ok(())
     }
@@ -150,6 +155,7 @@ impl ExecutionBackend for NativeLoopBackend {
         let workers = threads - 1;
 
         let mut heap = SharedHeap::from_words(loaded.mem.words());
+        let detect = loaded.policy.detects();
         let memo_plan = chunk_memo_plan(&loaded.last_work, threads);
         let squash: Vec<AtomicBool> = (0..workers).map(|_| AtomicBool::new(false)).collect();
         let predictions = loaded.predictions.clone();
@@ -177,7 +183,7 @@ impl ExecutionBackend for NativeLoopBackend {
                 handles.push(Some(scope.spawn(move || {
                     run_worker_chunk(
                         program, kernel, spec, spawn_args, heap_ref, &start, successor, flag,
-                        &plan, budget,
+                        &plan, budget, detect,
                     )
                 })));
             }
@@ -191,6 +197,7 @@ impl ExecutionBackend for NativeLoopBackend {
             let mut port = DirectPort {
                 heap: &heap,
                 alloc_next: alloc_base,
+                write_log: detect.then(AccessSet::new),
             };
             let mut main = run_main_chunk(
                 program,
@@ -204,7 +211,15 @@ impl ExecutionBackend for NativeLoopBackend {
             )?;
 
             // Ordered validation and commit (paper §3: the main thread is the
-            // only committer, one chunk at a time, in thread order).
+            // only committer, one chunk at a time, in thread order). Under
+            // ConflictPolicy::Detect the union of the main chunk's and every
+            // committed chunk's write addresses is carried along, and each
+            // chunk's load set is intersected against it before acceptance —
+            // the software form of the paper's hardware conflict detection.
+            // After the main chunk, validation needs no further port access,
+            // so recording stops here (the post-squash resume writes are
+            // never checked against anything).
+            let mut earlier_writes = port.write_log.take().unwrap_or_default();
             let mut committed = 0usize;
             let mut still_valid = main.matched;
             let mut end_reached = false;
@@ -240,9 +255,18 @@ impl ExecutionBackend for NativeLoopBackend {
                     }
                 }
                 let result = handle.join().expect("worker thread panicked");
+                // RAW check: did this chunk read a word an earlier chunk
+                // wrote? Only meaningful while the chain is intact — once a
+                // predecessor failed, the chunk is squashed regardless.
+                let conflict = if detect && still_valid && !end_reached {
+                    result.reads.first_overlap(&earlier_writes)
+                } else {
+                    None
+                };
                 let valid = still_valid
                     && !end_reached
                     && result.fault.is_none()
+                    && conflict.is_none()
                     && (result.matched || result.reached_exit);
                 if valid {
                     for (addr, value) in &result.writes {
@@ -250,6 +274,9 @@ impl ExecutionBackend for NativeLoopBackend {
                         // the main thread, after every worker stopped writing
                         // (`SpecPort` bounds-checks each buffered address).
                         unsafe { heap.write(*addr, *value) };
+                    }
+                    if detect {
+                        earlier_writes.extend(result.writes.iter().map(|(a, _)| *a));
                     }
                     combine_reductions(spec, &mut main.state, &result.finals);
                     memos.extend(result.memos.iter().cloned());
@@ -266,8 +293,12 @@ impl ExecutionBackend for NativeLoopBackend {
                 } else {
                     let cause = if !still_valid || end_reached {
                         MisspeculationCause::SquashCascade
+                    } else if let Some(f) = result.fault {
+                        f
+                    } else if let Some(addr) = conflict {
+                        MisspeculationCause::DependenceViolation { addr }
                     } else {
-                        result.fault.unwrap_or(MisspeculationCause::StalePrediction)
+                        MisspeculationCause::StalePrediction
                     };
                     still_valid = false;
                     work.push(0);
@@ -359,6 +390,9 @@ struct WorkerChunk {
     iterations: u64,
     memos: Vec<(usize, Vec<i64>)>,
     writes: Vec<(i64, i64)>,
+    /// Load set of the chunk (addresses read from the shared heap, not
+    /// store-forwarded) — empty under `ConflictPolicy::AssumeIndependent`.
+    reads: AccessSet,
     /// Final values of the spec-relevant registers (cursors, reductions,
     /// payloads, live-outs) at the stop point.
     finals: Vec<(Reg, i64)>,
@@ -375,10 +409,14 @@ struct MainChunk {
 }
 
 /// Non-speculative port: reads and writes go straight to the shared heap
-/// (the main thread is the only direct writer during an invocation).
+/// (the main thread is the only direct writer during an invocation). While
+/// `write_log` is set, every store address is recorded — the main chunk's
+/// write set, the base the conflict validation intersects worker load sets
+/// against.
 struct DirectPort<'h> {
     heap: &'h SharedHeap,
     alloc_next: i64,
+    write_log: Option<AccessSet>,
 }
 
 impl MemPort for DirectPort<'_> {
@@ -391,6 +429,9 @@ impl MemPort for DirectPort<'_> {
     fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
         if addr < 0 || addr as usize >= self.heap.len() {
             return Err(TrapKind::OutOfBoundsAccess { addr });
+        }
+        if let Some(log) = &mut self.write_log {
+            log.insert(addr);
         }
         // SAFETY: Spice protocol — the main thread is the single
         // non-speculative writer while workers only read or buffer.
@@ -422,7 +463,7 @@ struct SpecPort<'h> {
 impl MemPort for SpecPort<'_> {
     fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
         self.view
-            .read(addr)
+            .read_tracked(addr)
             .ok_or(TrapKind::OutOfBoundsAccess { addr })
     }
 
@@ -515,23 +556,26 @@ fn run_worker_chunk(
     squash: &AtomicBool,
     memo_plan: &[(u64, usize)],
     budget: u64,
+    track_reads: bool,
 ) -> WorkerChunk {
     let mut state = ThreadState::new(program, kernel, args);
     let mut port = SpecPort {
-        view: SpecView::new(heap),
+        view: SpecView::with_read_tracking(heap, track_reads),
         heap_len: heap.len(),
     };
     let mut sys = NopSys;
     let mut steps = budget;
     let fault =
         |cause: MisspeculationCause, iterations, memos, port: SpecPort<'_>, state: &ThreadState| {
+            let (writes, reads) = port.view.into_parts();
             WorkerChunk {
                 matched: false,
                 reached_exit: false,
                 fault: Some(cause),
                 iterations,
                 memos,
-                writes: port.view.into_writes(),
+                writes,
+                reads,
                 finals: snapshot_finals(spec, state),
             }
         };
@@ -567,8 +611,11 @@ fn run_worker_chunk(
     // it made were buffered above only to keep this thread's reads coherent.
     // Drop them so a validated chunk commits loop-body stores exclusively —
     // otherwise every worker would replay pre-loop stores over values the
-    // main thread wrote later in the invocation.
-    port.view = SpecView::new(heap);
+    // main thread wrote later in the invocation. The *reads* stay: the entry
+    // replay raced the main chunk, so an entry load of a word the loop
+    // writes (e.g. an invariant register bound from a global the body
+    // stores to) is a dependence the conflict validation must observe.
+    port.view.drop_writes();
 
     let successor_active = successor
         .as_ref()
@@ -583,13 +630,15 @@ fn run_worker_chunk(
         if successor_active {
             let succ = successor.as_ref().expect("active successor");
             if cur == *succ && (iterations > 0 || start == succ.as_slice()) {
+                let (writes, reads) = port.view.into_parts();
                 return WorkerChunk {
                     matched: true,
                     reached_exit: false,
                     fault: None,
                     iterations,
                     memos,
-                    writes: port.view.into_writes(),
+                    writes,
+                    reads,
                     finals: snapshot_finals(spec, &state),
                 };
             }
@@ -645,13 +694,15 @@ fn run_worker_chunk(
                         if state.current_block() == spec.exit_block {
                             // The loop genuinely ended inside this chunk; the
                             // main thread executes the exit code itself.
+                            let (writes, reads) = port.view.into_parts();
                             return WorkerChunk {
                                 matched: false,
                                 reached_exit: true,
                                 fault: None,
                                 iterations: iterations + 1,
                                 memos,
-                                writes: port.view.into_writes(),
+                                writes,
+                                reads,
                                 finals: snapshot_finals(spec, &state),
                             };
                         }
@@ -967,6 +1018,190 @@ mod tests {
         // Re-learning: after another invocation the new boundaries hold.
         let out2 = backend.run_invocation(&[head2]).unwrap();
         assert_eq!(out2.return_value, Some(*shorter.iter().min().unwrap()));
+    }
+
+    /// A list walk carrying a genuine cross-chunk RAW dependence: visiting
+    /// node `i` stores `value(i) + 1` into node `i+1`'s value word, which the
+    /// next iteration then loads. Chunked execution reads stale values unless
+    /// the conflict subsystem squashes, so correctness of the result proves
+    /// detection and recovery work.
+    fn chained_increment_program(capacity: i64) -> (Program, FuncId, i64) {
+        let mut program = Program::new();
+        let nodes = program.add_global("nodes", capacity * 2);
+        let mut b = FunctionBuilder::new("chained_increment");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let poke = b.new_block();
+        let advance = b.new_block();
+        let exit = b.new_block();
+        let c = b.copy(head);
+        let sum = b.copy(0i64);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let v = b.load(c, 0);
+        let s = b.binop(BinOp::Add, sum, v);
+        b.copy_into(sum, s);
+        let n = b.load(c, 1);
+        let has_next = b.binop(BinOp::Ne, n, 0i64);
+        b.cond_br(has_next, poke, advance);
+        b.switch_to(poke);
+        let bumped = b.binop(BinOp::Add, v, 1i64);
+        b.store(bumped, n, 0);
+        b.br(advance);
+        b.switch_to(advance);
+        b.copy_into(c, n);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(sum)));
+        let f = program.add_func(b.finish());
+        (program, f, nodes)
+    }
+
+    #[test]
+    fn cross_chunk_raw_dependence_is_squashed_and_recovered() {
+        let n: i64 = 200;
+        let v0: i64 = 50;
+        let (program, f, nodes) = chained_increment_program(n + 4);
+        let mut backend = NativeLoopBackend::new(4);
+        backend
+            .load(program, f, LoadOptions::new(4096, Some(n as u64)))
+            .unwrap();
+        {
+            let mem = backend.mem_mut();
+            for i in 0..n {
+                let addr = nodes + 2 * i;
+                let next = if i + 1 < n { addr + 2 } else { 0 };
+                mem.write(addr, if i == 0 { v0 } else { 0 }).unwrap();
+                mem.write(addr + 1, next).unwrap();
+            }
+        }
+        // Sequentially: value(i) becomes v0 + i before it is read.
+        let expected = n * v0 + n * (n - 1) / 2;
+
+        let mut saw_violation = false;
+        for inv in 0..5 {
+            let report = backend.run_invocation(&[nodes]).unwrap();
+            assert_eq!(report.return_value, Some(expected), "invocation {inv}");
+            for i in 1..n {
+                assert_eq!(
+                    backend.mem().read(nodes + 2 * i).unwrap(),
+                    v0 + i,
+                    "node {i} potential after invocation {inv}"
+                );
+            }
+            if report
+                .misspeculation_causes()
+                .iter()
+                .any(|c| matches!(c, MisspeculationCause::DependenceViolation { .. }))
+            {
+                saw_violation = true;
+                assert!(report.misspeculated);
+                assert!(report.squashed_chunks > 0);
+            }
+        }
+        assert!(
+            saw_violation,
+            "speculative chunks never tripped the conflict detector"
+        );
+    }
+
+    /// Regression: the loop's *entry code* loads a global that the loop body
+    /// stores to. The invariant register bound by a worker's entry replay
+    /// races the main chunk's stores, so the replay's reads must stay in the
+    /// chunk's load set — dropping them with the replayed writes would let a
+    /// chunk computed from a mid-loop value of `g` commit.
+    #[test]
+    fn entry_code_reads_participate_in_conflict_detection() {
+        let n: i64 = 160;
+        let mut program = Program::new();
+        let nodes = program.add_global("nodes", (n + 4) * 2);
+        let g = program.add_global("g", 1);
+        let mut b = FunctionBuilder::new("entry_bound");
+        let head = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let base = b.load(g, 0); // entry: bind the invariant from memory
+        let c = b.copy(head);
+        let sum = b.copy(0i64);
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let v = b.load(c, 0);
+        let bv = b.binop(BinOp::Add, base, v);
+        let s = b.binop(BinOp::Add, sum, bv);
+        b.copy_into(sum, s);
+        b.store(bv, g, 0); // the body overwrites what the entry read
+        let nx = b.load(c, 1);
+        b.copy_into(c, nx);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(sum)));
+        let f = program.add_func(b.finish());
+
+        let mut backend = NativeLoopBackend::new(4);
+        backend
+            .load(program, f, LoadOptions::new(4096, Some(n as u64)))
+            .unwrap();
+        {
+            let mem = backend.mem_mut();
+            mem.write(g, 1000).unwrap();
+            for i in 0..n {
+                let addr = nodes + 2 * i;
+                let next = if i + 1 < n { addr + 2 } else { 0 };
+                mem.write(addr, i + 1).unwrap();
+                mem.write(addr + 1, next).unwrap();
+            }
+        }
+        for inv in 0..5 {
+            // Host mirror: base is g's value at entry, fixed per invocation.
+            let base = backend.mem().read(g).unwrap();
+            let expected: i64 = (1..=n).map(|v| base + v).sum();
+            let report = backend.run_invocation(&[nodes]).unwrap();
+            assert_eq!(report.return_value, Some(expected), "invocation {inv}");
+            assert_eq!(backend.mem().read(g).unwrap(), base + n, "invocation {inv}");
+        }
+    }
+
+    #[test]
+    fn assume_independent_policy_skips_detection() {
+        // Same conflict-carrying loop, detection off: results may be stale,
+        // but no DependenceViolation may ever be reported. (This documents
+        // that AssumeIndependent really is the caller's assertion.)
+        let n: i64 = 120;
+        let (program, f, nodes) = chained_increment_program(n + 4);
+        let mut backend = NativeLoopBackend::new(3);
+        let options = LoadOptions::new(4096, Some(n as u64))
+            .with_conflict_policy(spice_ir::exec::ConflictPolicy::AssumeIndependent);
+        backend.load(program, f, options).unwrap();
+        {
+            let mem = backend.mem_mut();
+            for i in 0..n {
+                let addr = nodes + 2 * i;
+                let next = if i + 1 < n { addr + 2 } else { 0 };
+                mem.write(addr, 1).unwrap();
+                mem.write(addr + 1, next).unwrap();
+            }
+        }
+        for _ in 0..4 {
+            let report = backend.run_invocation(&[nodes]).unwrap();
+            assert!(report
+                .misspeculation_causes()
+                .iter()
+                .all(|c| !matches!(c, MisspeculationCause::DependenceViolation { .. })));
+        }
     }
 
     #[test]

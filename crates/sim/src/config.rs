@@ -92,6 +92,11 @@ pub struct MachineConfig {
     pub heap_words: usize,
     /// Upper bound on simulated cycles before a run is declared hung.
     pub max_cycles: u64,
+    /// Whether the memory system tracks speculative read sets and committed
+    /// write sets for cross-chunk conflict detection (paper §3, "Conflict
+    /// Detection"). Answering a `spec.check` requires it; with it off the
+    /// machine behaves like the pre-subsystem model (no conflicts reported).
+    pub conflict_detection: bool,
 }
 
 impl MachineConfig {
@@ -132,6 +137,7 @@ impl MachineConfig {
             inter_core_latency: 16,
             heap_words: 4 * 1024 * 1024,
             max_cycles: 2_000_000_000,
+            conflict_detection: true,
         }
     }
 
@@ -180,6 +186,7 @@ impl MachineConfig {
             inter_core_latency: 4,
             heap_words: 64 * 1024,
             max_cycles: 50_000_000,
+            conflict_detection: true,
         }
     }
 

@@ -9,10 +9,12 @@
 //! squashed. This is the substrate on which both the Spice-transformed code
 //! and the baseline TLS schemes are timed (paper §5).
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use spice_ir::exec::AccessSet;
 use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState, ThreadStatus};
 use spice_ir::{BlockId, FuncId, InstClass, Program, TrapKind};
 
@@ -58,6 +60,101 @@ impl ChannelNet {
     }
 }
 
+/// The memory system's cross-chunk conflict detection (paper §3, "Conflict
+/// Detection"): per-core speculative read sets mirrored at word granularity
+/// into [`AccessSet`]s, plus the union of every write committed during the
+/// current loop invocation ("epoch") — the main thread's direct stores and
+/// the buffers of committed speculative chunks. A `spec.check` instruction
+/// asks whether a core's read set intersects the epoch's committed writes;
+/// a positive verdict is sticky for the epoch so it can be attributed in the
+/// per-core report. Interior mutability because the query runs inside
+/// another core's instruction step (the machine is single-threaded; every
+/// borrow is short-lived).
+///
+/// The tracker mirrors the read stream instead of consuming
+/// [`SpecBuffer::read_set`] because a `spec.check` executed by core 0 needs
+/// core *k*'s read set while core 0's own `SpecBuffer` is mutably borrowed
+/// by its memory port — the per-core buffers are unreachable from there.
+/// Both recorders share one semantics (store-forwarded loads are excluded);
+/// see [`SpecBuffer::load`] for the rule and keep the two in sync.
+#[derive(Debug)]
+struct ConflictTracker {
+    enabled: bool,
+    epoch_writes: RefCell<AccessSet>,
+    read_sets: RefCell<Vec<AccessSet>>,
+    /// First conflicting word address found per core this epoch, if any.
+    verdicts: RefCell<Vec<Option<i64>>>,
+}
+
+impl ConflictTracker {
+    fn new(cores: usize, enabled: bool) -> Self {
+        ConflictTracker {
+            enabled,
+            epoch_writes: RefCell::new(AccessSet::new()),
+            read_sets: RefCell::new(vec![AccessSet::new(); cores]),
+            verdicts: RefCell::new(vec![None; cores]),
+        }
+    }
+
+    /// Records a speculative load that missed the core's own store buffer.
+    fn record_read(&self, core: usize, addr: i64) {
+        if self.enabled {
+            self.read_sets.borrow_mut()[core].insert(addr);
+        }
+    }
+
+    /// Records a write that became architectural (a non-speculative store or
+    /// one address of a committed speculative buffer).
+    fn record_write(&self, addr: i64) {
+        if self.enabled {
+            self.epoch_writes.borrow_mut().insert(addr);
+        }
+    }
+
+    /// Ends a core's speculative chunk (commit or abort): its read set is
+    /// consumed; the verdict, if any, stays for reporting.
+    fn end_chunk(&self, core: usize) {
+        if self.enabled {
+            self.read_sets.borrow_mut()[core].clear();
+        }
+    }
+
+    /// Answers a `spec.check`: 1 if `core`'s read set intersects the writes
+    /// committed so far this epoch.
+    fn query(&self, core: i64) -> i64 {
+        if !self.enabled {
+            return 0;
+        }
+        let Ok(idx) = usize::try_from(core) else {
+            return 0;
+        };
+        let reads = self.read_sets.borrow();
+        let Some(set) = reads.get(idx) else { return 0 };
+        match set.first_overlap(&self.epoch_writes.borrow()) {
+            Some(addr) => {
+                self.verdicts.borrow_mut()[idx].get_or_insert(addr);
+                1
+            }
+            None => 0,
+        }
+    }
+
+    fn verdict(&self, core: usize) -> Option<i64> {
+        self.verdicts.borrow().get(core).copied().flatten()
+    }
+
+    /// Starts a new epoch (loop invocation): all sets and verdicts reset.
+    fn clear_epoch(&self) {
+        self.epoch_writes.borrow_mut().clear();
+        for s in self.read_sets.borrow_mut().iter_mut() {
+            s.clear();
+        }
+        for v in self.verdicts.borrow_mut().iter_mut() {
+            *v = None;
+        }
+    }
+}
+
 /// Why a core spent a cycle without retiring an instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StallKind {
@@ -87,6 +184,12 @@ pub struct CoreReport {
     pub spec_commits: u64,
     /// Speculative aborts (squashes) executed.
     pub spec_aborts: u64,
+    /// Cross-chunk dependence conflicts this core's read set was found
+    /// guilty of by a `spec.check` during the last invocation (0 or 1 per
+    /// invocation; the check verdict is sticky per epoch).
+    pub spec_conflicts: u64,
+    /// Smallest conflicting word address behind `spec_conflicts`, if any.
+    pub spec_conflict_addr: Option<i64>,
     /// Loads/stores classified by the level that served them.
     pub mem: MemAccessStats,
     /// Retired-instruction counts by class.
@@ -168,6 +271,7 @@ struct CoreMemPort<'a> {
     mem: &'a mut FlatMemory,
     hier: &'a mut MemoryHierarchy,
     spec: &'a mut SpecBuffer,
+    conflicts: &'a ConflictTracker,
     core: usize,
     latency: u64,
 }
@@ -178,6 +282,11 @@ impl MemPort for CoreMemPort<'_> {
         self.latency += lat;
         if let Some(v) = self.spec.load(addr) {
             return Ok(v);
+        }
+        if self.spec.is_active() {
+            // A speculative load that missed the store buffer may observe a
+            // stale word: it joins the conflict detector's read set.
+            self.conflicts.record_read(self.core, addr);
         }
         self.mem.read(addr)
     }
@@ -192,6 +301,10 @@ impl MemPort for CoreMemPort<'_> {
             self.spec.store(addr, value);
             Ok(())
         } else {
+            // Non-speculative stores are architectural immediately; they are
+            // the epoch's committed-write set as far as later chunks are
+            // concerned (the main thread's chunk 0 in a Spice loop).
+            self.conflicts.record_write(addr);
             self.mem.write(addr, value)
         }
     }
@@ -204,6 +317,7 @@ impl MemPort for CoreMemPort<'_> {
 struct CoreSysPort<'a> {
     channels: &'a mut ChannelNet,
     resteers: &'a mut Vec<(i64, BlockId)>,
+    conflicts: &'a ConflictTracker,
     now: u64,
     comm_latency: u64,
     spec_action: Option<SpecAction>,
@@ -229,6 +343,10 @@ impl SysPort for CoreSysPort<'_> {
 
     fn spec_abort(&mut self) {
         self.spec_action = Some(SpecAction::Abort);
+    }
+
+    fn spec_conflict(&mut self, core: i64) -> i64 {
+        self.conflicts.query(core)
     }
 
     fn resteer(&mut self, core: i64, target: BlockId) {
@@ -319,6 +437,7 @@ pub struct Machine {
     cores: Vec<CoreState>,
     channels: ChannelNet,
     resteer_requests: Vec<(i64, BlockId)>,
+    conflicts: ConflictTracker,
     cycle: u64,
     activity: Option<ActivityTrace>,
 }
@@ -331,6 +450,7 @@ impl Machine {
         let mem = FlatMemory::for_program(&program, config.heap_words);
         let hier = MemoryHierarchy::new(&config);
         let cores = (0..config.cores).map(|_| CoreState::new()).collect();
+        let conflicts = ConflictTracker::new(config.cores, config.conflict_detection);
         Machine {
             config,
             program,
@@ -339,6 +459,7 @@ impl Machine {
             cores,
             channels: ChannelNet::default(),
             resteer_requests: Vec::new(),
+            conflicts,
             cycle: 0,
             activity: None,
         }
@@ -416,6 +537,9 @@ impl Machine {
         }
         self.channels = ChannelNet::default();
         self.resteer_requests.clear();
+        // A fresh set of threads is a fresh loop invocation: the conflict
+        // epoch (committed writes, read sets, verdicts) starts over.
+        self.conflicts.clear_epoch();
     }
 
     /// Resets the cycle counter to zero (per-invocation timing).
@@ -469,12 +593,14 @@ impl Machine {
                     mem: &mut self.mem,
                     hier: &mut self.hier,
                     spec: &mut self.cores[i].spec,
+                    conflicts: &self.conflicts,
                     core: i,
                     latency: 0,
                 };
                 let mut sys_port = CoreSysPort {
                     channels: &mut self.channels,
                     resteers: &mut self.resteer_requests,
+                    conflicts: &self.conflicts,
                     now,
                     comm_latency: self.config.inter_core_latency,
                     spec_action: None,
@@ -514,16 +640,21 @@ impl Machine {
                                 let mut extra = 0;
                                 for (addr, value) in writes {
                                     // Committed writes drain through the
-                                    // hierarchy like ordinary stores.
+                                    // hierarchy like ordinary stores, and
+                                    // join the epoch's committed-write set
+                                    // for later chunks' conflict checks.
                                     let (lat, _) = self.hier.store(i, addr);
                                     extra += lat.min(self.config.l2.hit_latency);
+                                    self.conflicts.record_write(addr);
                                     let _ = self.mem.write(addr, value);
                                 }
+                                self.conflicts.end_chunk(i);
                                 self.cores[i].busy_until += extra;
                             }
                             Some(SpecAction::Abort) => {
                                 core.spec.abort();
                                 core.report.spec_aborts += 1;
+                                self.conflicts.end_chunk(i);
                             }
                             None => {}
                         }
@@ -650,6 +781,8 @@ impl Machine {
             .map(|(i, c)| {
                 let mut report = c.report.clone();
                 report.mem = self.hier.stats(i);
+                report.spec_conflict_addr = self.conflicts.verdict(i);
+                report.spec_conflicts = u64::from(report.spec_conflict_addr.is_some());
                 report.trapped = c.thread.as_ref().and_then(|t| match t.status() {
                     ThreadStatus::Trapped(k) => Some(k),
                     _ => None,
@@ -825,6 +958,64 @@ mod tests {
         m.run().unwrap();
         assert_eq!(m.mem().read(result).unwrap(), 0, "spec store leaked");
         assert_eq!(m.mem().read(result + 1).unwrap(), 9, "commit not visible");
+    }
+
+    /// Core 1 speculatively reads `g`; core 0 stores `g` non-speculatively
+    /// and then asks the conflict detector about core 1 — the RAW violation
+    /// must be reported, attributed to core 1 with the conflicting address.
+    fn conflict_check_program() -> (Program, i64, i64, FuncId, FuncId) {
+        let mut p = Program::new();
+        let g = p.add_global("g", 1);
+        let verdict = p.add_global("verdict", 1);
+
+        let mut reader = FunctionBuilder::new("reader");
+        reader.push(Inst::SpecBegin);
+        let v = reader.load(g, 0);
+        reader.send(0i64, v);
+        let _ = reader.recv(1i64);
+        reader.push(Inst::SpecAbort);
+        reader.ret(None);
+        let rf = p.add_func(reader.finish());
+
+        let mut checker = FunctionBuilder::new("checker");
+        let _ = checker.recv(0i64);
+        checker.store(7i64, g, 0);
+        let c = checker.spec_check(1i64);
+        checker.store(c, verdict, 0);
+        checker.send(1i64, 1i64);
+        checker.ret(None);
+        let cf = p.add_func(checker.finish());
+        (p, g, verdict, rf, cf)
+    }
+
+    #[test]
+    fn spec_check_reports_cross_core_raw_conflicts() {
+        let (p, g, verdict, rf, cf) = conflict_check_program();
+        let mut m = Machine::new(tiny(2), p);
+        m.spawn(0, cf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.mem().read(verdict).unwrap(), 1, "conflict must be seen");
+        assert_eq!(summary.cores[1].spec_conflicts, 1);
+        assert_eq!(summary.cores[1].spec_conflict_addr, Some(g));
+        assert_eq!(summary.cores[0].spec_conflicts, 0);
+
+        // A fresh invocation epoch forgets the verdict and the sets.
+        m.clear_threads();
+        assert_eq!(m.summary().cores[1].spec_conflicts, 0);
+    }
+
+    #[test]
+    fn spec_check_is_inert_when_detection_disabled() {
+        let (p, _, verdict, rf, cf) = conflict_check_program();
+        let mut cfg = tiny(2);
+        cfg.conflict_detection = false;
+        let mut m = Machine::new(cfg, p);
+        m.spawn(0, cf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.mem().read(verdict).unwrap(), 0);
+        assert_eq!(summary.cores[1].spec_conflicts, 0);
     }
 
     #[test]

@@ -56,13 +56,22 @@ impl SpecBuffer {
     }
 
     /// Observes a speculative load: returns the buffered value if this core
-    /// wrote `addr` speculatively, and records `addr` in the read set.
+    /// wrote `addr` speculatively. Loads that miss the store buffer are
+    /// recorded in the read set; store-forwarded loads are **not** — they
+    /// return this core's own (logically newer) value and can never observe
+    /// a stale word, so including them would only create false conflicts
+    /// with logically earlier writers of the same address. The machine's
+    /// `ConflictTracker` mirrors this exact rule for its cross-core
+    /// `spec.check` queries; change them together.
     pub fn load(&mut self, addr: i64) -> Option<i64> {
         if !self.active {
             return None;
         }
+        if let Some(v) = self.writes.get(&addr) {
+            return Some(*v);
+        }
         self.read_set.insert(addr);
-        self.writes.get(&addr).copied()
+        None
     }
 
     /// Leaves speculative execution, returning the buffered writes in first
@@ -139,8 +148,35 @@ mod tests {
         assert!(b.store(11, 2));
         assert_eq!(b.load(10), Some(1));
         assert_eq!(b.load(99), None); // not written here -> caller reads memory
-        assert!(b.read_set().contains(&10));
+        assert!(
+            !b.read_set().contains(&10),
+            "store-forwarded loads never observe stale data"
+        );
         assert!(b.read_set().contains(&99));
+    }
+
+    #[test]
+    fn read_before_own_write_stays_in_read_set() {
+        // Word granularity and ordering: a load that *preceded* this core's
+        // own store to the same word went to shared memory and may have been
+        // stale — it must stay visible to the conflict check even after the
+        // word joins the write set.
+        let mut b = SpecBuffer::new();
+        b.begin();
+        assert_eq!(b.load(40), None);
+        assert!(b.store(40, 5));
+        assert_eq!(b.load(40), Some(5));
+        assert!(b.read_set().contains(&40));
+
+        let mut earlier = SpecBuffer::new();
+        earlier.begin();
+        earlier.store(40, 9);
+        assert!(b.conflicts_with(&earlier));
+        // The adjacent word does not alias.
+        let mut neighbor = SpecBuffer::new();
+        neighbor.begin();
+        neighbor.store(41, 9);
+        assert!(!b.conflicts_with(&neighbor));
     }
 
     #[test]
@@ -190,6 +226,42 @@ mod tests {
         writer.begin();
         writer.store(100, 9);
         assert!(!writer.conflicts_with(&earlier));
+    }
+
+    #[test]
+    fn commit_clears_read_and_write_sets_for_the_next_chunk() {
+        let mut b = SpecBuffer::new();
+        b.begin();
+        b.store(7, 1);
+        b.load(8);
+        let _ = b.take_commit();
+        assert!(b.write_set().is_empty());
+        assert!(b.read_set().is_empty(), "commit ends the chunk's epoch");
+
+        let mut writer = SpecBuffer::new();
+        writer.begin();
+        writer.store(8, 3);
+        assert!(
+            !b.conflicts_with(&writer),
+            "a committed chunk's old reads must not poison the next check"
+        );
+    }
+
+    #[test]
+    fn overlapping_read_and_write_sets_intersect_per_word() {
+        let mut earlier = SpecBuffer::new();
+        earlier.begin();
+        for a in [64, 65, 66] {
+            earlier.store(a, a);
+        }
+        let mut later = SpecBuffer::new();
+        later.begin();
+        later.load(63); // same page, different word: no conflict
+        assert!(!later.conflicts_with(&earlier));
+        later.load(66); // exact word overlap
+        assert!(later.conflicts_with(&earlier));
+        later.abort();
+        assert!(!later.conflicts_with(&earlier), "abort clears the read set");
     }
 
     #[test]

@@ -18,23 +18,28 @@
 #![warn(rust_2018_idioms)]
 
 pub mod arena;
+pub mod conflict;
 pub mod ks;
 pub mod mcf;
 pub mod otter;
 pub mod sjeng;
 pub mod suite;
 
-use spice_ir::exec::LoadOptions;
+use spice_ir::exec::{LoadOptions, MisspeculationCause};
 use spice_ir::interp::FlatMemory;
 use spice_ir::{BlockId, FuncId, Program};
 
 pub use spice_ir::exec::ExecutionBackend;
 
+pub use conflict::{ConflictConfig, ConflictListWorkload};
 pub use ks::{KsConfig, KsWorkload};
 pub use mcf::{McfConfig, McfWorkload};
 pub use otter::{OtterConfig, OtterWorkload};
 pub use sjeng::{SjengConfig, SjengWorkload};
-pub use suite::{fig8_corpus, ChurnListWorkload, Suite, SuiteBenchmark};
+pub use suite::{
+    conflict_benchmarks, conflict_benchmarks_small, fig8_corpus, ChurnListWorkload, Suite,
+    SuiteBenchmark,
+};
 
 /// An IR program containing one workload's target loop.
 #[derive(Debug, Clone)]
@@ -112,6 +117,14 @@ pub struct BackendRunSummary {
     pub return_values: Vec<Option<i64>>,
     /// Number of invocations with at least one squashed chunk.
     pub misspeculated_invocations: usize,
+    /// Total speculative chunks committed across all invocations.
+    pub committed_chunks: usize,
+    /// Total speculative chunks squashed across all invocations.
+    pub squashed_chunks: usize,
+    /// Squashes caused by a cross-chunk memory dependence violation
+    /// ([`MisspeculationCause::DependenceViolation`]) — nonzero whenever the
+    /// conflict-detection subsystem actually fired.
+    pub dependence_violations: usize,
     /// Per-invocation, per-thread work counters (main thread first).
     pub work_per_thread: Vec<Vec<u64>>,
 }
@@ -168,6 +181,9 @@ pub fn run_workload_on(
         total_cost: 0,
         return_values: Vec::new(),
         misspeculated_invocations: 0,
+        committed_chunks: 0,
+        squashed_chunks: 0,
+        dependence_violations: 0,
         work_per_thread: Vec::new(),
     };
     let mut inv = 0usize;
@@ -192,6 +208,13 @@ pub fn run_workload_on(
         if report.misspeculated {
             summary.misspeculated_invocations += 1;
         }
+        summary.committed_chunks += report.committed_chunks;
+        summary.squashed_chunks += report.squashed_chunks;
+        summary.dependence_violations += report
+            .misspeculation_causes()
+            .iter()
+            .filter(|c| matches!(c, MisspeculationCause::DependenceViolation { .. }))
+            .count();
         summary.work_per_thread.push(report.work_per_thread.clone());
         match workload.next_invocation(backend.mem_mut(), inv) {
             Some(a) => {
@@ -261,6 +284,32 @@ mod tests {
             assert!(!w.description().is_empty());
             assert!(!w.loop_name().is_empty());
             assert!(w.invocations() > 1);
+        }
+    }
+
+    #[test]
+    fn conflict_benchmarks_build_and_run_sequentially() {
+        let names: Vec<&str> = conflict_benchmarks().iter().map(|w| w.name()).collect();
+        assert_eq!(names, vec!["mcf_true", "list_splice"]);
+        for mut w in conflict_benchmarks_small() {
+            let built = w.build();
+            spice_ir::verify::verify_program(&built.program)
+                .unwrap_or_else(|e| panic!("{} failed verification: {e:?}", w.name()));
+            let mut mem = FlatMemory::for_program(&built.program, 256 * 1024);
+            let mut args = w.init(&mut mem);
+            for inv in 0..3 {
+                let expected = w.expected_result(&mem);
+                let out =
+                    spice_ir::interp::run_function(&built.program, built.kernel, &args, &mut mem)
+                        .unwrap_or_else(|e| panic!("{} trapped: {e}", w.name()));
+                if let Some(exp) = expected {
+                    assert_eq!(out.return_value, Some(exp), "{} invocation {inv}", w.name());
+                }
+                match w.next_invocation(&mut mem, inv) {
+                    Some(a) => args = a,
+                    None => break,
+                }
+            }
         }
     }
 

@@ -8,13 +8,20 @@
 //! load imbalance the paper observes for this benchmark — and it stores to
 //! every node it visits, which exercises the speculative store buffers.
 //!
-//! **Substitution note (see `DESIGN.md`):** real `refresh_potential` computes
-//! `node->potential` from `node->pred->potential`, a cross-chunk memory
-//! dependence that the paper's hardware would need conflict detection to
-//! track. To keep the reproduction's parallel executions bit-equal to the
-//! sequential ones without that hardware, the potential here is computed
-//! from the node's own fields and a per-invocation base value; the traversal
-//! structure, store traffic and iteration-count variability are unchanged.
+//! Two kernels share the traversal (see `DESIGN.md` §3.4):
+//!
+//! * [`McfWorkload::new`] — the **dependence-free control**: the potential is
+//!   computed from the node's own fields and a per-invocation base value.
+//!   Parallel chunks are independent by construction, so this variant
+//!   measures the speculation machinery with no conflicts in play.
+//! * [`McfWorkload::new_faithful`] — the **faithful kernel**
+//!   (`mcf_refresh_potential_true`): like the real `refresh_potential`, the
+//!   potential is computed from `node->pred->potential`, a cross-chunk
+//!   memory flow dependence. A speculative chunk whose start node's ancestors
+//!   were updated by an earlier chunk reads their *stale* potentials, so the
+//!   conflict-detection subsystem (`ConflictPolicy::Detect`) must catch the
+//!   RAW violation at commit and squash for results to stay bit-identical to
+//!   sequential execution — exactly the hardware contract the paper assumes.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,6 +72,9 @@ impl Default for McfConfig {
 #[derive(Debug, Clone)]
 pub struct McfWorkload {
     config: McfConfig,
+    /// Faithful kernel (potential from `pred->potential`) vs. the
+    /// dependence-free control (potential from the node's own fields).
+    faithful: bool,
     arena: Option<RecordArena>,
     /// parent[i] for every node except the root (node 0).
     parent: Vec<usize>,
@@ -73,16 +83,29 @@ pub struct McfWorkload {
 }
 
 impl McfWorkload {
-    /// Creates the workload with the given configuration.
+    /// Creates the dependence-free control variant (see the module docs).
     #[must_use]
     pub fn new(config: McfConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
         McfWorkload {
             config,
+            faithful: false,
             arena: None,
             parent: Vec::new(),
             base_potential: 0,
             rng,
+        }
+    }
+
+    /// Creates the faithful `mcf_refresh_potential_true` variant: every
+    /// node's potential is computed from its predecessor's, carrying a
+    /// cross-chunk memory flow dependence that only runs correctly under
+    /// conflict detection.
+    #[must_use]
+    pub fn new_faithful(config: McfConfig) -> Self {
+        McfWorkload {
+            faithful: true,
+            ..McfWorkload::new(config)
         }
     }
 
@@ -132,31 +155,60 @@ impl McfWorkload {
     }
 
     /// The potential every node should hold after an invocation (host
-    /// mirror of the kernel's arithmetic).
+    /// mirror of the kernel's arithmetic). For the faithful variant this
+    /// folds the whole predecessor chain, root potential first.
     #[must_use]
     pub fn reference_potential(&self, mem: &FlatMemory, node: usize) -> i64 {
         let arena = self.arena();
-        let cost = arena.read(mem, node, COST).expect("in bounds");
-        let orient = arena.read(mem, node, ORIENT).expect("in bounds");
-        if orient != 0 {
-            self.base_potential + cost
-        } else {
-            self.base_potential - cost
+        let step = |n: usize, base: i64| -> i64 {
+            let cost = arena.read(mem, n, COST).expect("in bounds");
+            let orient = arena.read(mem, n, ORIENT).expect("in bounds");
+            if orient != 0 {
+                base + cost
+            } else {
+                base - cost
+            }
+        };
+        if !self.faithful {
+            return step(node, self.base_potential);
         }
+        let mut chain = Vec::new();
+        let mut n = node;
+        while n != 0 {
+            chain.push(n);
+            n = self.parent[n];
+        }
+        let mut pot = self.base_potential; // the root's potential
+        for &n in chain.iter().rev() {
+            pot = step(n, pot);
+        }
+        pot
     }
 }
 
 impl SpiceWorkload for McfWorkload {
     fn name(&self) -> &'static str {
-        "181.mcf"
+        if self.faithful {
+            "mcf_true"
+        } else {
+            "181.mcf"
+        }
     }
 
     fn description(&self) -> &'static str {
-        "vehicle scheduling (network simplex)"
+        if self.faithful {
+            "network simplex, faithful pred-potential chain"
+        } else {
+            "vehicle scheduling (network simplex)"
+        }
     }
 
     fn loop_name(&self) -> &'static str {
-        "refresh_potential"
+        if self.faithful {
+            "refresh_potential_true"
+        } else {
+            "refresh_potential"
+        }
     }
 
     fn paper_hotness(&self) -> f64 {
@@ -176,7 +228,11 @@ impl SpiceWorkload for McfWorkload {
         ));
 
         // refresh_potential(root, base) -> checksum (#nodes updated).
-        let mut b = FunctionBuilder::new("refresh_potential");
+        let mut b = FunctionBuilder::new(if self.faithful {
+            "mcf_refresh_potential_true"
+        } else {
+            "refresh_potential"
+        });
         let root = b.param();
         let base = b.param();
         let pre = b.new_labeled_block("preheader");
@@ -202,12 +258,21 @@ impl SpiceWorkload for McfWorkload {
         let done = b.binop(BinOp::Eq, node, 0i64);
         b.cond_br(done, exit, body);
 
-        // body: recompute this node's potential and bump the checksum.
+        // body: recompute this node's potential and bump the checksum. The
+        // faithful kernel reads the predecessor's potential — the real
+        // `refresh_potential`'s cross-chunk flow dependence — while the
+        // control derives it from the invocation-wide base value.
         b.switch_to(body);
         let cost = b.load(node, COST);
         let orient = b.load(node, ORIENT);
-        let up = b.binop(BinOp::Add, base, cost);
-        let down = b.binop(BinOp::Sub, base, cost);
+        let basis = if self.faithful {
+            let pred_ptr = b.load(node, PRED);
+            b.load(pred_ptr, POTENTIAL)
+        } else {
+            base
+        };
+        let up = b.binop(BinOp::Add, basis, cost);
+        let down = b.binop(BinOp::Sub, basis, cost);
         let pot = b.select(orient, up, down);
         b.store(pot, node, POTENTIAL);
         let ck = b.binop(BinOp::Add, checksum, 1i64);
@@ -285,6 +350,12 @@ impl SpiceWorkload for McfWorkload {
         arena.write(mem, 0, ORIENT, 1).expect("in bounds");
         self.relink_tree(mem);
         self.base_potential = self.rng.gen_range(1_000..=2_000);
+        // The faithful kernel reads the root's potential through its
+        // children's pred pointers; the driver (standing in for the simplex
+        // code that maintains the root) keeps it current.
+        self.arena()
+            .write(mem, 0, POTENTIAL, self.base_potential)
+            .expect("in bounds");
         self.args()
     }
 
@@ -311,6 +382,9 @@ impl SpiceWorkload for McfWorkload {
         }
         self.relink_tree(mem);
         self.base_potential = self.rng.gen_range(1_000..=2_000);
+        self.arena()
+            .write(mem, 0, POTENTIAL, self.base_potential)
+            .expect("in bounds");
         Some(self.args())
     }
 
@@ -361,6 +435,43 @@ mod tests {
                 None => break,
             }
         }
+    }
+
+    #[test]
+    fn faithful_kernel_chains_potentials_through_pred() {
+        let mut wl = McfWorkload::new_faithful(McfConfig {
+            nodes: 60,
+            invocations: 8,
+            cost_updates_per_invocation: 3,
+            reparents_per_invocation: 2,
+            seed: 11,
+        });
+        assert_eq!(wl.name(), "mcf_true");
+        assert_eq!(wl.loop_name(), "refresh_potential_true");
+        let built = wl.build();
+        let mut mem = FlatMemory::for_program(&built.program, 64 * 1024);
+        let mut args = wl.init(&mut mem);
+        for inv in 0.. {
+            let out = run_function(&built.program, built.kernel, &args, &mut mem).unwrap();
+            assert_eq!(out.return_value, Some(59), "invocation {inv}");
+            for i in 1..60 {
+                assert_eq!(
+                    wl.arena().read(&mem, i, POTENTIAL).unwrap(),
+                    wl.reference_potential(&mem, i),
+                    "node {i} invocation {inv}"
+                );
+            }
+            // Sanity: at least one non-root parent exists eventually, so the
+            // chain really is deeper than one hop.
+            match wl.next_invocation(&mut mem, inv) {
+                Some(a) => args = a,
+                None => break,
+            }
+        }
+        assert!(
+            (1..60).any(|i| wl.parent[i] != 0),
+            "test tree degenerated to a star; deepen the seed"
+        );
     }
 
     #[test]

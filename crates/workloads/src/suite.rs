@@ -18,6 +18,8 @@ use spice_ir::interp::FlatMemory;
 use spice_ir::{BinOp, Operand, Program};
 
 use crate::arena::{ListMirror, RecordArena};
+use crate::conflict::{ConflictConfig, ConflictListWorkload};
+use crate::mcf::{McfConfig, McfWorkload};
 use crate::{BuiltKernel, SpiceWorkload};
 
 const VALUE: i64 = 0;
@@ -260,6 +262,52 @@ impl SuiteBenchmark {
             })
             .collect()
     }
+}
+
+/// The conflict-carrying workloads unlocked by the memory-dependence
+/// speculation subsystem: the faithful `mcf_refresh_potential_true` kernel
+/// (every node's potential chained through `pred->potential`) and the
+/// adversarial `list_splice` loop whose writers hit successors' read regions
+/// at a controlled rate. Both *require* `ConflictPolicy::Detect` for
+/// speculative executions to stay bit-identical to sequential ones — the
+/// workload class DESIGN.md §3.4 previously had to rewrite away.
+#[must_use]
+pub fn conflict_benchmarks() -> Vec<Box<dyn SpiceWorkload>> {
+    vec![
+        Box::new(McfWorkload::new_faithful(McfConfig {
+            nodes: 2_000,
+            invocations: 10,
+            cost_updates_per_invocation: 8,
+            reparents_per_invocation: 1,
+            seed: 0x6d63_6601,
+        })),
+        Box::new(ConflictListWorkload::new(ConflictConfig {
+            len: 3_000,
+            invocations: 12,
+            conflict_rate: 0.1,
+            seed: 0x59_11CE,
+        })),
+    ]
+}
+
+/// Smaller configurations of the conflict workloads, for quick test runs.
+#[must_use]
+pub fn conflict_benchmarks_small() -> Vec<Box<dyn SpiceWorkload>> {
+    vec![
+        Box::new(McfWorkload::new_faithful(McfConfig {
+            nodes: 140,
+            invocations: 8,
+            cost_updates_per_invocation: 4,
+            reparents_per_invocation: 1,
+            seed: 0x6d63_6601,
+        })),
+        Box::new(ConflictListWorkload::new(ConflictConfig {
+            len: 150,
+            invocations: 10,
+            conflict_rate: 0.1,
+            seed: 0x59_11CE,
+        })),
+    ]
 }
 
 /// The Figure 8 corpus. Loop predictability targets are chosen so the binned
