@@ -1,0 +1,50 @@
+//! Sim ↔ native backend cross-check, as a CI gate.
+//!
+//! Runs every workload (the four paper loops plus the conflict-carrying
+//! pair, small configurations) on both execution backends through the one
+//! shared call site and compares every invocation's return value. Exits
+//! non-zero on the first disagreement — so a predictor-placement or
+//! load-balancer regression that makes the on-core (sim) and on-thread
+//! (native) implementations of Algorithm 2 drift apart fails the pipeline,
+//! not the next bench run.
+
+use spice_bench::experiments::crosscheck;
+
+fn main() {
+    let threads = 4;
+    let rows = crosscheck(threads).unwrap_or_else(|e| {
+        eprintln!("crosscheck failed to run: {e}");
+        std::process::exit(2);
+    });
+    println!("sim ↔ native cross-check ({threads} threads, small configs)");
+    println!("benchmark    invocations  sim raw-squash  native raw-squash  agree");
+    let mut ok = true;
+    for r in &rows {
+        println!(
+            "{:<12} {:>11}  {:>14}  {:>17}  {}",
+            r.benchmark,
+            r.sim.invocations,
+            r.sim.dependence_violations,
+            r.native.dependence_violations,
+            if r.agree { "yes" } else { "NO" }
+        );
+        if !r.agree {
+            eprintln!(
+                "{}: sim returned {:?}, native returned {:?}",
+                r.benchmark, r.sim.return_values, r.native.return_values
+            );
+            ok = false;
+        }
+        if r.sim.invocations != r.native.invocations {
+            eprintln!(
+                "{}: invocation counts differ (sim {}, native {})",
+                r.benchmark, r.sim.invocations, r.native.invocations
+            );
+            ok = false;
+        }
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("all {} workloads agree across backends", rows.len());
+}

@@ -2,47 +2,15 @@
 //! conflict-carrying workloads' recovery-cost rows.
 //!
 //! Prints the text table and writes `BENCH_fig7.json` (machine-readable,
-//! hand-emitted JSON — no serialization dependency) so the performance
-//! trajectory of the reproduction can accumulate across runs. There is one
-//! emit path and one artifact: `--small` selects reduced-size inputs and is
-//! recorded in the JSON's `small` field, but writes to the same file, so the
-//! trajectory always has a single source of truth. Pass `--out PATH` to
-//! redirect the JSON elsewhere.
+//! emitted through `spice_bench::json` — no serialization dependency, but
+//! names are escaped and non-finite metrics become `null`) so the
+//! performance trajectory of the reproduction can accumulate across runs.
+//! There is one emit path and one artifact: `--small` selects reduced-size
+//! inputs and is recorded in the JSON's `small` field, but writes to the
+//! same file, so the trajectory always has a single source of truth. Pass
+//! `--out PATH` to redirect the JSON elsewhere.
 
-use std::fmt::Write as _;
-
-use spice_bench::experiments::{fig7, fig7_geomean, format_fig7, Fig7Row};
-
-/// Renders the rows as a JSON document (by hand: the build environment has
-/// no serde_json, and the format is a dozen fixed fields).
-fn to_json(rows: &[Fig7Row], small: bool) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"figure\": \"fig7\",");
-    let _ = writeln!(s, "  \"small\": {small},");
-    let _ = writeln!(s, "  \"geomean_speedup_2t\": {:.6},", fig7_geomean(rows, 2));
-    let _ = writeln!(s, "  \"geomean_speedup_4t\": {:.6},", fig7_geomean(rows, 4));
-    s.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"benchmark\": \"{}\", \"threads\": {}, \"sequential_cycles\": {}, \
-             \"spice_cycles\": {}, \"speedup\": {:.6}, \"misspeculation_rate\": {:.6}, \
-             \"load_imbalance\": {:.6}, \"dependence_violations\": {}}}{comma}",
-            r.benchmark,
-            r.threads,
-            r.sequential_cycles,
-            r.spice_cycles,
-            r.speedup,
-            r.misspeculation_rate,
-            r.load_imbalance,
-            r.dependence_violations
-        );
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
+use spice_bench::experiments::{fig7, fig7_json, format_fig7};
 
 fn main() {
     let small = spice_bench::small_requested();
@@ -55,7 +23,8 @@ fn main() {
     };
     let rows = fig7(small).expect("fig7");
     print!("{}", format_fig7(&rows));
-    let json = to_json(&rows, small);
+    let json = fig7_json(&rows, small);
+    spice_bench::json::validate(&json).expect("emitted artifact must be well-formed JSON");
     std::fs::write(&out_path, &json).expect("write BENCH_fig7.json");
     eprintln!("wrote {out_path}");
 }

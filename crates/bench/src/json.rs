@@ -1,0 +1,288 @@
+//! Minimal JSON emission and validation for the bench artifacts.
+//!
+//! The build environment has no `serde_json` (the vendored `serde` is a
+//! no-op stand-in — see `DESIGN.md` §3, offline dependencies), so the bench
+//! artifacts are emitted by hand. This module centralizes the two places
+//! hand-written JSON goes wrong:
+//!
+//! * **strings** — workload names travel through [`string`], which escapes
+//!   quotes, backslashes and control characters instead of splicing raw
+//!   text between quote characters;
+//! * **floats** — metrics travel through [`float`], which maps the
+//!   non-finite values JSON cannot represent (`NaN`, `±inf` — e.g. a
+//!   speedup computed from an empty run) to `null` instead of emitting an
+//!   unparseable token.
+//!
+//! [`validate`] is a strict recursive-descent checker for the full JSON
+//! grammar; every emitted artifact is validated in tests (and cheaply at
+//! emit time by the binaries) so a malformed `BENCH_*.json` fails the build
+//! that produced it, not the consumer that reads it.
+
+/// Renders `s` as a JSON string literal, quotes included.
+#[must_use]
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `v` as a JSON number with six decimal places, or `null` when it
+/// is not finite (JSON has no NaN/Infinity).
+#[must_use]
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (full grammar:
+/// objects, arrays, strings with escapes, numbers, `true`/`false`/`null`).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, with its byte offset.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, *pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => jstring(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected `{}` at byte {}", *c as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        jstring(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn jstring(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return Err(format!("bad \\u escape at byte {}", *pos)),
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("unescaped control character at byte {}", *pos));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| -> usize {
+        let from = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos - from
+    };
+    if digits(b, pos) == 0 {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if digits(b, pos) == 0 {
+            return Err(format!("bad fraction at byte {}", *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if digits(b, pos) == 0 {
+            return Err(format!("bad exponent at byte {}", *pos));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        // Every escaped form must itself validate.
+        for s in ["plain", "a\"b", "back\\slash", "new\nline", "\u{7}"] {
+            validate(&string(s)).unwrap();
+        }
+    }
+
+    #[test]
+    fn floats_map_non_finite_to_null() {
+        assert_eq!(float(1.5), "1.500000");
+        assert_eq!(float(-0.25), "-0.250000");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float(f64::INFINITY), "null");
+        assert_eq!(float(f64::NEG_INFINITY), "null");
+        validate(&float(f64::NAN)).unwrap();
+        validate(&float(2.0 / 3.0)).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for ok in [
+            "null",
+            "true",
+            "-12.5e+3",
+            "\"hi \\u0041\"",
+            "[]",
+            "{}",
+            "[1, 2, [3, {\"k\": null}]]",
+            "{\"a\": 1, \"b\": [true, \"x\"]}",
+            "  {\n\"a\"\t: 0.5}  ",
+        ] {
+            validate(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "nul",
+            "NaN",
+            "inf",
+            "01x",
+            "1.",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": }",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"raw \n newline\"",
+            "{} trailing",
+        ] {
+            assert!(validate(bad).is_err(), "accepted malformed input: {bad}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 
 /// Returns `true` when the process arguments request a reduced-size run.
 #[must_use]

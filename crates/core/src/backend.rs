@@ -87,6 +87,14 @@ impl SimBackend {
     pub fn runner(&self) -> Option<&SpiceRunner> {
         self.loaded.as_ref().map(|l| &l.runner)
     }
+
+    /// The threshold assignments the on-core centralized predictor step
+    /// wrote for the most recent invocation, reconstructed from simulated
+    /// memory (ordered by `sva` row). `None` before `load`.
+    #[must_use]
+    pub fn last_plan(&self) -> Option<&[crate::predictor::Assignment]> {
+        self.loaded.as_ref().map(|l| l.runner.last_plan())
+    }
 }
 
 impl ExecutionBackend for SimBackend {
@@ -131,8 +139,10 @@ impl ExecutionBackend for SimBackend {
         // independence (the checks are not emitted either).
         config.conflict_detection = options.conflict_policy.detects();
         let config = config;
+        // The runner exempts the predictor-array range from conflict
+        // detection on every invocation (see `SpiceRunner::run_invocation`).
         let machine = Machine::new(config, program);
-        let runner = SpiceRunner::new(spice, predictor);
+        let runner = SpiceRunner::new(spice);
         self.loaded = Some(SimLoaded { machine, runner });
         Ok(())
     }

@@ -14,7 +14,7 @@
 //! |---|---|---|
 //! | [`analysis`] | §4, Algorithm 1 steps 2–4 | loop live-in classification, reduction removal, the speculated set `S` |
 //! | [`transform`] | §4, Algorithm 1 | the code-generating transformation: worker creation, live-in/out communication, detection, recovery, memoization |
-//! | [`predictor`] | §4, Algorithm 2 | the speculated-values array layout and the centralized load-balancing component |
+//! | [`predictor`] | §4, Algorithm 2 | the speculated-values array layout, the reference planner, and read-only host mirrors of what the on-core centralized step wrote |
 //! | [`valuepred`] | §2.2, §7 | last-value / stride / increment-trace predictors and the Spice memoization criterion, for accuracy comparisons |
 //! | [`baseline`] | §2 | the `t1`/`t2`/`t3` analytic model of TLS with and without value prediction, and schedule rendering for Figures 2/3/5 |
 //! | [`pipeline`] | §5 | invocation-by-invocation execution of a transformed loop on the `spice-sim` machine |
@@ -24,7 +24,7 @@
 //!
 //! ```
 //! use spice_core::analysis::LoopAnalysis;
-//! use spice_core::pipeline::{predictor_options_with_estimate, SpiceRunner};
+//! use spice_core::pipeline::SpiceRunner;
 //! use spice_core::transform::{SpiceOptions, SpiceTransform};
 //! use spice_ir::builder::FunctionBuilder;
 //! use spice_ir::{BinOp, Operand, Program};
@@ -61,7 +61,7 @@
 //! let func = program.add_func(b.finish());
 //!
 //! let analysis = LoopAnalysis::analyze_outermost(&program, func).unwrap();
-//! let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
+//! let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(2, 3))
 //!     .apply(&mut program, &analysis)
 //!     .unwrap();
 //!
@@ -73,7 +73,7 @@
 //!     let next = if i < 2 { a + 2 } else { 0 };
 //!     machine.mem_mut().write(a + 1, next).unwrap();
 //! }
-//! let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(3));
+//! let mut runner = SpiceRunner::new(spice);
 //! let report = runner.run_invocation(&mut machine, &[nodes]).unwrap();
 //! assert_eq!(report.return_value, Some(4));
 //! ```
@@ -92,5 +92,5 @@ pub mod valuepred;
 pub use analysis::{Applicability, LoopAnalysis};
 pub use backend::{make_backend, make_backend_with, BackendChoice, SimBackend};
 pub use pipeline::{run_sequential, InvocationReport, PipelineError, SpiceRunner};
-pub use predictor::{HostPredictor, PredictorLayout, PredictorOptions};
+pub use predictor::{Assignment, PredictorLayout, PredictorOptions};
 pub use transform::{SpiceOptions, SpiceParallelLoop, SpiceTransform, TransformError};

@@ -1,13 +1,13 @@
 //! End-to-end orchestration: run a Spice-transformed loop, invocation by
 //! invocation, on the timing simulator.
 //!
-//! The paper's execution model pre-spawns the worker threads and reuses them
-//! across loop invocations, with a `new_invocation` token starting each one.
-//! Here each invocation (re)spawns the worker functions on their cores —
-//! which costs the same one token exchange in the timing model — and the
-//! centralized half of the value predictor runs between invocations on the
-//! host, reading and writing the same shared-memory arrays the generated
-//! code uses (see `DESIGN.md`, substitutions).
+//! Everything Algorithm 2 does now runs as simulated code: the centralized
+//! step is generated IR executing on core 0 at the start of every invocation
+//! (its cycles and the `new_invocation` token traffic appear in the per-core
+//! reports), and the distributed memoization runs inside every thread. The
+//! host side of this runner only *reads* shared memory after an invocation —
+//! to reconstruct the plan and the per-thread feedback for reports — and
+//! never writes the predictor arrays.
 
 use serde::{Deserialize, Serialize};
 
@@ -16,7 +16,7 @@ use spice_ir::{FuncId, TrapKind};
 use spice_sim::machine::RunSummary;
 use spice_sim::{InvocationStats, Machine, SimError};
 
-use crate::predictor::{HostPredictor, PredictorOptions};
+use crate::predictor::{read_feedback, read_plan, Assignment, PredictorOptions};
 use crate::transform::SpiceParallelLoop;
 
 /// Errors surfaced while running a transformed loop.
@@ -120,24 +120,26 @@ impl InvocationReport {
     }
 }
 
-/// Runs a Spice-transformed loop across invocations, driving the centralized
-/// predictor between them.
+/// Runs a Spice-transformed loop across invocations. The centralized
+/// predictor runs *inside* the simulation (core 0's generated code); this
+/// runner only spawns the threads and reads the feedback back afterwards.
 #[derive(Debug)]
 pub struct SpiceRunner {
     spice: SpiceParallelLoop,
-    predictor: HostPredictor,
     stats: InvocationStats,
+    last_plan: Vec<Assignment>,
 }
 
 impl SpiceRunner {
-    /// Creates a runner for a transformed loop.
+    /// Creates a runner for a transformed loop. Predictor behaviour
+    /// (re-memoization, load balancing, the first-invocation estimate) was
+    /// fixed at transform time via [`crate::transform::SpiceOptions`].
     #[must_use]
-    pub fn new(spice: SpiceParallelLoop, options: PredictorOptions) -> Self {
-        let predictor = HostPredictor::new(spice.layout, options);
+    pub fn new(spice: SpiceParallelLoop) -> Self {
         SpiceRunner {
             spice,
-            predictor,
             stats: InvocationStats::new(),
+            last_plan: Vec::new(),
         }
     }
 
@@ -153,14 +155,25 @@ impl SpiceRunner {
         &self.stats
     }
 
-    /// Runs a single loop invocation: prepares the predictor arrays, spawns
-    /// the main thread (with `args`) and every worker, simulates to
-    /// completion and collects predictor feedback.
+    /// The threshold assignments the on-core centralized step wrote for the
+    /// most recent invocation, reconstructed from shared memory (ordered by
+    /// `sva` row). Empty before the first invocation or when no plan was
+    /// produced.
+    #[must_use]
+    pub fn last_plan(&self) -> &[Assignment] {
+        &self.last_plan
+    }
+
+    /// Runs a single loop invocation: spawns the main thread (with `args`)
+    /// and every worker, and simulates to completion. The main thread's
+    /// entry code runs the centralized predictor step and releases the
+    /// workers with their `new_invocation` tokens; afterwards the host
+    /// *reads* the shared arrays to report the plan and the feedback.
     ///
     /// # Errors
     ///
     /// Returns a [`PipelineError`] if the simulation fails or the predictor
-    /// arrays cannot be accessed.
+    /// arrays cannot be read back.
     pub fn run_invocation(
         &mut self,
         machine: &mut Machine,
@@ -168,14 +181,20 @@ impl SpiceRunner {
     ) -> Result<InvocationReport, PipelineError> {
         machine.clear_threads();
         machine.reset_cycle_counter();
-        self.predictor.prepare_invocation(machine.mem_mut())?;
+        // The predictor arrays are runtime metadata ordered by the
+        // new_invocation token protocol; the centralized step rewrites them
+        // on core 0 every invocation, so they must not feed the
+        // program-data conflict detector (idempotent, cheap).
+        let (lo, hi) = self.spice.layout.address_range();
+        machine.set_conflict_exempt(lo, hi);
 
         machine.spawn(0, self.spice.main, args)?;
         for w in &self.spice.workers {
             machine.spawn(w.core, w.func, &[])?;
         }
         let summary = machine.run()?;
-        let feedback = self.predictor.finish_invocation(machine.mem())?;
+        self.last_plan = read_plan(&self.spice.layout, machine.mem())?;
+        let feedback = read_feedback(&self.spice.layout, machine.mem())?;
         self.stats.record(&summary, feedback.misspeculated);
 
         Ok(InvocationReport {
@@ -297,14 +316,16 @@ mod tests {
         let (mut p, f, base) = otter_program(weights.len() as i64 + 8);
         let out_global = p.add_global("out", 1);
         let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
-        let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
-            .apply(&mut p, &analysis)
-            .unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(
+            2,
+            weights.len() as u64,
+        ))
+        .apply(&mut p, &analysis)
+        .unwrap();
 
         let mut machine = Machine::new(MachineConfig::test_tiny(2), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner =
-            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
+        let mut runner = SpiceRunner::new(spice);
 
         // Several invocations over the same (unchanged) list: after the first
         // one the predictions must hit and the result stays correct.
@@ -351,13 +372,15 @@ mod tests {
 
         // Spice with 4 threads.
         let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
-        let spice = SpiceTransform::new(SpiceOptions::with_threads(4))
-            .apply(&mut p, &analysis)
-            .unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(
+            4,
+            weights.len() as u64,
+        ))
+        .apply(&mut p, &analysis)
+        .unwrap();
         let mut machine = Machine::new(MachineConfig::test_tiny(4), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner =
-            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
+        let mut runner = SpiceRunner::new(spice);
 
         let mut best_cycles = u64::MAX;
         for _ in 0..5 {
@@ -391,15 +414,17 @@ mod tests {
         let (mut p, f, base) = otter_program(weights.len() as i64 + 8);
         let out_global = p.add_global("out", 1);
         let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
-        let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
-            .apply(&mut p, &analysis)
-            .unwrap();
+        let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(
+            2,
+            weights.len() as u64,
+        ))
+        .apply(&mut p, &analysis)
+        .unwrap();
         let sva_base = spice.layout.sva_base;
 
         let mut machine = Machine::new(MachineConfig::test_tiny(2), p);
         let head = build_list(machine.mem_mut(), base, &weights);
-        let mut runner =
-            SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
+        let mut runner = SpiceRunner::new(spice);
 
         // Warm up so the sva holds a real node address.
         runner

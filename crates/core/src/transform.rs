@@ -9,8 +9,16 @@
 //!    values array (`sva`),
 //! 3. per-iteration mis-speculation detection (thread `i` compares its
 //!    current live-ins against thread `i+1`'s predicted starting live-ins),
-//! 4. the distributed half of the value predictor (Algorithm 2): work
-//!    counters and threshold-triggered memoization into the `sva`,
+//! 4. **both halves** of the value predictor (Algorithm 2): the distributed
+//!    half — work counters bumped once per completed iteration and
+//!    threshold-triggered memoization into the `sva` — in every thread, and
+//!    the **centralized half as generated IR on core 0**: at the start of
+//!    every invocation the main thread reads the previous invocation's work
+//!    counters, resets the shared arrays and writes the balanced
+//!    threshold/row lists, then releases the workers with a
+//!    `new_invocation` token on their invariant channels. Its cycles and
+//!    channel traffic land in the simulator's per-core reports; no host code
+//!    ever writes the predictor arrays,
 //! 5. recovery code in every worker (speculative-state abort + acknowledge),
 //!    reached through the remote `resteer` issued by the main thread,
 //! 6. the post-loop merge in the main thread that commits valid workers in
@@ -25,7 +33,7 @@ use spice_ir::verify::{verify_program, VerifyError};
 use spice_ir::{BinOp, BlockId, FuncId, Inst, Operand, Program, Reg};
 
 use crate::analysis::{Applicability, LoopAnalysis};
-use crate::predictor::{PredictorLayout, PredictorOptions};
+use crate::predictor::{PredictorLayout, PredictorOptions, NEVER};
 
 /// Options controlling the transformation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,8 +41,9 @@ pub struct SpiceOptions {
     /// Total number of threads (main + speculative workers). Must be ≥ 2.
     pub threads: usize,
     /// Predictor behaviour (re-memoization, load balancing, initial
-    /// estimate) — consumed by [`crate::predictor::HostPredictor`], carried
-    /// here so a single options value configures a whole run.
+    /// estimate) — baked into the generated centralized-step code on core 0
+    /// and into the seeded work counter, so a single options value
+    /// configures a whole run at transform time.
     pub predictor: PredictorOptions,
     /// How cross-chunk memory dependences are treated. Under the default
     /// [`ConflictPolicy::Detect`], the main thread's merge chain emits a
@@ -50,6 +59,21 @@ impl SpiceOptions {
         SpiceOptions {
             threads,
             predictor: PredictorOptions::default(),
+            conflict_policy: ConflictPolicy::default(),
+        }
+    }
+
+    /// Options for `threads` threads with a first-invocation work estimate —
+    /// the common case for workloads that know their iteration count, so the
+    /// very first centralized step already has a work model to plan from.
+    #[must_use]
+    pub fn with_threads_and_estimate(threads: usize, iterations: u64) -> Self {
+        SpiceOptions {
+            threads,
+            predictor: PredictorOptions {
+                initial_work_estimate: Some(iterations),
+                ..PredictorOptions::default()
+            },
             conflict_policy: ConflictPolicy::default(),
         }
     }
@@ -229,7 +253,12 @@ impl SpiceTransform {
             return Err(TransformError::NotApplicable(Applicability::TooFewThreads));
         }
 
-        let layout = PredictorLayout::allocate(program, t, analysis.speculated.len());
+        let layout = PredictorLayout::allocate_seeded(
+            program,
+            t,
+            analysis.speculated.len(),
+            self.options.predictor.initial_work_estimate,
+        );
 
         // Registers the loop body actually mentions (used to filter invariant
         // live-ins that are merely live *through* the loop).
@@ -300,6 +329,7 @@ impl SpiceTransform {
             &invariants_sent,
             &workers,
             self.options.conflict_policy,
+            &self.options.predictor,
         );
 
         if let Err(errs) = verify_program(program) {
@@ -352,9 +382,16 @@ fn build_liveout_groups(analysis: &LoopAnalysis) -> Vec<LiveOutGroup> {
     groups
 }
 
-/// Emits the Algorithm 2 memoization blocks into `b`. Returns
-/// `(memo_entry_block, continue_target_is_set_by_caller)`; the caller must
-/// have positioned `header_target` as the block to continue with.
+/// Emits the Algorithm 2 memoization blocks into `b`. The caller must have
+/// positioned `header_target` as the block to continue with.
+///
+/// `my_work` is *not* incremented here: the work counter counts completed
+/// iterations and is bumped on the latch path (see the `spice.bump` blocks),
+/// so the final pass through detection on loop exit does not inflate it.
+/// Firing on `my_work >= threshold` therefore memoizes the live-ins after
+/// exactly `threshold` completed iterations — the same point at which the
+/// native runtime memoizes (`iterations >= threshold` at its loop top),
+/// keeping the two backends' predictor states in lockstep.
 #[allow(clippy::too_many_arguments)]
 fn emit_memoization(
     b: &mut FunctionBuilder,
@@ -368,11 +405,9 @@ fn emit_memoization(
 ) {
     let do_memo = b.new_labeled_block("spice.do_memo");
     b.switch_to(memo_bb);
-    let w2 = b.binop(BinOp::Add, my_work, 1i64);
-    b.copy_into(my_work, w2);
     let svat_addr = b.binop(BinOp::Add, memo_idx, layout.svat_addr(tid, 0));
     let thresh = b.load(svat_addr, 0);
-    let fire = b.binop(BinOp::Gt, my_work, thresh);
+    let fire = b.binop(BinOp::Ge, my_work, thresh);
     b.cond_br(fire, do_memo, header_target);
 
     b.switch_to(do_memo);
@@ -386,6 +421,149 @@ fn emit_memoization(
     let idx2 = b.binop(BinOp::Add, memo_idx, 1i64);
     b.copy_into(memo_idx, idx2);
     b.br(header_target);
+}
+
+/// Emits the latch-side work bump block: each completed iteration (back-edge
+/// traversal) counts one unit of predictor work before re-entering
+/// detection. The entry pass and the final exit pass do not count, so the
+/// work counters equal completed iterations on every thread — the same
+/// definition the native runtime uses.
+fn emit_work_bump(b: &mut FunctionBuilder, bump_bb: BlockId, my_work: Reg, check_bb: BlockId) {
+    b.switch_to(bump_bb);
+    let w2 = b.binop(BinOp::Add, my_work, 1i64);
+    b.copy_into(my_work, w2);
+    b.br(check_bb);
+}
+
+/// Emits the centralized half of Algorithm 2 as IR, entered from the main
+/// function's preheader at the start of every invocation — *before* the
+/// `new_invocation` token releases the workers, so its reads and writes of
+/// the shared arrays are ordered against everything else by construction.
+///
+/// The generated code mirrors [`crate::predictor::plan`] exactly:
+///
+/// 1. read the per-thread work counters of the previous invocation, sum
+///    them, and reset the counters and the status word;
+/// 2. unless memoize-once already produced a plan, and provided any work
+///    was observed, place the `t - 1` chunk boundaries: boundary `k` sits at
+///    global work `⌊k·total/t⌋`, belongs to the first thread whose work
+///    range contains it (zero-work threads skipped — computed as a
+///    descending select chain so the lowest matching thread wins), and is
+///    appended to that thread's threshold/row lists at its cursor
+///    (boundaries are processed in ascending order, so each list stays
+///    sorted);
+/// 3. terminate every thread's list with one ∞ sentinel entry. The
+///    distributed half scans its list strictly forward from entry 0 and
+///    can never advance past a sentinel, so entries beyond it need no
+///    clearing — writing one terminator per thread replaces a full-array
+///    reset and keeps the step's memory traffic proportional to the plan.
+///
+/// The per-boundary loop is fully unrolled: `t` is a transform-time
+/// constant, and the handful of arithmetic operations per boundary is
+/// exactly the cost the paper attributes to the centralized step — now paid
+/// in simulated cycles (and cache/coherence traffic) on core 0 instead of
+/// invisibly on the host.
+fn emit_centralized(
+    b: &mut FunctionBuilder,
+    layout: &PredictorLayout,
+    options: &PredictorOptions,
+    entry_bb: BlockId,
+    done_bb: BlockId,
+) {
+    let t = layout.threads;
+    b.switch_to(entry_bb);
+    // 1. Read the previous invocation's counters, then reset them.
+    let work: Vec<Reg> = (0..t).map(|tid| b.load(layout.work_addr(tid), 0)).collect();
+    let mut total = work[0];
+    for w in &work[1..] {
+        total = b.binop(BinOp::Add, total, *w);
+    }
+    for tid in 0..t {
+        b.store(0i64, layout.work_addr(tid), 0);
+    }
+    b.store(0i64, layout.status_base, 0);
+
+    // 2. Gate: memoize-once short-circuits to the clear path once a plan
+    // was produced; so does an empty work model.
+    let plan_bb = b.new_labeled_block("spice.central.plan");
+    let clear_bb = b.new_labeled_block("spice.central.clear");
+    if !options.rememoize {
+        let fresh_bb = b.new_labeled_block("spice.central.fresh");
+        let flag = b.load(layout.flag_base, 0);
+        b.cond_br(flag, clear_bb, fresh_bb);
+        b.switch_to(fresh_bb);
+    }
+    let have_work = b.binop(BinOp::Ne, total, 0i64);
+    b.cond_br(have_work, plan_bb, clear_bb);
+
+    // No plan this invocation: empty every list with a sentinel at entry 0.
+    b.switch_to(clear_bb);
+    for tid in 0..t {
+        b.store(NEVER, layout.svat_addr(tid, 0), 0);
+    }
+    b.br(done_bb);
+
+    b.switch_to(plan_bb);
+    if options.load_balance {
+        for tid in 0..t {
+            b.store(0i64, layout.cidx_addr(tid), 0);
+        }
+        let mut prefix: Vec<Reg> = Vec::with_capacity(t + 1);
+        prefix.push(b.copy(0i64));
+        for i in 0..t {
+            let p = b.binop(BinOp::Add, prefix[i], work[i]);
+            prefix.push(p);
+        }
+        for k in 1..t {
+            let scaled = b.binop(BinOp::Mul, total, k as i64);
+            let g = b.binop(BinOp::Div, scaled, t as i64);
+            let mut tid = b.copy((t - 1) as i64);
+            let mut tid_prefix = b.copy(prefix[t - 1]);
+            for i in (0..t).rev() {
+                let active = b.binop(BinOp::Gt, work[i], 0i64);
+                let contains = b.binop(BinOp::Le, g, prefix[i + 1]);
+                let hit = b.binop(BinOp::And, active, contains);
+                tid = b.select(hit, i as i64, tid);
+                tid_prefix = b.select(hit, prefix[i], tid_prefix);
+            }
+            let raw = b.binop(BinOp::Sub, g, tid_prefix);
+            let threshold = b.binop(BinOp::Max, raw, 1i64);
+            let cursor_addr = b.binop(BinOp::Add, tid, layout.cidx_base);
+            let cursor = b.load(cursor_addr, 0);
+            let list_off = b.binop(BinOp::Mul, tid, layout.max_entries as i64);
+            let slot = b.binop(BinOp::Add, list_off, cursor);
+            let svat_slot = b.binop(BinOp::Add, slot, layout.svat_base);
+            b.store(threshold, svat_slot, 0);
+            let svai_slot = b.binop(BinOp::Add, slot, layout.svai_base);
+            b.store((k - 1) as i64, svai_slot, 0);
+            let bumped = b.binop(BinOp::Add, cursor, 1i64);
+            b.store(bumped, cursor_addr, 0);
+        }
+        // 3. Terminators, one per thread, at each final cursor.
+        for tid in 0..t {
+            let cursor = b.load(layout.cidx_addr(tid), 0);
+            let slot = b.binop(BinOp::Add, cursor, layout.svat_addr(tid, 0));
+            b.store(NEVER, slot, 0);
+        }
+    } else {
+        // Without load balancing every boundary belongs to thread 0 and the
+        // local threshold equals the global one; terminators are static.
+        for k in 1..t {
+            let scaled = b.binop(BinOp::Mul, total, k as i64);
+            let g = b.binop(BinOp::Div, scaled, t as i64);
+            let threshold = b.binop(BinOp::Max, g, 1i64);
+            b.store(threshold, layout.svat_addr(0, k - 1), 0);
+            b.store((k - 1) as i64, layout.svai_addr(0, k - 1), 0);
+        }
+        b.store(NEVER, layout.svat_addr(0, t - 1), 0);
+        for tid in 1..t {
+            b.store(NEVER, layout.svat_addr(tid, 0), 0);
+        }
+    }
+    if !options.rememoize {
+        b.store(1i64, layout.flag_base, 0);
+    }
+    b.br(done_bb);
 }
 
 /// Emits the live-in comparison of the detection code: `all_eq = (r0 == p0)
@@ -426,6 +604,7 @@ fn build_worker(
 
     // Auxiliary blocks.
     let check_bb = b.new_labeled_block("spice.check");
+    let bump_bb = b.new_labeled_block("spice.bump");
     let memo_bb = b.new_labeled_block("spice.memo");
     let hit_bb = b.new_labeled_block("spice.hit");
     let exit_bb = b.new_labeled_block("spice.exit");
@@ -443,7 +622,12 @@ fn build_worker(
         b.func_mut().block_mut(nb).terminator = term;
     }
 
-    // Preamble (entry block).
+    // Preamble (entry block). The first receive is the `new_invocation`
+    // token: this pre-spawned worker blocks here until the main thread's
+    // centralized step has rewritten the predictor arrays for the new
+    // invocation, so every later read of `sva`/`svat`/`svai` is ordered
+    // after those writes (the paper's pre-spawned-worker handshake).
+    let _token = b.recv(chans.invariant);
     for r in invariants_sent {
         if let Some(lr) = local(*r) {
             b.recv_into(lr, chans.invariant);
@@ -494,7 +678,7 @@ fn build_worker(
         b.cond_br(all_eq, hit_bb, memo_bb);
     }
 
-    // Memoization blocks.
+    // Memoization blocks, plus the latch-side work bump.
     emit_memoization(
         &mut b,
         layout,
@@ -505,6 +689,7 @@ fn build_worker(
         memo_bb,
         cloned_header,
     );
+    emit_work_bump(&mut b, bump_bb, my_work, check_bb);
 
     // Hit block (successor speculated correctly).
     b.switch_to(hit_bb);
@@ -536,12 +721,13 @@ fn build_worker(
     b.push(Inst::Halt);
     b.ret(None);
 
-    // Redirect back edges of the cloned loop through the check block: every
-    // cloned predecessor of the cloned header now branches to `check`.
+    // Redirect back edges of the cloned loop through the work bump and the
+    // check block: every cloned predecessor of the cloned header now counts
+    // the completed iteration, then runs detection.
     let cloned_blocks: Vec<BlockId> = analysis.blocks.iter().map(|sb| bmap[sb]).collect();
     for nb in &cloned_blocks {
         let term = &mut b.func_mut().block_mut(*nb).terminator;
-        term.remap_blocks(|t| if t == cloned_header { check_bb } else { t });
+        term.remap_blocks(|t| if t == cloned_header { bump_bb } else { t });
     }
 
     let func = program.add_func(b.finish());
@@ -554,10 +740,13 @@ fn build_worker(
 /// [`ConflictPolicy::Detect`]):
 ///
 /// ```text
-/// preheader ─▶ check ──resumed──▶ memo ─▶ header ─▶ body … latch ─▶ check
-///                └─▶ compare ──hit──▶ merge ──resumed──▶ finish
-///                        └─▶ memo        └─▶ chain ─▶ w1.dispatch …
-/// dispatch(k) ─valid──▶ w(k).valid: recv status; spec.check core k
+/// preheader ─▶ central: read work, reset arrays ──▶ central.plan ─▶ dispatch
+///                                  └──(no work / memoize-once)──▶ dispatch
+/// dispatch: new_invocation tokens + invariants ─▶ check
+/// check ──resumed──▶ memo ─▶ header ─▶ body … latch ─▶ bump(work+=1) ─▶ check
+///   └─▶ compare ──hit──▶ merge ──resumed──▶ finish
+///           └─▶ memo        └─▶ chain ─▶ w1.dispatch …
+/// w(k).dispatch ─valid──▶ w(k).valid: recv status; spec.check core k
 ///                │          ├─conflict─▶ w(k).conflict: resteer, ack,
 ///                │          │            still_valid=0, need_resume=1
 ///                │          └─▶ w(k).commit: command, live-outs, ack
@@ -566,6 +755,11 @@ fn build_worker(
 ///   └─▶ finish: publish predictor feedback ─▶ exit    from the violated
 ///                                                     boundary itself)
 /// ```
+///
+/// `central` is the centralized half of Algorithm 2 running on core 0 (see
+/// [`emit_centralized`]); the workers block on the `new_invocation` token
+/// until `dispatch` releases them, so the centralized step is ordered before
+/// every worker access to the predictor arrays.
 #[allow(clippy::too_many_arguments)]
 fn rewrite_main(
     program: &mut Program,
@@ -575,6 +769,7 @@ fn rewrite_main(
     invariants_sent: &[Reg],
     workers: &[WorkerInfo],
     conflict_policy: ConflictPolicy,
+    predictor: &PredictorOptions,
 ) {
     let func = analysis.func;
     let exit_from = analysis.exit_edge.0;
@@ -605,7 +800,10 @@ fn rewrite_main(
     let resumed = b.fresh();
     let pred_regs: Vec<Reg> = analysis.speculated.iter().map(|_| b.fresh()).collect();
 
+    let central_bb = b.new_labeled_block("spice.central");
+    let dispatch_bb = b.new_labeled_block("spice.dispatch");
     let check_bb = b.new_labeled_block("spice.check");
+    let bump_bb = b.new_labeled_block("spice.bump");
     let compare_bb = b.new_labeled_block("spice.compare");
     let memo_bb = b.new_labeled_block("spice.memo");
     let hit_bb = b.new_labeled_block("spice.hit");
@@ -615,9 +813,16 @@ fn rewrite_main(
     let resume_bb = b.new_labeled_block("spice.resume");
     let finish_bb = b.new_labeled_block("spice.finish");
 
-    // --- Preheader: send invariant live-ins, load predictions, init state.
-    b.switch_to(analysis.preheader);
+    // --- Centralized predictor step (Algorithm 2's second half), on core 0,
+    // entered from the preheader at the start of every invocation.
+    emit_centralized(&mut b, layout, predictor, central_bb, dispatch_bb);
+
+    // --- Dispatch: release every pre-spawned worker with its
+    // `new_invocation` token, send the invariant live-ins, load this
+    // invocation's boundary prediction and initialize the loop state.
+    b.switch_to(dispatch_bb);
     for w in workers {
+        b.send(w.channels.invariant, 1i64);
         for r in invariants_sent {
             b.send(w.channels.invariant, *r);
         }
@@ -631,6 +836,11 @@ fn rewrite_main(
     for (j, p) in pred_regs.iter().enumerate() {
         b.load_into(*p, layout.sva_addr(0, j), 0);
     }
+    b.br(check_bb);
+
+    // --- Latch-side work bump: one predictor work unit per completed
+    // iteration.
+    emit_work_bump(&mut b, bump_bb, my_work, check_bb);
 
     // --- Detection block: after a squash-resume, the memoized boundaries
     // are behind the main thread, so the comparison is skipped.
@@ -781,13 +991,17 @@ fn rewrite_main(
     b.br(exit_target);
 
     // --- Redirect control flow:
-    //  * every branch to the loop header now goes through the check block,
+    //  * the preheader enters through the centralized predictor step (which
+    //    dispatches the workers and falls into the check block),
+    //  * every back edge bumps the work counter, then runs detection,
     //  * the loop exit edge goes to the merge chain.
-    let mut header_preds: Vec<BlockId> = vec![analysis.preheader];
-    header_preds.extend(analysis.latches.iter().copied());
-    for p in header_preds {
+    {
+        let term = &mut b.func_mut().block_mut(analysis.preheader).terminator;
+        term.remap_blocks(|t| if t == header { central_bb } else { t });
+    }
+    for p in analysis.latches.iter().copied() {
         let term = &mut b.func_mut().block_mut(p).terminator;
-        term.remap_blocks(|t| if t == header { check_bb } else { t });
+        term.remap_blocks(|t| if t == header { bump_bb } else { t });
     }
     {
         let term = &mut b.func_mut().block_mut(exit_from).terminator;

@@ -261,23 +261,25 @@ impl ExecutionReport {
 }
 
 /// Mean, over invocations, of the coefficient of variation of per-thread
-/// work — 0 means perfectly balanced chunks. Invocations with fewer than two
-/// active threads are skipped. One definition shared by every backend's
-/// aggregate statistics, so "imbalance" means the same thing in every table.
+/// work — 0 means perfectly balanced chunks. Every thread the invocation
+/// configured counts, *including* threads that did no work: a starved
+/// worker is the worst imbalance there is, not a thread to exclude from the
+/// statistic. Invocations configured with fewer than two threads, or where
+/// no thread did any work, are skipped. One definition shared by every
+/// backend's aggregate statistics, so "imbalance" means the same thing in
+/// every table.
 #[must_use]
 pub fn work_imbalance(work_per_invocation: &[Vec<u64>]) -> f64 {
     let mut total = 0.0;
     let mut n = 0usize;
     for inv in work_per_invocation {
-        let active: Vec<f64> = inv.iter().map(|&w| w as f64).filter(|&w| w > 0.0).collect();
-        if active.len() < 2 {
+        if inv.len() < 2 || inv.iter().all(|&w| w == 0) {
             continue;
         }
-        let mean = active.iter().sum::<f64>() / active.len() as f64;
-        if mean == 0.0 {
-            continue;
-        }
-        let var = active.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / active.len() as f64;
+        let threads: Vec<f64> = inv.iter().map(|&w| w as f64).collect();
+        let mean = threads.iter().sum::<f64>() / threads.len() as f64;
+        let var =
+            threads.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / threads.len() as f64;
         total += var.sqrt() / mean;
         n += 1;
     }
@@ -482,6 +484,31 @@ mod tests {
             derive_loop_spec(&p, f, None).unwrap_err(),
             SpecError::NoSuchLoop
         );
+    }
+
+    /// Regression: an invocation where one worker starved entirely must read
+    /// as *less* balanced than one where every thread worked — the old code
+    /// filtered zero-work threads out before computing the CV, so a fully
+    /// starved `[N, 0, 0, 0]` invocation scored a perfect 0.
+    #[test]
+    fn starved_threads_count_as_imbalance() {
+        let starved = work_imbalance(&[vec![8, 0, 0, 0]]);
+        // CV of [8,0,0,0]: mean 2, stddev 2*sqrt(3).
+        assert!(
+            (starved - 3f64.sqrt()).abs() < 1e-12,
+            "starved CV was {starved}"
+        );
+        let balanced = work_imbalance(&[vec![8, 8, 8, 8]]);
+        assert!(balanced.abs() < 1e-12);
+        let skewed = work_imbalance(&[vec![6, 2, 0, 0]]);
+        assert!(
+            balanced < skewed && skewed < starved,
+            "ordering violated: balanced {balanced}, skewed {skewed}, starved {starved}"
+        );
+        // Nothing-ran invocations and single-thread vectors are still skipped.
+        assert_eq!(work_imbalance(&[vec![0, 0, 0]]), 0.0);
+        assert_eq!(work_imbalance(&[vec![100]]), 0.0);
+        assert_eq!(work_imbalance(&[]), 0.0);
     }
 
     #[test]

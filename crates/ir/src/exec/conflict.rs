@@ -242,6 +242,78 @@ mod tests {
         assert!(!empty.intersects(&a));
     }
 
+    /// Page-boundary audit: the last word of page `k` and the first word of
+    /// page `k+1` are distinct set members, never alias through the bitmap,
+    /// and the span fast-reject stays exact when two sets abut exactly at a
+    /// page boundary.
+    #[test]
+    fn page_boundary_words_never_alias() {
+        for k in [-3i64, -1, 0, 1, 7, 1_000] {
+            let last_of_k = k * PAGE_WORDS + (PAGE_WORDS - 1);
+            let first_of_next = (k + 1) * PAGE_WORDS;
+            assert_eq!(first_of_next, last_of_k + 1);
+
+            let mut a = AccessSet::new();
+            let mut b = AccessSet::new();
+            a.insert(last_of_k);
+            b.insert(first_of_next);
+            assert!(a.contains(last_of_k) && !a.contains(first_of_next), "k={k}");
+            assert!(b.contains(first_of_next) && !b.contains(last_of_k), "k={k}");
+            // Adjacent addresses across the page seam: spans touch
+            // ([.., last] vs [last+1, ..]) but the sets are disjoint.
+            assert!(!a.intersects(&b), "k={k}: seam-adjacent words aliased");
+            assert_eq!(a.first_overlap(&b), None, "k={k}");
+
+            // And a genuine overlap exactly on the seam word is found, with
+            // the seam word as the witness.
+            b.insert(last_of_k);
+            assert_eq!(a.first_overlap(&b), Some(last_of_k), "k={k}");
+            a.insert(first_of_next);
+            assert_eq!(a.first_overlap(&b), Some(last_of_k), "k={k}");
+        }
+    }
+
+    /// The overlap witness is the smallest shared address even when the
+    /// shared page straddles positive and negative page keys.
+    #[test]
+    fn overlap_across_negative_page_seam() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        // Page -1 holds [-64, -1]; page 0 holds [0, 63].
+        a.extend([-1, 0]);
+        b.extend([0, 63]);
+        assert_eq!(a.first_overlap(&b), Some(0));
+        b.insert(-1);
+        assert_eq!(a.first_overlap(&b), Some(-1), "negative page walked first");
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            vec![-1, 0],
+            "iteration crosses the seam in ascending order"
+        );
+    }
+
+    /// Span fast-reject at the boundary: sets whose `[lo, hi]` spans overlap
+    /// but whose pages interleave without sharing a word stay disjoint (the
+    /// fast path must only ever *reject*, never accept).
+    #[test]
+    fn interleaved_spans_are_not_false_conflicts() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        // a covers pages 0 and 2, b covers page 1 — spans overlap fully.
+        a.extend([10, 2 * PAGE_WORDS + 5]);
+        b.extend([PAGE_WORDS, PAGE_WORDS + 63]);
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+        // Same page, complementary bitmap halves: still disjoint.
+        let mut lo_half = AccessSet::new();
+        let mut hi_half = AccessSet::new();
+        lo_half.extend(0..32);
+        hi_half.extend(32..64);
+        assert!(!lo_half.intersects(&hi_half));
+        hi_half.insert(31);
+        assert_eq!(lo_half.first_overlap(&hi_half), Some(31));
+    }
+
     #[test]
     fn clear_recycles_the_set() {
         let mut s = AccessSet::new();

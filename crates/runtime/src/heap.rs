@@ -118,6 +118,40 @@ impl SharedHeap {
     pub fn words_mut(&mut self) -> &mut [i64] {
         self.words.get_mut()
     }
+
+    /// Overwrites the whole heap from `src` — the between-invocations mirror
+    /// of a mutated canonical memory image into a *persistent* shared heap.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be in a single-threaded phase: no worker may be
+    /// reading or writing any word concurrently (in the Spice runtime this
+    /// holds between invocations, after every worker has reported its chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the heap length.
+    pub unsafe fn overwrite(&self, src: &[i64]) {
+        let words = &mut *self.words.get();
+        assert_eq!(src.len(), words.len(), "heap image length changed");
+        words.copy_from_slice(src);
+    }
+
+    /// Copies the whole heap into `dst` — the post-invocation commit of the
+    /// shared heap back into the canonical memory image.
+    ///
+    /// # Safety
+    ///
+    /// Same single-threaded-phase contract as [`SharedHeap::overwrite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len()` differs from the heap length.
+    pub unsafe fn snapshot_into(&self, dst: &mut [i64]) {
+        let words = &*self.words.get();
+        assert_eq!(dst.len(), words.len(), "heap image length changed");
+        dst.copy_from_slice(words);
+    }
 }
 
 /// A speculative view of a [`SharedHeap`]: reads see the thread's own

@@ -80,6 +80,13 @@ impl ChannelNet {
 #[derive(Debug)]
 struct ConflictTracker {
     enabled: bool,
+    /// Half-open address range `[lo, hi)` excluded from tracking: the value
+    /// predictor's shared arrays (`sva`/`svat`/`svai`/`work`/…). They are
+    /// runtime metadata whose accesses are ordered by the `new_invocation`
+    /// token protocol, not program data — the centralized step rewrites them
+    /// on core 0 at the start of every invocation, and without the exemption
+    /// each worker's in-loop threshold loads would read as RAW violations.
+    exempt: Option<(i64, i64)>,
     epoch_writes: RefCell<AccessSet>,
     read_sets: RefCell<Vec<AccessSet>>,
     /// First conflicting word address found per core this epoch, if any.
@@ -90,15 +97,20 @@ impl ConflictTracker {
     fn new(cores: usize, enabled: bool) -> Self {
         ConflictTracker {
             enabled,
+            exempt: None,
             epoch_writes: RefCell::new(AccessSet::new()),
             read_sets: RefCell::new(vec![AccessSet::new(); cores]),
             verdicts: RefCell::new(vec![None; cores]),
         }
     }
 
+    fn is_exempt(&self, addr: i64) -> bool {
+        self.exempt.is_some_and(|(lo, hi)| addr >= lo && addr < hi)
+    }
+
     /// Records a speculative load that missed the core's own store buffer.
     fn record_read(&self, core: usize, addr: i64) {
-        if self.enabled {
+        if self.enabled && !self.is_exempt(addr) {
             self.read_sets.borrow_mut()[core].insert(addr);
         }
     }
@@ -106,7 +118,7 @@ impl ConflictTracker {
     /// Records a write that became architectural (a non-speculative store or
     /// one address of a committed speculative buffer).
     fn record_write(&self, addr: i64) {
-        if self.enabled {
+        if self.enabled && !self.is_exempt(addr) {
             self.epoch_writes.borrow_mut().insert(addr);
         }
     }
@@ -493,6 +505,15 @@ impl Machine {
     #[must_use]
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Excludes the half-open address range `[lo, hi)` from conflict
+    /// detection. Used for the value predictor's shared arrays: their
+    /// accesses are ordered by the `new_invocation` token protocol, so a
+    /// conflict on them is a false positive by construction (the paper's
+    /// hardware watches program data, not the software predictor's state).
+    pub fn set_conflict_exempt(&mut self, lo: i64, hi: i64) {
+        self.conflicts.exempt = Some((lo, hi));
     }
 
     /// Enables activity tracing with the given window (in cycles).
@@ -1003,6 +1024,20 @@ mod tests {
         // A fresh invocation epoch forgets the verdict and the sets.
         m.clear_threads();
         assert_eq!(m.summary().cores[1].spec_conflicts, 0);
+    }
+
+    #[test]
+    fn exempt_range_is_invisible_to_conflict_detection() {
+        // Same RAW pattern as above, but `g` sits inside the exempt range —
+        // the predictor-array case: ordered by protocol, never a conflict.
+        let (p, g, verdict, rf, cf) = conflict_check_program();
+        let mut m = Machine::new(tiny(2), p);
+        m.set_conflict_exempt(g, g + 1);
+        m.spawn(0, cf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(m.mem().read(verdict).unwrap(), 0);
+        assert_eq!(summary.cores[1].spec_conflicts, 0);
     }
 
     #[test]

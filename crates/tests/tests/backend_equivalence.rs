@@ -97,6 +97,99 @@ fn tree_update_equivalent_across_backends() {
     }
 }
 
+/// Property: the *predictor plans* — not just the results — are identical
+/// across backends. The centralized half of Algorithm 2 now runs on the
+/// measured substrate in both implementations (generated IR on core 0 in
+/// the simulator, the pool's dedicated thread in the native runtime), so
+/// nothing host-side keeps them honest anymore: this test pins them to one
+/// another, assignment for assignment, across every invocation of a skewed
+/// workload (the first invocation's work vector is the fully starved
+/// `[N, 0, …, 0]`, later ones spread out as predictions converge).
+#[test]
+fn predictor_plans_identical_across_backends() {
+    use spice_core::backend::SimBackend;
+    use spice_ir::exec::{ExecutionBackend, LoadOptions};
+    use spice_runtime::NativeLoopBackend;
+
+    for (case, threads) in [(0u64, 2usize), (1, 3), (2, 4)] {
+        let config = OtterConfig {
+            initial_len: 90 + case as usize * 40,
+            inserts_per_invocation: 3,
+            invocations: 6,
+            seed: 0x9_1a7 ^ case,
+        };
+        let mut sim_wl: Box<dyn SpiceWorkload> = Box::new(OtterWorkload::new(config.clone()));
+        let mut nat_wl: Box<dyn SpiceWorkload> = Box::new(OtterWorkload::new(config.clone()));
+        let mut sim = SimBackend::tiny(threads);
+        let mut nat = NativeLoopBackend::new(threads);
+
+        let built = sim_wl.build();
+        let mut options = LoadOptions::new(
+            spice_workloads::DEFAULT_WORKLOAD_HEAP_WORDS,
+            Some(sim_wl.expected_iterations()),
+        );
+        options.loop_header = built.loop_header_hint;
+        sim.load(built.program, built.kernel, options).unwrap();
+        let built = nat_wl.build();
+        let mut nat_options = LoadOptions::new(
+            spice_workloads::DEFAULT_WORKLOAD_HEAP_WORDS,
+            Some(nat_wl.expected_iterations()),
+        );
+        nat_options.loop_header = built.loop_header_hint;
+        nat.load(built.program, built.kernel, nat_options).unwrap();
+
+        let mut sim_args = sim_wl.init(sim.mem_mut());
+        let mut nat_args = nat_wl.init(nat.mem_mut());
+        assert_eq!(sim_args, nat_args, "drivers must start identically");
+
+        let mut inv = 0usize;
+        loop {
+            let rs = sim.run_invocation(&sim_args).unwrap();
+            let rn = nat.run_invocation(&nat_args).unwrap();
+            assert_eq!(
+                rs.return_value, rn.return_value,
+                "case {case}: results diverged at invocation {inv}"
+            );
+            // The plans are deterministic functions of the work vectors, so
+            // pin those first for a sharper failure message.
+            assert_eq!(
+                rs.work_per_thread, rn.work_per_thread,
+                "case {case}: work counters diverged at invocation {inv}"
+            );
+            let sim_plan: Vec<(usize, i64, usize)> = sim
+                .last_plan()
+                .expect("loaded")
+                .iter()
+                .map(|a| (a.tid, a.threshold, a.row))
+                .collect();
+            let nat_plan: Vec<(usize, i64, usize)> = nat
+                .last_plan()
+                .expect("loaded")
+                .into_iter()
+                .map(|(tid, threshold, row)| (tid, threshold as i64, row))
+                .collect();
+            assert_eq!(
+                sim_plan, nat_plan,
+                "case {case}: Assignment sequences diverged at invocation {inv}"
+            );
+            match (
+                sim_wl.next_invocation(sim.mem_mut(), inv),
+                nat_wl.next_invocation(nat.mem_mut(), inv),
+            ) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b, "drivers must mutate identically");
+                    sim_args = a;
+                    nat_args = b;
+                }
+                (None, None) => break,
+                _ => panic!("case {case}: drivers ended at different invocations"),
+            }
+            inv += 1;
+        }
+        assert!(inv >= 4, "case {case}: too few invocations exercised");
+    }
+}
+
 /// Eight threads also agree (more chunks, more boundaries, more commits).
 #[test]
 fn eight_threads_agree_on_both_example_loops() {

@@ -4,7 +4,7 @@
 //! mis-speculation.
 
 use spice_core::analysis::LoopAnalysis;
-use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::pipeline::{run_sequential, SpiceRunner};
 use spice_core::transform::{SpiceOptions, SpiceTransform};
 use spice_sim::{Machine, MachineConfig};
 use spice_workloads::{paper_benchmarks_small, SpiceWorkload};
@@ -38,13 +38,13 @@ fn check_workload(mut make: impl FnMut() -> Box<dyn SpiceWorkload>, threads: usi
     let mut program = built.program;
     let analysis =
         LoopAnalysis::analyze_outermost(&program, built.kernel).expect("loop analyzable");
-    let spice = SpiceTransform::new(SpiceOptions::with_threads(threads))
+    let estimate = wl.expected_iterations();
+    let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(threads, estimate))
         .apply(&mut program, &analysis)
         .expect("transformation applies");
     let mut machine = Machine::new(MachineConfig::test_tiny(threads), program);
     let mut args = wl.init(machine.mem_mut());
-    let estimate = wl.expected_iterations();
-    let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(estimate));
+    let mut runner = SpiceRunner::new(spice);
     let mut inv = 0usize;
     loop {
         let expected_host = wl.expected_result(machine.mem());
@@ -146,13 +146,13 @@ fn sjeng_actually_misspeculates_sometimes() {
     let built = wl.build();
     let mut program = built.program;
     let analysis = LoopAnalysis::analyze_outermost(&program, built.kernel).unwrap();
-    let spice = SpiceTransform::new(SpiceOptions::with_threads(4))
+    let estimate = wl.expected_iterations();
+    let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(4, estimate))
         .apply(&mut program, &analysis)
         .unwrap();
     let mut machine = Machine::new(MachineConfig::test_tiny(4), program);
     let mut args = wl.init(machine.mem_mut());
-    let estimate = wl.expected_iterations();
-    let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(estimate));
+    let mut runner = SpiceRunner::new(spice);
     let mut inv = 0usize;
     loop {
         runner.run_invocation(&mut machine, &args).unwrap();

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use spice_core::analysis::LoopAnalysis;
-use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::pipeline::{run_sequential, SpiceRunner};
 use spice_core::transform::{SpiceOptions, SpiceTransform};
 use spice_ir::builder::FunctionBuilder;
 use spice_ir::verify::verify_program;
@@ -107,11 +107,11 @@ fn spice_equals_sequential_on_random_lists() {
         // Spice over the same sequence of lists.
         let (mut p, f, nodes) = list_min_program(capacity);
         let analysis = LoopAnalysis::analyze_outermost(&p, f).unwrap();
-        let spice = SpiceTransform::new(SpiceOptions::with_threads(threads))
+        let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(threads, n as u64))
             .apply(&mut p, &analysis)
             .unwrap();
         let mut machine = Machine::new(MachineConfig::test_tiny(threads), p);
-        let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(n as u64));
+        let mut runner = SpiceRunner::new(spice);
         for (k, ord) in orders.iter().enumerate() {
             let head = write_list(&mut machine, nodes, ord, &weights);
             let report = runner.run_invocation(&mut machine, &[head]).unwrap();
@@ -145,15 +145,12 @@ fn transformation_structurally_sound() {
 /// non-positive threshold, whatever the observed work distribution.
 #[test]
 fn predictor_plans_are_in_range() {
-    use spice_core::predictor::{HostPredictor, PredictorLayout, PredictorOptions};
+    use spice_core::predictor::{plan, PredictorOptions};
     for case in 0u64..40 {
         let mut rng = StdRng::seed_from_u64(0x9E37 ^ (case * 131));
         let threads = rng.gen_range(2..8usize);
         let work: Vec<u64> = (0..threads).map(|_| rng.gen_range(0..5_000u64)).collect();
-        let mut p = Program::new();
-        let layout = PredictorLayout::allocate(&mut p, threads, 3);
-        let predictor = HostPredictor::new(layout, PredictorOptions::default());
-        for a in predictor.plan(&work) {
+        for a in plan(threads, &PredictorOptions::default(), &work) {
             assert!(
                 a.row < threads - 1,
                 "case {case}: row {} out of range",

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use spice_core::analysis::LoopAnalysis;
-use spice_core::pipeline::{predictor_options_with_estimate, run_sequential, SpiceRunner};
+use spice_core::pipeline::{run_sequential, SpiceRunner};
 use spice_core::transform::{SpiceOptions, SpiceTransform};
 use spice_ir::builder::FunctionBuilder;
 use spice_ir::{BinOp, FuncId, Operand, Program};
@@ -73,12 +73,15 @@ fn main() {
         analysis.reductions.reductions.len(),
         analysis.live.invariant.len()
     );
-    let spice = SpiceTransform::new(SpiceOptions::with_threads(2))
-        .apply(&mut program, &analysis)
-        .expect("transformation");
+    let spice = SpiceTransform::new(SpiceOptions::with_threads_and_estimate(
+        2,
+        weights.len() as u64,
+    ))
+    .apply(&mut program, &analysis)
+    .expect("transformation");
     let mut machine = Machine::new(MachineConfig::itanium2_cmp().with_cores(2), program);
     let head = write_list(&mut machine, nodes, &weights);
-    let mut runner = SpiceRunner::new(spice, predictor_options_with_estimate(weights.len() as u64));
+    let mut runner = SpiceRunner::new(spice);
 
     // Invocation 1 trains the predictor; invocation 2 runs chunked.
     let mut last = None;
