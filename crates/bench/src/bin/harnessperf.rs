@@ -1,0 +1,63 @@
+//! Harness wall-clock benchmark: how much host time one simulated cycle
+//! costs, per workload and mode, over the Figure 7 suite.
+//!
+//! Writes `BENCH_harness.json` (through `spice_bench::json`) so harness-speed
+//! regressions become visible trajectory data next to the simulated-number
+//! artifacts. `--small` selects the reduced-size inputs; `--out PATH`
+//! redirects the artifact.
+//!
+//! `--check` is the CI perf-smoke mode: instead of writing, it re-runs the
+//! suite and compares the measured overall host-ns-per-simulated-cycle
+//! against the committed `BENCH_harness.json`, failing only past a generous
+//! threshold (shared runners are noisy; the gate is for order-of-magnitude
+//! regressions, not percent drift). The committed artifact is full-size;
+//! `--check --small` still compares against it, since ns-per-cycle is a
+//! size-independent rate.
+
+use spice_bench::experiments::{
+    format_harnessperf, harness_ns_per_cycle, harnessperf, harnessperf_json,
+};
+
+/// A fresh run must stay within this factor of the committed
+/// ns-per-simulated-cycle. Generous on purpose: CI machines differ from the
+/// machine that committed the baseline.
+const CHECK_FACTOR: f64 = 4.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = spice_bench::small_requested();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_harness.json".to_string());
+
+    let rows = harnessperf(small).expect("harnessperf");
+    print!("{}", format_harnessperf(&rows));
+
+    if check {
+        let committed = std::fs::read_to_string(&out_path)
+            .unwrap_or_else(|e| panic!("--check needs the committed {out_path}: {e}"));
+        let baseline = spice_bench::json::extract_number(&committed, "ns_per_simulated_cycle")
+            .expect("committed artifact has ns_per_simulated_cycle");
+        let measured = harness_ns_per_cycle(&rows);
+        println!(
+            "perf-smoke: measured {measured:.1} ns/cycle vs committed {baseline:.1} \
+             (limit {CHECK_FACTOR}x)"
+        );
+        if !measured.is_finite() || measured > baseline * CHECK_FACTOR {
+            eprintln!(
+                "harness-speed regression: {measured:.1} ns/cycle exceeds \
+                 {CHECK_FACTOR}x the committed {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let json = harnessperf_json(&rows, small);
+    spice_bench::json::validate(&json).expect("emitted artifact must be well-formed JSON");
+    std::fs::write(&out_path, &json).expect("write BENCH_harness.json");
+    eprintln!("wrote {out_path}");
+}

@@ -426,6 +426,191 @@ pub fn table1() -> Vec<(String, String)> {
     MachineConfig::itanium2_cmp().table1_rows()
 }
 
+/// One timed harness run: a workload in one execution mode, with the host
+/// time it took and the simulated cycles it covered.
+#[derive(Debug, Clone)]
+pub struct HarnessPerfRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `"sequential"`, or `"spiceN"` for an N-thread Spice run.
+    pub mode: String,
+    /// Total simulated cycles of the run.
+    pub simulated_cycles: u64,
+    /// Host wall-clock nanoseconds the run took (workload build, transform
+    /// and simulation — everything a bench invocation waits for).
+    pub host_nanos: u128,
+}
+
+impl HarnessPerfRow {
+    /// Host nanoseconds per simulated cycle — the harness-speed metric the
+    /// perf-smoke trajectory tracks.
+    #[must_use]
+    pub fn ns_per_cycle(&self) -> f64 {
+        if self.simulated_cycles == 0 {
+            f64::NAN
+        } else {
+            self.host_nanos as f64 / self.simulated_cycles as f64
+        }
+    }
+}
+
+/// Measures harness speed over the Figure 7 suite: every workload runs
+/// sequentially and under Spice (2 and 4 threads) with host wall-clock and
+/// simulated-cycle totals recorded per run. This is the same work `fig7`
+/// performs — the *simulated* numbers are identical by construction — but
+/// the deliverable is host seconds, so harness-speed regressions become
+/// visible trajectory data in `BENCH_harness.json`.
+///
+/// # Errors
+///
+/// Returns the first failure encountered.
+pub fn harnessperf(small: bool) -> Result<Vec<HarnessPerfRow>, String> {
+    let mut rows = Vec::new();
+    for (name, factory) in all_workload_factories(small) {
+        let started = std::time::Instant::now();
+        let mut seq_wl = factory();
+        let sequential_cycles = run_workload_sequential(seq_wl.as_mut())?;
+        rows.push(HarnessPerfRow {
+            benchmark: name.to_string(),
+            mode: "sequential".to_string(),
+            simulated_cycles: sequential_cycles,
+            host_nanos: started.elapsed().as_nanos(),
+        });
+        for &threads in &[2usize, 4] {
+            let started = std::time::Instant::now();
+            let mut wl = factory();
+            let estimate = wl.expected_iterations();
+            let result = run_workload_spice(
+                wl.as_mut(),
+                threads,
+                predictor_options_with_estimate(estimate),
+            )?;
+            rows.push(HarnessPerfRow {
+                benchmark: name.to_string(),
+                mode: format!("spice{threads}"),
+                simulated_cycles: result.cycles,
+                host_nanos: started.elapsed().as_nanos(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Total host seconds of a harness-perf run.
+#[must_use]
+pub fn harness_total_seconds(rows: &[HarnessPerfRow]) -> f64 {
+    rows.iter().map(|r| r.host_nanos as f64 / 1e9).sum()
+}
+
+/// Overall host-ns-per-simulated-cycle of a harness-perf run.
+#[must_use]
+pub fn harness_ns_per_cycle(rows: &[HarnessPerfRow]) -> f64 {
+    let cycles: u64 = rows.iter().map(|r| r.simulated_cycles).sum();
+    let nanos: u128 = rows.iter().map(|r| r.host_nanos).sum();
+    if cycles == 0 {
+        f64::NAN
+    } else {
+        nanos as f64 / cycles as f64
+    }
+}
+
+/// The pre-PR harness speed, measured with this same `harnessperf` binary
+/// compiled against the tree as of commit `b8fd225` (the last commit before
+/// the event-driven core and pre-decoded dispatch landed), on the same host,
+/// full-size suite. Kept here so the committed `BENCH_harness.json` shows
+/// the before/after pair that motivated the rework; update it only when the
+/// baseline is deliberately re-measured.
+pub const PRE_PR_TOTAL_HOST_SECONDS: f64 = 1.727;
+/// See [`PRE_PR_TOTAL_HOST_SECONDS`].
+pub const PRE_PR_NS_PER_CYCLE: f64 = 85.3;
+
+/// Renders harness-perf rows as the `BENCH_harness.json` document through
+/// [`crate::json`] (names escaped, non-finite metrics → `null`).
+#[must_use]
+pub fn harnessperf_json(rows: &[HarnessPerfRow], small: bool) -> String {
+    use std::fmt::Write as _;
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"figure\": \"harness\",");
+    let _ = writeln!(s, "  \"small\": {small},");
+    let _ = writeln!(
+        s,
+        "  \"pre_pr_total_host_seconds\": {},",
+        crate::json::float(PRE_PR_TOTAL_HOST_SECONDS)
+    );
+    let _ = writeln!(
+        s,
+        "  \"pre_pr_ns_per_simulated_cycle\": {},",
+        crate::json::float(PRE_PR_NS_PER_CYCLE)
+    );
+    let _ = writeln!(
+        s,
+        "  \"speedup_vs_pre_pr\": {},",
+        crate::json::float(PRE_PR_NS_PER_CYCLE / harness_ns_per_cycle(rows))
+    );
+    let _ = writeln!(
+        s,
+        "  \"total_host_seconds\": {},",
+        crate::json::float(harness_total_seconds(rows))
+    );
+    let _ = writeln!(
+        s,
+        "  \"total_simulated_cycles\": {},",
+        rows.iter().map(|r| r.simulated_cycles).sum::<u64>()
+    );
+    let _ = writeln!(
+        s,
+        "  \"ns_per_simulated_cycle\": {},",
+        crate::json::float(harness_ns_per_cycle(rows))
+    );
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"benchmark\": {}, \"mode\": {}, \"simulated_cycles\": {}, \
+             \"host_nanos\": {}, \"ns_per_cycle\": {}}}{comma}",
+            crate::json::string(&r.benchmark),
+            crate::json::string(&r.mode),
+            r.simulated_cycles,
+            r.host_nanos,
+            crate::json::float(r.ns_per_cycle())
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders harness-perf rows as a text table.
+#[must_use]
+pub fn format_harnessperf(rows: &[HarnessPerfRow]) -> String {
+    let mut s = String::new();
+    s.push_str("Harness performance — host cost per simulated cycle\n");
+    s.push_str("benchmark    mode        sim cycles      host ms   ns/cycle\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:<10} {:>12}  {:>9.2}  {:>9.1}\n",
+            r.benchmark,
+            r.mode,
+            r.simulated_cycles,
+            r.host_nanos as f64 / 1e6,
+            r.ns_per_cycle()
+        ));
+    }
+    s.push_str(&format!(
+        "TOTAL: {:.3} host seconds, {:.1} ns per simulated cycle\n",
+        harness_total_seconds(rows),
+        harness_ns_per_cycle(rows)
+    ));
+    s.push_str(&format!(
+        "vs pre-PR baseline ({PRE_PR_NS_PER_CYCLE:.1} ns/cycle, \
+         {PRE_PR_TOTAL_HOST_SECONDS:.3} s full-size): {:.2}x\n",
+        PRE_PR_NS_PER_CYCLE / harness_ns_per_cycle(rows)
+    ));
+    s
+}
+
 /// One row of the Table 2 reproduction.
 #[derive(Debug, Clone)]
 pub struct Table2Row {
@@ -888,6 +1073,27 @@ mod tests {
         // The real (small) artifact validates too.
         let real = fig7_json(&[], false);
         crate::json::validate(&real).unwrap();
+    }
+
+    #[test]
+    fn harnessperf_small_runs_and_emits_valid_json() {
+        let rows = harnessperf(true).expect("harnessperf small");
+        // Six workloads, three modes each.
+        assert_eq!(rows.len(), 18);
+        for r in &rows {
+            assert!(r.simulated_cycles > 0, "{}/{}", r.benchmark, r.mode);
+            assert!(r.host_nanos > 0, "{}/{}", r.benchmark, r.mode);
+            assert!(r.ns_per_cycle().is_finite());
+        }
+        let doc = harnessperf_json(&rows, true);
+        crate::json::validate(&doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+        let total = crate::json::extract_number(&doc, "ns_per_simulated_cycle");
+        assert_eq!(
+            total,
+            Some((harness_ns_per_cycle(&rows) * 1e6).round() / 1e6)
+        );
+        let txt = format_harnessperf(&rows);
+        assert!(txt.contains("TOTAL") && txt.contains("pre-PR"));
     }
 
     #[test]

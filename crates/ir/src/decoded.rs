@@ -1,0 +1,400 @@
+//! Pre-decoded IR: the dense, index-addressed execution form shared by the
+//! interpreter, the timing simulator's cores and the native backend's chunk
+//! workers.
+//!
+//! [`crate::interp::ThreadState`] used to walk the structured IR directly —
+//! two indirections per step (function, then block), a bounds-checked
+//! instruction index, a terminator clone per control transfer, and a fresh
+//! `Vec` for every call's arguments. None of that work depends on runtime
+//! state, so it is hoisted here into a one-time decode:
+//!
+//! * every function is flattened into **one dense instruction array** with
+//!   the block terminators inlined as ordinary decoded instructions, so the
+//!   hot loop is a single `insts[pc]` index;
+//! * branch targets are resolved to **instruction indices** (`pc`), with the
+//!   successor [`BlockId`]s carried alongside purely so
+//!   [`crate::interp::ThreadState::current_block`] stays observable (the
+//!   native backend's chunk boundaries key on header arrivals);
+//! * each instruction's [`InstClass`] is **precomputed** into a parallel
+//!   array, so the simulator's latency lookup never re-classifies;
+//! * a `pc → (block, intra-block index)` source map supports the profiling
+//!   observer without keeping any structured-IR state in the thread.
+//!
+//! Decoding is semantically invisible: a decoded thread retires the exact
+//! same [`crate::interp::ExecInfo`] stream, traps included, as the
+//! structured walker did (enforced by the cross-representation equivalence
+//! tests in `crates/tests`). The [`Program`] itself stays the single source
+//! of truth — a `DecodedProgram` is a derived view, rebuilt after any
+//! transformation.
+
+use crate::function::Program;
+use crate::inst::{Inst, InstClass, Terminator};
+use crate::types::{BinOp, BlockId, FuncId, Operand, Reg};
+
+/// A decoded instruction: one element of a function's flat instruction
+/// array. Non-terminator variants mirror [`Inst`]; terminators appear as
+/// [`DInst::Br`]/[`DInst::CondBr`]/[`DInst::Ret`]/[`DInst::Unreachable`]
+/// with their targets resolved to instruction indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DInst {
+    /// `dst = op(lhs, rhs)`.
+    Binary {
+        op: BinOp,
+        dst: u32,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = src`.
+    Copy { dst: u32, src: Operand },
+    /// Branch-free select.
+    Select {
+        dst: u32,
+        cond: Operand,
+        if_true: Operand,
+        if_false: Operand,
+    },
+    /// `dst = mem[addr + offset]`.
+    Load {
+        dst: u32,
+        addr: Operand,
+        offset: i64,
+    },
+    /// `mem[addr + offset] = src`.
+    Store {
+        src: Operand,
+        addr: Operand,
+        offset: i64,
+    },
+    /// Bump allocation.
+    Alloc { dst: u32, words: Operand },
+    /// Function call; argument operands are decoded into a boxed slice once,
+    /// so the step loop never rebuilds them.
+    Call {
+        dst: Option<Reg>,
+        func: FuncId,
+        args: Box<[Operand]>,
+    },
+    /// Channel send.
+    Send { chan: Operand, value: Operand },
+    /// Channel receive (blocking).
+    Recv { dst: u32, chan: Operand },
+    /// Enter speculation.
+    SpecBegin,
+    /// Commit speculative state.
+    SpecCommit,
+    /// Discard speculative state.
+    SpecAbort,
+    /// Conflict-detection query.
+    SpecCheck { dst: u32, core: Operand },
+    /// Remote resteer.
+    Resteer { core: Operand, target: BlockId },
+    /// Stop the thread.
+    Halt,
+    /// No-op.
+    Nop,
+    /// Profiling hook.
+    ProfileHook { site: u32, regs: Box<[Reg]> },
+    /// Unconditional branch, target resolved to an instruction index.
+    Br { pc: u32, block: BlockId },
+    /// Conditional branch, both targets resolved.
+    CondBr {
+        cond: Operand,
+        then_pc: u32,
+        then_block: BlockId,
+        else_pc: u32,
+        else_block: BlockId,
+    },
+    /// Return from the current function.
+    Ret { value: Option<Operand> },
+    /// Builder placeholder; traps when executed.
+    Unreachable,
+}
+
+/// One function in decoded form: a flat instruction array plus the tables
+/// the interpreter and its drivers need (block entry points, precomputed
+/// instruction classes, a source map back into the structured IR).
+#[derive(Debug, Clone)]
+pub struct DecodedFunction {
+    pub(crate) insts: Vec<DInst>,
+    /// Precomputed [`InstClass`] per instruction (terminators are
+    /// [`InstClass::Branch`]; `Unreachable` never retires, its slot is
+    /// arbitrary).
+    pub(crate) classes: Vec<InstClass>,
+    /// `block_entry[block.index()]` = pc of the block's first instruction.
+    block_entry: Vec<u32>,
+    /// `src[pc]` = (owning block, intra-block instruction index). The
+    /// terminator's intra-block index equals the block's instruction count,
+    /// mirroring the structured walker's cursor convention.
+    src: Vec<(BlockId, u32)>,
+    /// Parameter registers (callers bind arguments to these).
+    pub(crate) params: Vec<Reg>,
+    /// Size of the function's register file.
+    pub(crate) reg_count: usize,
+    /// Function name, for diagnostics.
+    pub(crate) name: String,
+    /// The function's entry block and its pc.
+    entry_block: BlockId,
+    entry_pc: u32,
+}
+
+impl DecodedFunction {
+    fn decode(f: &crate::function::Function) -> Self {
+        let mut block_entry = Vec::with_capacity(f.blocks.len());
+        let mut next_pc = 0u32;
+        for b in &f.blocks {
+            block_entry.push(next_pc);
+            next_pc += b.insts.len() as u32 + 1; // + terminator
+        }
+        let mut insts = Vec::with_capacity(next_pc as usize);
+        let mut classes = Vec::with_capacity(next_pc as usize);
+        let mut src = Vec::with_capacity(next_pc as usize);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let block = BlockId(bi as u32);
+            for (ip, inst) in b.insts.iter().enumerate() {
+                classes.push(inst.class());
+                src.push((block, ip as u32));
+                insts.push(Self::decode_inst(inst));
+            }
+            classes.push(InstClass::Branch);
+            src.push((block, b.insts.len() as u32));
+            insts.push(Self::decode_terminator(&b.terminator, &block_entry));
+        }
+        let entry_pc = block_entry[f.entry.index()];
+        DecodedFunction {
+            insts,
+            classes,
+            block_entry,
+            src,
+            params: f.params.clone(),
+            reg_count: f.reg_count(),
+            name: f.name.clone(),
+            entry_block: f.entry,
+            entry_pc,
+        }
+    }
+
+    fn decode_inst(inst: &Inst) -> DInst {
+        match inst {
+            Inst::Binary { op, dst, lhs, rhs } => DInst::Binary {
+                op: *op,
+                dst: dst.0,
+                lhs: *lhs,
+                rhs: *rhs,
+            },
+            Inst::Copy { dst, src } => DInst::Copy {
+                dst: dst.0,
+                src: *src,
+            },
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+            } => DInst::Select {
+                dst: dst.0,
+                cond: *cond,
+                if_true: *if_true,
+                if_false: *if_false,
+            },
+            Inst::Load { dst, addr, offset } => DInst::Load {
+                dst: dst.0,
+                addr: *addr,
+                offset: *offset,
+            },
+            Inst::Store { src, addr, offset } => DInst::Store {
+                src: *src,
+                addr: *addr,
+                offset: *offset,
+            },
+            Inst::Alloc { dst, words } => DInst::Alloc {
+                dst: dst.0,
+                words: *words,
+            },
+            Inst::Call { dst, func, args } => DInst::Call {
+                dst: *dst,
+                func: *func,
+                args: args.clone().into_boxed_slice(),
+            },
+            Inst::Send { chan, value } => DInst::Send {
+                chan: *chan,
+                value: *value,
+            },
+            Inst::Recv { dst, chan } => DInst::Recv {
+                dst: dst.0,
+                chan: *chan,
+            },
+            Inst::SpecBegin => DInst::SpecBegin,
+            Inst::SpecCommit => DInst::SpecCommit,
+            Inst::SpecAbort => DInst::SpecAbort,
+            Inst::SpecCheck { dst, core } => DInst::SpecCheck {
+                dst: dst.0,
+                core: *core,
+            },
+            Inst::Resteer { core, target } => DInst::Resteer {
+                core: *core,
+                target: *target,
+            },
+            Inst::Halt => DInst::Halt,
+            Inst::Nop => DInst::Nop,
+            Inst::ProfileHook { site, regs } => DInst::ProfileHook {
+                site: *site,
+                regs: regs.clone().into_boxed_slice(),
+            },
+        }
+    }
+
+    fn decode_terminator(t: &Terminator, block_entry: &[u32]) -> DInst {
+        match t {
+            Terminator::Br(b) => DInst::Br {
+                pc: block_entry[b.index()],
+                block: *b,
+            },
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => DInst::CondBr {
+                cond: *cond,
+                then_pc: block_entry[then_bb.index()],
+                then_block: *then_bb,
+                else_pc: block_entry[else_bb.index()],
+                else_block: *else_bb,
+            },
+            Terminator::Ret { value } => DInst::Ret { value: *value },
+            Terminator::Unreachable => DInst::Unreachable,
+        }
+    }
+
+    /// The function's entry block.
+    #[must_use]
+    pub fn entry_block(&self) -> BlockId {
+        self.entry_block
+    }
+
+    /// The pc of the entry block's first instruction.
+    #[must_use]
+    pub fn entry_pc(&self) -> usize {
+        self.entry_pc as usize
+    }
+
+    /// The pc of `block`'s first instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id is out of range for this function.
+    #[must_use]
+    pub fn block_entry(&self, block: BlockId) -> usize {
+        self.block_entry[block.index()] as usize
+    }
+
+    /// The structured-IR position of the instruction at `pc`: its owning
+    /// block and intra-block index (equal to the block's instruction count
+    /// when `pc` addresses the terminator).
+    #[must_use]
+    pub fn source_of(&self, pc: usize) -> (BlockId, usize) {
+        let (b, ip) = self.src[pc];
+        (b, ip as usize)
+    }
+
+    /// Size of the function's register file.
+    #[must_use]
+    pub fn reg_count(&self) -> usize {
+        self.reg_count
+    }
+
+    /// Number of decoded instructions (terminators included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the function decoded to zero instructions (never: every block
+    /// contributes at least its terminator).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// The decoded form of a whole [`Program`]: one [`DecodedFunction`] per
+/// function, produced once and shared (behind `Arc` where needed) by every
+/// executor. Purely derived state — rebuild after transforming the program.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    funcs: Vec<DecodedFunction>,
+}
+
+impl DecodedProgram {
+    /// Decodes every function of `program`.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        DecodedProgram {
+            funcs: program.funcs.iter().map(DecodedFunction::decode).collect(),
+        }
+    }
+
+    /// The decoded form of one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn func(&self, id: FuncId) -> &DecodedFunction {
+        &self.funcs[id.index()]
+    }
+
+    /// Number of functions.
+    #[must_use]
+    pub fn func_count(&self) -> usize {
+        self.funcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::BinOp;
+
+    #[test]
+    fn blocks_flatten_with_terminators_inlined() {
+        let mut b = FunctionBuilder::new("f");
+        let x = b.param();
+        let loop_bb = b.new_block();
+        let exit = b.new_block();
+        let y = b.binop(BinOp::Add, x, 1i64);
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        let done = b.binop(BinOp::Ge, y, 10i64);
+        b.cond_br(done, exit, loop_bb);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(y)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+
+        let dp = DecodedProgram::new(&p);
+        let df = dp.func(f);
+        // entry: 1 inst + br; loop: 1 inst + condbr; exit: ret.
+        assert_eq!(df.len(), 5);
+        assert_eq!(df.block_entry(BlockId(0)), 0);
+        assert_eq!(df.block_entry(loop_bb), 2);
+        assert_eq!(df.block_entry(exit), 4);
+        assert!(matches!(df.insts[1], DInst::Br { pc: 2, .. }));
+        assert!(matches!(
+            df.insts[3],
+            DInst::CondBr {
+                then_pc: 4,
+                else_pc: 2,
+                ..
+            }
+        ));
+        assert_eq!(df.classes[0], InstClass::IntAlu);
+        assert_eq!(df.classes[1], InstClass::Branch);
+        assert_eq!(df.source_of(0), (BlockId(0), 0));
+        assert_eq!(df.source_of(1), (BlockId(0), 1)); // terminator slot
+        assert_eq!(df.source_of(3), (loop_bb, 1));
+        assert_eq!(df.reg_count(), 3);
+        assert!(!df.is_empty());
+        assert_eq!(dp.func_count(), 1);
+    }
+}

@@ -35,8 +35,10 @@
 //! `refresh_potential`) execute correctly on both substrates.
 
 pub mod conflict;
+pub mod dense;
 
 pub use conflict::{AccessSet, ConflictPolicy};
+pub use dense::DenseMap;
 
 use crate::cfg::Cfg;
 use crate::dom::DomTree;

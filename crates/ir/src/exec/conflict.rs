@@ -33,21 +33,40 @@
 //! recording side (store-to-load forwarding cannot observe a stale value),
 //! which keeps the check exact at word granularity.
 
-use std::collections::BTreeMap;
+use super::dense::DenseMap;
 
 /// Number of words covered by one page bitmap (64 = one `u64` of bits).
 const PAGE_WORDS: i64 = 64;
 
 /// A word-granular set of memory addresses with a page-coarsened
 /// representation: each 64-word page present in the set maps to a bitmap of
-/// the words accessed within it.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// the words accessed within it. The page table is an open-addressed
+/// [`DenseMap`] (not a `BTreeMap`): inserts are a hash probe, and
+/// [`AccessSet::clear`] recycles the storage for the next epoch instead of
+/// deallocating tree nodes.
+#[derive(Debug, Clone, Default)]
 pub struct AccessSet {
-    pages: BTreeMap<i64, u64>,
+    pages: DenseMap<u64>,
     len: usize,
     /// Coarse `[lo, hi]` address span, for an O(1) disjointness fast-path.
     span: Option<(i64, i64)>,
 }
+
+impl PartialEq for AccessSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Set equality over contents; the page tables' probe layouts and
+        // insertion orders are representation detail.
+        self.len == other.len
+            && self.pages.entries().len() == other.pages.entries().len()
+            && self
+                .pages
+                .entries()
+                .iter()
+                .all(|&(page, bits)| other.pages.get(page) == Some(bits))
+    }
+}
+
+impl Eq for AccessSet {}
 
 impl AccessSet {
     /// Creates an empty set.
@@ -76,9 +95,10 @@ impl AccessSet {
     }
 
     /// Inserts a word address. Returns `true` if it was not already present.
+    #[inline]
     pub fn insert(&mut self, addr: i64) -> bool {
         let (page, bit) = Self::page_of(addr);
-        let slot = self.pages.entry(page).or_insert(0);
+        let slot = self.pages.entry_or(page, 0);
         if *slot & bit != 0 {
             return false;
         }
@@ -100,9 +120,10 @@ impl AccessSet {
 
     /// Whether `addr` is in the set.
     #[must_use]
+    #[inline]
     pub fn contains(&self, addr: i64) -> bool {
         let (page, bit) = Self::page_of(addr);
-        self.pages.get(&page).is_some_and(|slot| slot & bit != 0)
+        self.pages.get(page).is_some_and(|slot| slot & bit != 0)
     }
 
     /// Whether the two sets share any word address.
@@ -115,7 +136,10 @@ impl AccessSet {
     /// are disjoint. The witness address is what a squash report carries.
     #[must_use]
     pub fn first_overlap(&self, other: &AccessSet) -> Option<i64> {
-        // Span fast reject, then walk the smaller page map.
+        // Span fast reject, then walk the smaller page table. The table is
+        // unordered, so every overlapping page is inspected and the minimum
+        // shared address is taken — the witness stays the smallest one, as
+        // the ordered walk used to guarantee.
         let (a, b) = (self.span?, other.span?);
         if a.1 < b.0 || b.1 < a.0 {
             return None;
@@ -126,8 +150,8 @@ impl AccessSet {
             (&other.pages, &self.pages)
         };
         let mut best: Option<i64> = None;
-        for (&page, &bits) in small {
-            if let Some(&other_bits) = large.get(&page) {
+        for &(page, bits) in small.entries() {
+            if let Some(other_bits) = large.get(page) {
                 let both = bits & other_bits;
                 if both != 0 {
                     let addr = page * PAGE_WORDS + i64::from(both.trailing_zeros());
@@ -135,25 +159,27 @@ impl AccessSet {
                         None => addr,
                         Some(b) => b.min(addr),
                     });
-                    // Pages are walked in ascending key order, so the first
-                    // overlapping page already holds the smallest address.
-                    break;
                 }
             }
         }
         best
     }
 
-    /// Removes every address, recycling the set for a new epoch.
+    /// Removes every address, recycling the set (and its page-table storage)
+    /// for a new epoch.
     pub fn clear(&mut self) {
         self.pages.clear();
         self.len = 0;
         self.span = None;
     }
 
-    /// Iterates the word addresses in ascending order.
+    /// Iterates the word addresses in ascending order. (Sorts a snapshot of
+    /// the page keys; diagnostics and tests only — the hot paths never
+    /// enumerate a set.)
     pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
-        self.pages.iter().flat_map(|(&page, &bits)| {
+        let mut pages: Vec<(i64, u64)> = self.pages.entries().to_vec();
+        pages.sort_unstable_by_key(|&(page, _)| page);
+        pages.into_iter().flat_map(|(page, bits)| {
             (0..PAGE_WORDS).filter_map(move |i| {
                 if bits & (1u64 << i) != 0 {
                     Some(page * PAGE_WORDS + i)

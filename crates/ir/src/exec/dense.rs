@@ -1,0 +1,217 @@
+//! Reusable open-addressed containers for the execution hot paths.
+//!
+//! The speculative-state bookkeeping of both backends — store buffers,
+//! write logs, access-set page tables — used to live in `std` `HashMap`s and
+//! `BTreeMap`s, paying SipHash and node allocations on every buffered store
+//! and recorded load. [`DenseMap`] replaces them: a flat insertion-ordered
+//! entry vector plus an open-addressed index table of `u32` slots, with a
+//! multiplicative (Fibonacci) hash. `clear` empties it without releasing
+//! storage, so a per-core buffer is recycled across chunks and epochs
+//! instead of reallocated.
+
+/// An insertion-ordered map from `i64` keys to copyable values, built for
+/// clear-and-reuse. Entries live in a dense vector (iteration order =
+/// first-insert order, which is exactly the commit order a speculative
+/// store buffer needs); an open-addressed table of indices makes lookups
+/// O(1) without hashing overhead worth mentioning.
+#[derive(Debug, Clone)]
+pub struct DenseMap<V> {
+    /// `(key, value)` in first-insert order.
+    entries: Vec<(i64, V)>,
+    /// Open-addressed table of indices into `entries`; `EMPTY` marks a free
+    /// slot. Capacity is a power of two.
+    table: Vec<u32>,
+    mask: usize,
+}
+
+const EMPTY: u32 = u32::MAX;
+const INITIAL_CAPACITY: usize = 16;
+
+#[inline]
+fn hash(key: i64) -> u64 {
+    // Fibonacci hashing: one multiply, excellent spread for the small
+    // word-address keys this map sees.
+    (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<V: Copy> DenseMap<V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        DenseMap {
+            entries: Vec::new(),
+            table: vec![EMPTY; INITIAL_CAPACITY],
+            mask: INITIAL_CAPACITY - 1,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries in first-insert order.
+    #[must_use]
+    pub fn entries(&self) -> &[(i64, V)] {
+        &self.entries
+    }
+
+    #[inline]
+    fn slot_of(&self, key: i64) -> usize {
+        // Linear probing from the hashed home slot; the load factor stays
+        // under 3/4, so probe chains are short.
+        let mut slot = (hash(key) as usize) & self.mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return slot,
+                idx if self.entries[idx as usize].0 == key => return slot,
+                _ => slot = (slot + 1) & self.mask,
+            }
+        }
+    }
+
+    /// The value stored under `key`, if any.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, key: i64) -> Option<V> {
+        match self.table[self.slot_of(key)] {
+            EMPTY => None,
+            idx => Some(self.entries[idx as usize].1),
+        }
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if the key
+    /// was present (its position in the entry order is kept).
+    #[inline]
+    pub fn insert(&mut self, key: i64, value: V) -> Option<V> {
+        let slot = self.slot_of(key);
+        match self.table[slot] {
+            EMPTY => {
+                self.table[slot] = self.entries.len() as u32;
+                self.entries.push((key, value));
+                self.grow_if_needed();
+                None
+            }
+            idx => {
+                let old = self.entries[idx as usize].1;
+                self.entries[idx as usize].1 = value;
+                Some(old)
+            }
+        }
+    }
+
+    /// A mutable reference to the value under `key`, inserting `default`
+    /// first if the key is absent.
+    #[inline]
+    pub fn entry_or(&mut self, key: i64, default: V) -> &mut V {
+        let slot = self.slot_of(key);
+        let idx = match self.table[slot] {
+            EMPTY => {
+                let idx = self.entries.len();
+                self.table[slot] = idx as u32;
+                self.entries.push((key, default));
+                self.grow_if_needed();
+                idx
+            }
+            idx => idx as usize,
+        };
+        &mut self.entries[idx].1
+    }
+
+    /// Empties the map while keeping its storage for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.table.fill(EMPTY);
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.entries.len() * 4 >= self.table.len() * 3 {
+            let new_cap = self.table.len() * 2;
+            self.table.clear();
+            self.table.resize(new_cap, EMPTY);
+            self.mask = new_cap - 1;
+            for (i, &(key, _)) in self.entries.iter().enumerate() {
+                let mut slot = (hash(key) as usize) & self.mask;
+                while self.table[slot] != EMPTY {
+                    slot = (slot + 1) & self.mask;
+                }
+                self.table[slot] = i as u32;
+            }
+        }
+    }
+}
+
+impl<V: Copy> Default for DenseMap<V> {
+    fn default() -> Self {
+        DenseMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_order() {
+        let mut m: DenseMap<i64> = DenseMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(20, 1), None);
+        assert_eq!(m.insert(10, 2), None);
+        assert_eq!(m.insert(20, 3), Some(1), "overwrite returns the old value");
+        assert_eq!(m.get(20), Some(3));
+        assert_eq!(m.get(10), Some(2));
+        assert_eq!(m.get(99), None);
+        // First-insert order is kept across overwrites.
+        assert_eq!(m.entries(), &[(20, 3), (10, 2)]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn entry_or_inserts_and_updates_in_place() {
+        let mut m: DenseMap<u64> = DenseMap::new();
+        *m.entry_or(5, 0) |= 0b01;
+        *m.entry_or(5, 0) |= 0b10;
+        assert_eq!(m.get(5), Some(0b11));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_reuses_storage() {
+        let mut m: DenseMap<i64> = DenseMap::new();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        let cap = m.table.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(7), None);
+        assert_eq!(m.table.len(), cap, "clear must not shrink");
+        m.insert(7, 70);
+        assert_eq!(m.get(7), Some(70));
+    }
+
+    #[test]
+    fn growth_keeps_every_key_reachable() {
+        let mut m: DenseMap<i64> = DenseMap::new();
+        // Adversarial keys: negative, huge, colliding low bits.
+        let mut keys: Vec<i64> = (0..500)
+            .map(|i| (i * 1_000_003) ^ (i << 40))
+            .chain([-1, i64::MIN, i64::MAX])
+            .collect();
+        keys.dedup();
+        for (i, &k) in keys.iter().enumerate() {
+            m.insert(k, i as i64);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(m.get(k), Some(i as i64), "key {k} lost");
+        }
+        assert_eq!(m.len(), keys.len());
+    }
+}

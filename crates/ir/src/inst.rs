@@ -324,22 +324,91 @@ pub enum Terminator {
     Unreachable,
 }
 
-impl Terminator {
-    /// Returns the possible successor blocks of this terminator.
+/// The successor blocks of a terminator: at most two, stored inline so CFG
+/// walks and the instruction decoder never allocate per query. Dereferences
+/// to a slice and iterates by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Successors {
+    targets: [BlockId; 2],
+    len: u8,
+}
+
+impl Default for Successors {
+    fn default() -> Self {
+        Successors::NONE
+    }
+}
+
+impl Successors {
+    const NONE: Successors = Successors {
+        targets: [BlockId(0); 2],
+        len: 0,
+    };
+
+    fn one(t: BlockId) -> Self {
+        Successors {
+            targets: [t, BlockId(0)],
+            len: 1,
+        }
+    }
+
+    fn two(a: BlockId, b: BlockId) -> Self {
+        Successors {
+            targets: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The successors as a slice.
     #[must_use]
-    pub fn successors(&self) -> Vec<BlockId> {
+    pub fn as_slice(&self) -> &[BlockId] {
+        &self.targets[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Successors {
+    type Target = [BlockId];
+
+    fn deref(&self) -> &[BlockId] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for Successors {
+    type Item = BlockId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<BlockId, 2>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.targets.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a Successors {
+    type Item = &'a BlockId;
+    type IntoIter = std::slice::Iter<'a, BlockId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl Terminator {
+    /// Returns the possible successor blocks of this terminator, inline —
+    /// no allocation per call.
+    #[must_use]
+    pub fn successors(&self) -> Successors {
         match self {
-            Terminator::Br(t) => vec![*t],
+            Terminator::Br(t) => Successors::one(*t),
             Terminator::CondBr {
                 then_bb, else_bb, ..
             } => {
                 if then_bb == else_bb {
-                    vec![*then_bb]
+                    Successors::one(*then_bb)
                 } else {
-                    vec![*then_bb, *else_bb]
+                    Successors::two(*then_bb, *else_bb)
                 }
             }
-            Terminator::Ret { .. } | Terminator::Unreachable => Vec::new(),
+            Terminator::Ret { .. } | Terminator::Unreachable => Successors::NONE,
         }
     }
 
@@ -416,6 +485,34 @@ pub enum InstClass {
     Resteer,
     /// Everything else (nop, halt, profile hooks).
     Other,
+}
+
+impl InstClass {
+    /// Number of distinct classes — the length of a dense per-class counter
+    /// array indexed by [`InstClass::index`].
+    pub const COUNT: usize = 12;
+
+    /// Every class, in [`InstClass::index`] order.
+    pub const ALL: [InstClass; InstClass::COUNT] = [
+        InstClass::IntAlu,
+        InstClass::IntMul,
+        InstClass::IntDiv,
+        InstClass::Load,
+        InstClass::Store,
+        InstClass::Alloc,
+        InstClass::Branch,
+        InstClass::Send,
+        InstClass::Recv,
+        InstClass::Spec,
+        InstClass::Resteer,
+        InstClass::Other,
+    ];
+
+    /// Dense index of this class, for fixed-size counter arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl Inst {
@@ -502,20 +599,40 @@ mod tests {
 
     #[test]
     fn terminator_successors() {
-        assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(
+            Terminator::Br(BlockId(3)).successors().as_slice(),
+            [BlockId(3)]
+        );
         let c = Terminator::CondBr {
             cond: Operand::Reg(Reg(0)),
             then_bb: BlockId(1),
             else_bb: BlockId(2),
         };
-        assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(c.successors().as_slice(), [BlockId(1), BlockId(2)]);
+        // By-value and by-reference iteration agree with the slice view.
+        assert_eq!(
+            c.successors().into_iter().collect::<Vec<_>>(),
+            vec![BlockId(1), BlockId(2)]
+        );
         let same = Terminator::CondBr {
             cond: Operand::Reg(Reg(0)),
             then_bb: BlockId(1),
             else_bb: BlockId(1),
         };
-        assert_eq!(same.successors(), vec![BlockId(1)]);
+        assert_eq!(same.successors().as_slice(), [BlockId(1)]);
         assert!(Terminator::Ret { value: None }.successors().is_empty());
+    }
+
+    #[test]
+    fn inst_class_indices_are_dense_and_unique() {
+        let mut seen = [false; InstClass::COUNT];
+        for c in InstClass::ALL {
+            let i = c.index();
+            assert!(i < InstClass::COUNT);
+            assert!(!seen[i], "duplicate index for {c:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -7,14 +7,24 @@
 //!   ([`SysPort`]) back-ends. The multi-core timing simulator in `spice-sim`
 //!   drives one `ThreadState` per core and supplies ports that model caches,
 //!   speculative store buffers and inter-core channels.
-//! * [`run_function`] / [`Interpreter`]: convenience single-threaded
-//!   execution used by tests, the value profiler and the whole-program
-//!   hotness measurements (paper Table 2).
+//! * [`run_function`] / convenience single-threaded execution used by tests,
+//!   the value profiler and the whole-program hotness measurements (paper
+//!   Table 2).
+//!
+//! Execution runs over the pre-decoded form ([`DecodedProgram`], see
+//! [`crate::decoded`]): the structured IR is flattened once into dense,
+//! index-addressed instruction arrays, and the per-step hot loop is a single
+//! array index with no terminator clones, no per-call argument `Vec`s and no
+//! per-event profile-value `Vec`s. The decode is semantically invisible —
+//! the retired [`ExecInfo`] stream is identical to what the structured
+//! walker produced (the cross-representation equivalence tests in
+//! `crates/tests` step both forms in lockstep).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::decoded::{DInst, DecodedProgram};
 use crate::function::Program;
-use crate::inst::{Inst, InstClass, Terminator};
+use crate::inst::{Inst, InstClass};
 use crate::types::{BlockId, FuncId, Operand, Reg, TrapKind};
 
 /// Memory back-end used by [`ThreadState::step`].
@@ -149,6 +159,7 @@ impl FlatMemory {
     /// # Errors
     ///
     /// Returns [`TrapKind::OutOfBoundsAccess`] for addresses outside memory.
+    #[inline]
     pub fn read(&self, addr: i64) -> Result<i64, TrapKind> {
         self.words
             .get(usize::try_from(addr).map_err(|_| TrapKind::OutOfBoundsAccess { addr })?)
@@ -161,6 +172,7 @@ impl FlatMemory {
     /// # Errors
     ///
     /// Returns [`TrapKind::OutOfBoundsAccess`] for addresses outside memory.
+    #[inline]
     pub fn write(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
         let idx = usize::try_from(addr).map_err(|_| TrapKind::OutOfBoundsAccess { addr })?;
         match self.words.get_mut(idx) {
@@ -210,16 +222,108 @@ impl MemPort for FlatMemory {
     }
 }
 
+/// Channel ids below this bound index a dense queue table directly; anything
+/// else (negative or huge ids, which only adversarial tests produce) falls
+/// back to a small association list.
+const DENSE_CHANNELS: i64 = 1 << 12;
+
+/// A set of FIFO queues keyed by channel id, dense for the small
+/// non-negative ids every real program uses. Replaces the former
+/// `HashMap<i64, VecDeque<_>>` channel tables on the hot send/recv paths of
+/// both the single-threaded [`LocalSys`] and the simulator's channel network.
+#[derive(Debug, Clone)]
+pub struct ChannelTable<T> {
+    dense: Vec<VecDeque<T>>,
+    spill: Vec<(i64, VecDeque<T>)>,
+}
+
+impl<T> Default for ChannelTable<T> {
+    fn default() -> Self {
+        ChannelTable {
+            dense: Vec::new(),
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T> ChannelTable<T> {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ChannelTable::default()
+    }
+
+    /// The queue of `chan`, created empty if absent.
+    pub fn queue_mut(&mut self, chan: i64) -> &mut VecDeque<T> {
+        if (0..DENSE_CHANNELS).contains(&chan) {
+            let idx = chan as usize;
+            if self.dense.len() <= idx {
+                self.dense.resize_with(idx + 1, VecDeque::new);
+            }
+            &mut self.dense[idx]
+        } else {
+            let pos = match self.spill.iter().position(|(c, _)| *c == chan) {
+                Some(p) => p,
+                None => {
+                    self.spill.push((chan, VecDeque::new()));
+                    self.spill.len() - 1
+                }
+            };
+            &mut self.spill[pos].1
+        }
+    }
+
+    /// The queue of `chan`, if one was ever created.
+    #[must_use]
+    pub fn queue(&self, chan: i64) -> Option<&VecDeque<T>> {
+        if (0..DENSE_CHANNELS).contains(&chan) {
+            self.dense.get(chan as usize)
+        } else {
+            self.spill.iter().find(|(c, _)| *c == chan).map(|(_, q)| q)
+        }
+    }
+
+    /// Like [`ChannelTable::queue`], mutably, without creating the queue.
+    pub fn existing_mut(&mut self, chan: i64) -> Option<&mut VecDeque<T>> {
+        if (0..DENSE_CHANNELS).contains(&chan) {
+            self.dense.get_mut(chan as usize)
+        } else {
+            self.spill
+                .iter_mut()
+                .find(|(c, _)| *c == chan)
+                .map(|(_, q)| q)
+        }
+    }
+
+    /// Iterates every queue (dense and spilled).
+    pub fn queues(&self) -> impl Iterator<Item = &VecDeque<T>> {
+        self.dense.iter().chain(self.spill.iter().map(|(_, q)| q))
+    }
+
+    /// Empties every queue, keeping the table and queue allocations.
+    pub fn clear_queues(&mut self) {
+        for q in &mut self.dense {
+            q.clear();
+        }
+        for (_, q) in &mut self.spill {
+            q.clear();
+        }
+    }
+}
+
 /// In-process channel set usable when a single thread sends to itself or when
 /// a test wants deterministic channel behaviour without a full machine.
+///
+/// Profile-hook observations land in a flat arena (one growing value buffer
+/// plus per-event index entries) instead of one `Vec` per event.
 #[derive(Debug, Default, Clone)]
 pub struct LocalSys {
-    channels: HashMap<i64, VecDeque<i64>>,
+    channels: ChannelTable<i64>,
     /// Resteer requests observed (target core, target block); single-threaded
     /// execution has nowhere to deliver them, so they are just recorded.
     pub resteers: Vec<(i64, BlockId)>,
-    /// Profile hook observations: `(site, values)`.
-    pub profile_events: Vec<(u32, Vec<i64>)>,
+    profile_values: Vec<i64>,
+    profile_index: Vec<(u32, usize, usize)>,
 }
 
 impl LocalSys {
@@ -228,15 +332,27 @@ impl LocalSys {
     pub fn new() -> Self {
         LocalSys::default()
     }
+
+    /// The profile-hook observations recorded so far, in order:
+    /// `(site, values)`.
+    #[must_use]
+    pub fn profile_events(&self) -> Vec<(u32, &[i64])> {
+        self.profile_index
+            .iter()
+            .map(|&(site, start, len)| (site, &self.profile_values[start..start + len]))
+            .collect()
+    }
 }
 
 impl SysPort for LocalSys {
     fn send(&mut self, chan: i64, value: i64) {
-        self.channels.entry(chan).or_default().push_back(value);
+        self.channels.queue_mut(chan).push_back(value);
     }
 
     fn try_recv(&mut self, chan: i64) -> Option<i64> {
-        self.channels.get_mut(&chan).and_then(VecDeque::pop_front)
+        self.channels
+            .existing_mut(chan)
+            .and_then(VecDeque::pop_front)
     }
 
     fn resteer(&mut self, core: i64, target: BlockId) {
@@ -244,7 +360,9 @@ impl SysPort for LocalSys {
     }
 
     fn profile(&mut self, site: u32, values: &[i64]) {
-        self.profile_events.push((site, values.to_vec()));
+        let start = self.profile_values.len();
+        self.profile_values.extend_from_slice(values);
+        self.profile_index.push((site, start, values.len()));
     }
 }
 
@@ -284,6 +402,14 @@ impl ExecInfo {
             branch_taken: None,
         }
     }
+
+    fn branch(taken: bool) -> Self {
+        ExecInfo {
+            class: InstClass::Branch,
+            mem_addr: None,
+            branch_taken: Some(taken),
+        }
+    }
 }
 
 /// Execution status of a thread.
@@ -302,13 +428,19 @@ pub enum ThreadStatus {
 #[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
+    pc: usize,
     block: BlockId,
-    ip: usize,
     regs: Vec<i64>,
     ret_dst: Option<Reg>,
 }
 
-/// A single thread of IR execution.
+/// Sentinel pc meaning "re-enter [`ThreadState::current_block`] at its first
+/// instruction" — set by [`ThreadState::resteer_to`], which has no decoded
+/// function at hand to resolve the block's entry pc; the next step resolves
+/// it.
+const RESTEER_PENDING: usize = usize::MAX;
+
+/// A single thread of IR execution over the pre-decoded program form.
 ///
 /// The register file is function-local; calls push frames. The thread is
 /// deliberately ignorant of time — the caller decides what each retired
@@ -316,12 +448,15 @@ struct Frame {
 #[derive(Debug, Clone)]
 pub struct ThreadState {
     func: FuncId,
+    pc: usize,
     block: BlockId,
-    ip: usize,
     regs: Vec<i64>,
     frames: Vec<Frame>,
     status: ThreadStatus,
     retired: u64,
+    /// Reusable buffer for profile-hook value snapshots, so a hook costs no
+    /// allocation per event on any port.
+    profile_scratch: Vec<i64>,
 }
 
 impl ThreadState {
@@ -332,7 +467,7 @@ impl ThreadState {
     ///
     /// Panics if `args.len()` differs from the function's parameter count.
     #[must_use]
-    pub fn new(program: &Program, func: FuncId, args: &[i64]) -> Self {
+    pub fn new(program: &DecodedProgram, func: FuncId, args: &[i64]) -> Self {
         let f = program.func(func);
         assert_eq!(
             args.len(),
@@ -340,18 +475,19 @@ impl ThreadState {
             "wrong number of arguments for {}",
             f.name
         );
-        let mut regs = vec![0i64; f.reg_count()];
+        let mut regs = vec![0i64; f.reg_count];
         for (p, a) in f.params.iter().zip(args) {
             regs[p.index()] = *a;
         }
         ThreadState {
             func,
-            block: f.entry,
-            ip: 0,
+            pc: f.entry_pc(),
+            block: f.entry_block(),
             regs,
             frames: Vec::new(),
             status: ThreadStatus::Runnable,
             retired: 0,
+            profile_scratch: Vec::new(),
         }
     }
 
@@ -405,7 +541,7 @@ impl ThreadState {
     /// way.
     pub fn resteer_to(&mut self, target: BlockId) {
         self.block = target;
-        self.ip = 0;
+        self.pc = RESTEER_PENDING;
         self.status = ThreadStatus::Runnable;
     }
 
@@ -415,6 +551,7 @@ impl ThreadState {
         self.status = ThreadStatus::Trapped(kind);
     }
 
+    #[inline]
     fn operand(&self, op: Operand) -> i64 {
         match op {
             Operand::Reg(r) => self.regs[r.index()],
@@ -422,18 +559,29 @@ impl ThreadState {
         }
     }
 
+    #[cold]
+    fn trap(&mut self, kind: TrapKind) -> Result<StepEvent, TrapKind> {
+        self.status = ThreadStatus::Trapped(kind);
+        Err(kind)
+    }
+
     /// Executes at most one instruction.
+    ///
+    /// Generic over the ports (instead of taking `&mut dyn`) so every
+    /// driver's step loop monomorphizes: the simulator's cache-model ports
+    /// and the native backend's heap ports inline straight into the
+    /// dispatch.
     ///
     /// # Errors
     ///
     /// Returns the trap if the instruction faults; the thread's status is set
     /// to [`ThreadStatus::Trapped`] as well so the caller can squash or
     /// recover it later.
-    pub fn step(
+    pub fn step<M: MemPort + ?Sized, S: SysPort + ?Sized>(
         &mut self,
-        program: &Program,
-        mem: &mut dyn MemPort,
-        sys: &mut dyn SysPort,
+        program: &DecodedProgram,
+        mem: &mut M,
+        sys: &mut S,
     ) -> Result<StepEvent, TrapKind> {
         match self.status {
             ThreadStatus::Runnable => {}
@@ -441,110 +589,29 @@ impl ThreadState {
             ThreadStatus::Finished => return Ok(StepEvent::Finished(None)),
             ThreadStatus::Trapped(k) => return Err(k),
         }
-        let func = program.func(self.func);
-        let block = func.block(self.block);
-
-        if self.ip < block.insts.len() {
-            let inst = &block.insts[self.ip];
-            let info = match self.exec_inst(program, inst, mem, sys) {
-                Ok(info) => info,
-                Err(trap) => {
-                    self.status = ThreadStatus::Trapped(trap);
-                    return Err(trap);
-                }
-            };
-            match info {
-                InstOutcome::Retired(exec) => {
-                    self.ip += 1;
-                    self.retired += 1;
-                    Ok(StepEvent::Executed(exec))
-                }
-                InstOutcome::RetiredCall(exec) => {
-                    // exec_inst already moved the cursor into the callee.
-                    self.retired += 1;
-                    Ok(StepEvent::Executed(exec))
-                }
-                InstOutcome::Blocked => Ok(StepEvent::Blocked),
-                InstOutcome::Halted => {
-                    self.status = ThreadStatus::Halted;
-                    self.retired += 1;
-                    Ok(StepEvent::Halted)
-                }
-            }
-        } else {
-            // Terminator.
-            self.retired += 1;
-            match block.terminator.clone() {
-                Terminator::Br(t) => {
-                    self.block = t;
-                    self.ip = 0;
-                    Ok(StepEvent::Executed(ExecInfo {
-                        class: InstClass::Branch,
-                        mem_addr: None,
-                        branch_taken: Some(true),
-                    }))
-                }
-                Terminator::CondBr {
-                    cond,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let taken = self.operand(cond) != 0;
-                    self.block = if taken { then_bb } else { else_bb };
-                    self.ip = 0;
-                    Ok(StepEvent::Executed(ExecInfo {
-                        class: InstClass::Branch,
-                        mem_addr: None,
-                        branch_taken: Some(taken),
-                    }))
-                }
-                Terminator::Ret { value } => {
-                    let v = value.map(|op| self.operand(op));
-                    if let Some(frame) = self.frames.pop() {
-                        self.func = frame.func;
-                        self.block = frame.block;
-                        self.ip = frame.ip;
-                        self.regs = frame.regs;
-                        if let (Some(dst), Some(v)) = (frame.ret_dst, v) {
-                            self.regs[dst.index()] = v;
-                        }
-                        Ok(StepEvent::Executed(ExecInfo {
-                            class: InstClass::Branch,
-                            mem_addr: None,
-                            branch_taken: Some(true),
-                        }))
-                    } else {
-                        self.status = ThreadStatus::Finished;
-                        Ok(StepEvent::Finished(v))
-                    }
-                }
-                Terminator::Unreachable => {
-                    self.status = ThreadStatus::Trapped(TrapKind::UnsupportedIntrinsic);
-                    Err(TrapKind::UnsupportedIntrinsic)
-                }
-            }
+        let df = program.func(self.func);
+        if self.pc == RESTEER_PENDING {
+            self.pc = df.block_entry(self.block);
         }
-    }
-
-    fn exec_inst(
-        &mut self,
-        program: &Program,
-        inst: &Inst,
-        mem: &mut dyn MemPort,
-        sys: &mut dyn SysPort,
-    ) -> Result<InstOutcome, TrapKind> {
-        let class = inst.class();
-        Ok(match inst {
-            Inst::Binary { op, dst, lhs, rhs } => {
-                let v = op.eval(self.operand(*lhs), self.operand(*rhs))?;
-                self.regs[dst.index()] = v;
-                InstOutcome::Retired(ExecInfo::plain(class))
+        let pc = self.pc;
+        match &df.insts[pc] {
+            DInst::Binary { op, dst, lhs, rhs } => {
+                let v = match op.eval(self.operand(*lhs), self.operand(*rhs)) {
+                    Ok(v) => v,
+                    Err(t) => return self.trap(t),
+                };
+                self.regs[*dst as usize] = v;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(df.classes[pc])))
             }
-            Inst::Copy { dst, src } => {
-                self.regs[dst.index()] = self.operand(*src);
-                InstOutcome::Retired(ExecInfo::plain(class))
+            DInst::Copy { dst, src } => {
+                self.regs[*dst as usize] = self.operand(*src);
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::IntAlu)))
             }
-            Inst::Select {
+            DInst::Select {
                 dst,
                 cond,
                 if_true,
@@ -555,116 +622,202 @@ impl ThreadState {
                 } else {
                     self.operand(*if_false)
                 };
-                self.regs[dst.index()] = v;
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.regs[*dst as usize] = v;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::IntAlu)))
             }
-            Inst::Load { dst, addr, offset } => {
+            DInst::Load { dst, addr, offset } => {
                 let a = self.operand(*addr) + offset;
-                let v = mem.load(a)?;
-                self.regs[dst.index()] = v;
-                InstOutcome::Retired(ExecInfo {
-                    class,
+                let v = match mem.load(a) {
+                    Ok(v) => v,
+                    Err(t) => return self.trap(t),
+                };
+                self.regs[*dst as usize] = v;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo {
+                    class: InstClass::Load,
                     mem_addr: Some(a),
                     branch_taken: None,
-                })
+                }))
             }
-            Inst::Store { src, addr, offset } => {
+            DInst::Store { src, addr, offset } => {
                 let a = self.operand(*addr) + offset;
-                mem.store(a, self.operand(*src))?;
-                InstOutcome::Retired(ExecInfo {
-                    class,
-                    mem_addr: Some(a),
-                    branch_taken: None,
-                })
-            }
-            Inst::Alloc { dst, words } => {
-                let base = mem.alloc(self.operand(*words))?;
-                self.regs[dst.index()] = base;
-                InstOutcome::Retired(ExecInfo::plain(class))
-            }
-            Inst::Call { dst, func, args } => {
-                if self.frames.len() >= MAX_CALL_DEPTH {
-                    return Err(TrapKind::StackOverflow);
+                if let Err(t) = mem.store(a, self.operand(*src)) {
+                    return self.trap(t);
                 }
-                if func.index() >= program.funcs.len() {
-                    return Err(TrapKind::UnknownFunction);
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo {
+                    class: InstClass::Store,
+                    mem_addr: Some(a),
+                    branch_taken: None,
+                }))
+            }
+            DInst::Alloc { dst, words } => {
+                let base = match mem.alloc(self.operand(*words)) {
+                    Ok(b) => b,
+                    Err(t) => return self.trap(t),
+                };
+                self.regs[*dst as usize] = base;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Alloc)))
+            }
+            DInst::Call { dst, func, args } => {
+                if self.frames.len() >= MAX_CALL_DEPTH {
+                    return self.trap(TrapKind::StackOverflow);
+                }
+                if func.index() >= program.func_count() {
+                    return self.trap(TrapKind::UnknownFunction);
                 }
                 let callee = program.func(*func);
                 if callee.params.len() != args.len() {
-                    return Err(TrapKind::UnknownFunction);
+                    return self.trap(TrapKind::UnknownFunction);
                 }
-                let arg_vals: Vec<i64> = args.iter().map(|a| self.operand(*a)).collect();
-                let mut new_regs = vec![0i64; callee.reg_count()];
-                for (p, v) in callee.params.iter().zip(&arg_vals) {
-                    new_regs[p.index()] = *v;
+                let mut new_regs = vec![0i64; callee.reg_count];
+                for (p, a) in callee.params.iter().zip(args.iter()) {
+                    new_regs[p.index()] = self.operand(*a);
                 }
                 let frame = Frame {
                     func: self.func,
+                    pc: pc + 1,
                     block: self.block,
-                    ip: self.ip + 1,
                     regs: std::mem::replace(&mut self.regs, new_regs),
                     ret_dst: *dst,
                 };
                 self.frames.push(frame);
                 self.func = *func;
-                self.block = callee.entry;
-                self.ip = 0;
-                InstOutcome::RetiredCall(ExecInfo::plain(InstClass::Branch))
+                self.block = callee.entry_block();
+                self.pc = callee.entry_pc();
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Branch)))
             }
-            Inst::Send { chan, value } => {
+            DInst::Send { chan, value } => {
                 sys.send(self.operand(*chan), self.operand(*value));
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Send)))
             }
-            Inst::Recv { dst, chan } => match sys.try_recv(self.operand(*chan)) {
+            DInst::Recv { dst, chan } => match sys.try_recv(self.operand(*chan)) {
                 Some(v) => {
-                    self.regs[dst.index()] = v;
-                    InstOutcome::Retired(ExecInfo::plain(class))
+                    self.regs[*dst as usize] = v;
+                    self.pc = pc + 1;
+                    self.retired += 1;
+                    Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Recv)))
                 }
-                None => InstOutcome::Blocked,
+                None => Ok(StepEvent::Blocked),
             },
-            Inst::SpecBegin => {
+            DInst::SpecBegin => {
                 sys.spec_begin();
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Spec)))
             }
-            Inst::SpecCommit => {
+            DInst::SpecCommit => {
                 sys.spec_commit();
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Spec)))
             }
-            Inst::SpecAbort => {
+            DInst::SpecAbort => {
                 sys.spec_abort();
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Spec)))
             }
-            Inst::SpecCheck { dst, core } => {
+            DInst::SpecCheck { dst, core } => {
                 let verdict = sys.spec_conflict(self.operand(*core));
-                self.regs[dst.index()] = verdict;
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.regs[*dst as usize] = verdict;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Spec)))
             }
-            Inst::Resteer { core, target } => {
+            DInst::Resteer { core, target } => {
                 sys.resteer(self.operand(*core), *target);
-                InstOutcome::Retired(ExecInfo::plain(class))
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Resteer)))
             }
-            Inst::Halt => InstOutcome::Halted,
-            Inst::Nop => InstOutcome::Retired(ExecInfo::plain(class)),
-            Inst::ProfileHook { site, regs } => {
-                let values: Vec<i64> = regs.iter().map(|r| self.regs[r.index()]).collect();
-                sys.profile(*site, &values);
-                InstOutcome::Retired(ExecInfo::plain(class))
+            DInst::Halt => {
+                self.status = ThreadStatus::Halted;
+                self.retired += 1;
+                Ok(StepEvent::Halted)
             }
-        })
+            DInst::Nop => {
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Other)))
+            }
+            DInst::ProfileHook { site, regs } => {
+                let mut scratch = std::mem::take(&mut self.profile_scratch);
+                scratch.clear();
+                scratch.extend(regs.iter().map(|r| self.regs[r.index()]));
+                sys.profile(*site, &scratch);
+                self.profile_scratch = scratch;
+                self.pc = pc + 1;
+                self.retired += 1;
+                Ok(StepEvent::Executed(ExecInfo::plain(InstClass::Other)))
+            }
+            // Terminators. Every terminator execution counts as retired,
+            // exactly like the structured walker did — including a trapping
+            // `Unreachable` and the outermost `Ret`.
+            DInst::Br { pc: target, block } => {
+                self.retired += 1;
+                self.pc = *target as usize;
+                self.block = *block;
+                Ok(StepEvent::Executed(ExecInfo::branch(true)))
+            }
+            DInst::CondBr {
+                cond,
+                then_pc,
+                then_block,
+                else_pc,
+                else_block,
+            } => {
+                self.retired += 1;
+                let taken = self.operand(*cond) != 0;
+                if taken {
+                    self.pc = *then_pc as usize;
+                    self.block = *then_block;
+                } else {
+                    self.pc = *else_pc as usize;
+                    self.block = *else_block;
+                }
+                Ok(StepEvent::Executed(ExecInfo::branch(taken)))
+            }
+            DInst::Ret { value } => {
+                self.retired += 1;
+                let v = value.map(|op| self.operand(op));
+                if let Some(frame) = self.frames.pop() {
+                    self.func = frame.func;
+                    self.pc = frame.pc;
+                    self.block = frame.block;
+                    self.regs = frame.regs;
+                    if let (Some(dst), Some(v)) = (frame.ret_dst, v) {
+                        self.regs[dst.index()] = v;
+                    }
+                    Ok(StepEvent::Executed(ExecInfo::branch(true)))
+                } else {
+                    self.status = ThreadStatus::Finished;
+                    Ok(StepEvent::Finished(v))
+                }
+            }
+            DInst::Unreachable => {
+                self.retired += 1;
+                self.status = ThreadStatus::Trapped(TrapKind::UnsupportedIntrinsic);
+                Err(TrapKind::UnsupportedIntrinsic)
+            }
+        }
     }
 }
 
-enum InstOutcome {
-    Retired(ExecInfo),
-    RetiredCall(ExecInfo),
-    Blocked,
-    Halted,
-}
-
-/// Dynamic instruction counts per class.
+/// Dynamic instruction counts per class, stored densely by
+/// [`InstClass::index`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    counts: HashMap<InstClass, u64>,
+    counts: [u64; InstClass::COUNT],
     /// Total retired instructions.
     pub total: u64,
 }
@@ -672,14 +825,14 @@ pub struct ExecStats {
 impl ExecStats {
     /// Records one retired instruction.
     pub fn record(&mut self, class: InstClass) {
-        *self.counts.entry(class).or_insert(0) += 1;
+        self.counts[class.index()] += 1;
         self.total += 1;
     }
 
     /// Count for one class.
     #[must_use]
     pub fn count(&self, class: InstClass) -> u64 {
-        self.counts.get(&class).copied().unwrap_or(0)
+        self.counts[class.index()]
     }
 }
 
@@ -720,7 +873,8 @@ pub fn run_function(
 }
 
 /// Runs `func` to completion with full control over the system port, fuel
-/// budget and a per-instruction observer.
+/// budget and a per-instruction observer. The program is decoded once at
+/// entry; the per-step cost is the decoded dispatch.
 ///
 /// The observer is called before each instruction (not terminators) with the
 /// current function, block and instruction; the value profiler and the
@@ -740,7 +894,8 @@ pub fn run_function_with(
     fuel: u64,
     mut observer: impl FnMut(FuncId, BlockId, &Inst),
 ) -> Result<RunOutcome, TrapKind> {
-    let mut thread = ThreadState::new(program, func, args);
+    let decoded = DecodedProgram::new(program);
+    let mut thread = ThreadState::new(&decoded, func, args);
     let mut stats = ExecStats::default();
     let mut steps: u64 = 0;
     loop {
@@ -749,12 +904,15 @@ pub fn run_function_with(
         }
         steps += 1;
         // Observe the instruction about to execute.
-        let f = program.func(thread.func);
-        let blk = f.block(thread.block);
-        if thread.ip < blk.insts.len() {
-            observer(thread.func, thread.block, &blk.insts[thread.ip]);
+        let df = decoded.func(thread.func);
+        if thread.pc != RESTEER_PENDING {
+            let (block, ip) = df.source_of(thread.pc);
+            let blk = program.func(thread.func).block(block);
+            if ip < blk.insts.len() {
+                observer(thread.func, block, &blk.insts[ip]);
+            }
         }
-        match thread.step(program, mem, sys)? {
+        match thread.step(&decoded, mem, sys)? {
             StepEvent::Executed(info) => stats.record(info.class),
             StepEvent::Blocked => {
                 // Single-threaded: nobody will ever fill the channel.
@@ -808,7 +966,8 @@ mod tests {
     #[test]
     fn wrong_arity_panics() {
         let (p, f) = simple_add_program();
-        let result = std::panic::catch_unwind(|| ThreadState::new(&p, f, &[1]));
+        let dp = DecodedProgram::new(&p);
+        let result = std::panic::catch_unwind(|| ThreadState::new(&dp, f, &[1]));
         assert!(result.is_err());
     }
 
@@ -931,20 +1090,38 @@ mod tests {
     }
 
     #[test]
+    fn channel_table_handles_spilled_ids() {
+        // Negative and enormous channel ids fall off the dense table; they
+        // must still behave as FIFO queues.
+        let mut sys = LocalSys::new();
+        for chan in [-3i64, i64::MAX - 1, 5] {
+            assert_eq!(sys.try_recv(chan), None);
+            sys.send(chan, 1);
+            sys.send(chan, 2);
+        }
+        for chan in [-3i64, i64::MAX - 1, 5] {
+            assert_eq!(sys.try_recv(chan), Some(1));
+            assert_eq!(sys.try_recv(chan), Some(2));
+            assert_eq!(sys.try_recv(chan), None);
+        }
+    }
+
+    #[test]
     fn blocked_recv_is_reported() {
         let mut b = FunctionBuilder::new("block");
         let v = b.recv(1i64);
         b.ret(Some(Operand::Reg(v)));
         let mut p = Program::new();
         let f = p.add_func(b.finish());
+        let dp = DecodedProgram::new(&p);
         let mut mem = FlatMemory::new(64);
         let mut sys = LocalSys::new();
-        let mut t = ThreadState::new(&p, f, &[]);
-        assert_eq!(t.step(&p, &mut mem, &mut sys).unwrap(), StepEvent::Blocked);
+        let mut t = ThreadState::new(&dp, f, &[]);
+        assert_eq!(t.step(&dp, &mut mem, &mut sys).unwrap(), StepEvent::Blocked);
         // Still runnable; delivering a value unblocks it.
         sys.send(1, 5);
         assert!(matches!(
-            t.step(&p, &mut mem, &mut sys).unwrap(),
+            t.step(&dp, &mut mem, &mut sys).unwrap(),
             StepEvent::Executed(_)
         ));
     }
@@ -960,7 +1137,7 @@ mod tests {
         let mut mem = FlatMemory::new(64);
         let mut sys = LocalSys::new();
         run_function_with(&p, f, &[], &mut mem, &mut sys, 1000, |_, _, _| {}).unwrap();
-        assert_eq!(sys.profile_events, vec![(3, vec![17])]);
+        assert_eq!(sys.profile_events(), vec![(3, &[17i64][..])]);
     }
 
     #[test]
@@ -973,14 +1150,15 @@ mod tests {
         b.ret(Some(Operand::Imm(-1)));
         let mut p = Program::new();
         let f = p.add_func(b.finish());
+        let dp = DecodedProgram::new(&p);
         let mut mem = FlatMemory::new(64);
         let mut sys = LocalSys::new();
-        let mut t = ThreadState::new(&p, f, &[]);
-        assert!(t.step(&p, &mut mem, &mut sys).is_err());
+        let mut t = ThreadState::new(&dp, f, &[]);
+        assert!(t.step(&dp, &mut mem, &mut sys).is_err());
         assert!(matches!(t.status(), ThreadStatus::Trapped(_)));
         t.resteer_to(recover);
         assert_eq!(t.status(), ThreadStatus::Runnable);
-        let ev = t.step(&p, &mut mem, &mut sys).unwrap();
+        let ev = t.step(&dp, &mut mem, &mut sys).unwrap();
         assert_eq!(ev, StepEvent::Finished(Some(-1)));
     }
 

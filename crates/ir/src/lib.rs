@@ -22,6 +22,9 @@
 //! * [`interp`] — functional execution: a steppable [`interp::ThreadState`]
 //!   used by the multi-core timing simulator, and single-threaded
 //!   convenience runners used by tests and the value profiler.
+//! * [`decoded`] — the pre-decoded execution form every executor steps
+//!   over: dense, index-addressed instruction arrays with terminators
+//!   inlined and branch targets resolved.
 //! * [`exec`] — the [`exec::ExecutionBackend`] abstraction: one API over
 //!   every way of running a Spice loop (timing simulator, native threads),
 //!   with the backend-neutral [`exec::ExecutionReport`] and
@@ -68,6 +71,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod decoded;
 pub mod dom;
 pub mod exec;
 mod function;
@@ -80,12 +84,13 @@ pub mod reduction;
 mod types;
 pub mod verify;
 
+pub use decoded::{DecodedFunction, DecodedProgram};
 pub use exec::{
     derive_loop_spec, BackendError, ExecutionBackend, ExecutionCost, ExecutionReport, LoadOptions,
     MisspeculationCause, SpecError, SpiceLoopSpec, WorkerReport,
 };
 pub use function::{Block, Function, Global, Program, GLOBAL_BASE};
-pub use inst::{Inst, InstClass, Terminator};
+pub use inst::{Inst, InstClass, Successors, Terminator};
 pub use types::{BinOp, BlockId, FuncId, Operand, Reg, TrapKind};
 
 #[cfg(test)]

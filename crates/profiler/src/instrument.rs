@@ -171,10 +171,11 @@ mod tests {
         run_function_with(&p, f, &[2000], &mut mem, &mut sys, 100_000, |_, _, _| {}).unwrap();
         // The hook fires once per header entry: 3 iterations + the final
         // (exiting) header visit.
-        assert_eq!(sys.profile_events.len(), 4);
-        assert_eq!(sys.profile_events[0].1, vec![2000]);
-        assert_eq!(sys.profile_events[1].1, vec![2002]);
-        assert_eq!(sys.profile_events[3].1, vec![0]);
+        let events = sys.profile_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].1, [2000]);
+        assert_eq!(events[1].1, [2002]);
+        assert_eq!(events[3].1, [0]);
     }
 
     #[test]

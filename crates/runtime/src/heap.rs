@@ -15,9 +15,8 @@
 //! [`SharedHeap::write`], whose contract documents the protocol requirement.
 
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
 
-use spice_ir::exec::AccessSet;
+use spice_ir::exec::{AccessSet, DenseMap};
 
 /// A flat, word-addressable heap shared by the Spice threads of one loop.
 #[derive(Debug)]
@@ -169,8 +168,10 @@ impl SharedHeap {
 #[derive(Debug)]
 pub struct SpecView<'h> {
     heap: &'h SharedHeap,
-    writes: HashMap<i64, i64>,
-    order: Vec<i64>,
+    /// Buffered writes in an insertion-ordered open-addressed map — its
+    /// entry order is the first-write order an ordered commit needs, with no
+    /// hashing overhead on the per-store path.
+    writes: DenseMap<i64>,
     reads: AccessSet,
     track_reads: bool,
 }
@@ -181,8 +182,7 @@ impl<'h> SpecView<'h> {
     pub fn new(heap: &'h SharedHeap) -> Self {
         SpecView {
             heap,
-            writes: HashMap::new(),
-            order: Vec::new(),
+            writes: DenseMap::new(),
             reads: AccessSet::new(),
             track_reads: false,
         }
@@ -201,8 +201,8 @@ impl<'h> SpecView<'h> {
     /// Reads a word, preferring this thread's own speculative writes.
     #[must_use]
     pub fn read(&self, addr: i64) -> Option<i64> {
-        if let Some(v) = self.writes.get(&addr) {
-            return Some(*v);
+        if let Some(v) = self.writes.get(addr) {
+            return Some(v);
         }
         self.heap.read(addr)
     }
@@ -212,8 +212,8 @@ impl<'h> SpecView<'h> {
     /// heap (i.e. was not store-forwarded from this thread's own buffer).
     #[must_use]
     pub fn read_tracked(&mut self, addr: i64) -> Option<i64> {
-        if let Some(v) = self.writes.get(&addr) {
-            return Some(*v);
+        if let Some(v) = self.writes.get(addr) {
+            return Some(v);
         }
         if self.track_reads {
             self.reads.insert(addr);
@@ -229,15 +229,13 @@ impl<'h> SpecView<'h> {
 
     /// Buffers a speculative write.
     pub fn write(&mut self, addr: i64, value: i64) {
-        if self.writes.insert(addr, value).is_none() {
-            self.order.push(addr);
-        }
+        self.writes.insert(addr, value);
     }
 
     /// Number of distinct words written.
     #[must_use]
     pub fn write_count(&self) -> usize {
-        self.order.len()
+        self.writes.len()
     }
 
     /// Discards the buffered writes while keeping the recorded load set
@@ -248,7 +246,6 @@ impl<'h> SpecView<'h> {
     /// validation must still see.
     pub fn drop_writes(&mut self) {
         self.writes.clear();
-        self.order.clear();
     }
 
     /// Consumes the view and returns the buffered writes in first-write
@@ -262,12 +259,7 @@ impl<'h> SpecView<'h> {
     /// together with the recorded load set.
     #[must_use]
     pub fn into_parts(self) -> (Vec<(i64, i64)>, AccessSet) {
-        let writes = self
-            .order
-            .into_iter()
-            .map(|a| (a, self.writes[&a]))
-            .collect();
-        (writes, self.reads)
+        (self.writes.entries().to_vec(), self.reads)
     }
 }
 

@@ -45,7 +45,7 @@ use spice_ir::exec::{
 };
 use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState};
 use spice_ir::reduction::ReductionKind;
-use spice_ir::{BlockId, FuncId, InstClass, Program, Reg, TrapKind};
+use spice_ir::{BlockId, DecodedProgram, FuncId, InstClass, Program, Reg, TrapKind};
 
 use crate::chunks::chunk_memo_plan;
 use crate::heap::{SharedHeap, SpecView};
@@ -74,7 +74,10 @@ pub struct NativeLoopBackend {
 
 #[derive(Debug)]
 struct Loaded {
-    program: Arc<Program>,
+    /// The pre-decoded execution form every thread steps over, built once at
+    /// `load` (the structured [`Program`] is consumed by the loop analysis
+    /// and the decode; nothing at run time walks it).
+    decoded: Arc<DecodedProgram>,
     kernel: FuncId,
     spec: Arc<SpiceLoopSpec>,
     mem: FlatMemory,
@@ -103,7 +106,7 @@ struct Loaded {
 /// One `new_invocation` token: everything a pre-spawned worker needs to run
 /// its speculative chunk for the current invocation.
 struct WorkerTask {
-    program: Arc<Program>,
+    program: Arc<DecodedProgram>,
     kernel: FuncId,
     spec: Arc<SpiceLoopSpec>,
     args: Vec<i64>,
@@ -374,8 +377,9 @@ impl ExecutionBackend for NativeLoopBackend {
             last_work[0] = estimate;
         }
         let heap = Arc::new(SharedHeap::new(mem.words().len()));
+        let decoded = Arc::new(DecodedProgram::new(&program));
         self.loaded = Some(Loaded {
-            program: Arc::new(program),
+            decoded,
             kernel,
             spec: Arc::new(spec),
             mem,
@@ -425,7 +429,7 @@ impl ExecutionBackend for NativeLoopBackend {
 
         let detect = loaded.policy.detects();
         let predictions = loaded.predictions.clone();
-        let program = Arc::clone(&loaded.program);
+        let program = Arc::clone(&loaded.decoded);
         let kernel = loaded.kernel;
         let spec = Arc::clone(&loaded.spec);
         let heap = Arc::clone(&loaded.heap);
@@ -783,7 +787,7 @@ impl SysPort for NopSys {
 /// branch). Returns `Ok(None)` on arrival, `Ok(Some(v))` if the function
 /// finished first, `Err` on trap/block/budget-exhaustion.
 fn step_to_block_arrival(
-    program: &Program,
+    program: &DecodedProgram,
     state: &mut ThreadState,
     mem: &mut dyn MemPort,
     sys: &mut dyn SysPort,
@@ -830,7 +834,7 @@ fn cursor_values(spec: &SpiceLoopSpec, state: &ThreadState) -> Vec<i64> {
 /// natural exit, a fault, or a squash.
 #[allow(clippy::too_many_arguments)]
 fn run_worker_chunk(
-    program: &Program,
+    program: &DecodedProgram,
     kernel: FuncId,
     spec: &SpiceLoopSpec,
     args: &[i64],
@@ -1038,7 +1042,7 @@ fn run_worker_chunk(
 /// (or to completion when there is none / it is never reached).
 #[allow(clippy::too_many_arguments)]
 fn run_main_chunk(
-    program: &Program,
+    program: &DecodedProgram,
     kernel: FuncId,
     spec: &SpiceLoopSpec,
     args: &[i64],
@@ -1111,7 +1115,7 @@ fn run_main_chunk(
 /// Runs the (already repositioned) main thread to completion, counting the
 /// additional loop iterations it executes.
 fn finish_main(
-    program: &Program,
+    program: &DecodedProgram,
     spec: &SpiceLoopSpec,
     state: &mut ThreadState,
     port: &mut DirectPort<'_>,

@@ -21,33 +21,60 @@ pub struct Cache {
     line_words: i64,
     sets: usize,
     assoc: usize,
-    /// `tags[set]` holds up to `assoc` line addresses in LRU order
-    /// (most-recently-used last).
-    tags: Vec<Vec<i64>>,
+    /// `log2(line_words)` when the line size is a power-of-two number of
+    /// words (every real configuration), letting the per-access line/set
+    /// arithmetic be shifts and masks instead of two hardware divisions.
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two.
+    set_mask: Option<i64>,
+    /// Flat tag store: `tags[set * assoc ..][.. assoc]` holds the set's
+    /// resident line addresses as an occupied prefix in LRU order
+    /// (most-recently-used last), padded with [`EMPTY_TAG`]. One allocation,
+    /// no per-set vector indirection on the access path.
+    tags: Vec<i64>,
     hits: u64,
     misses: u64,
 }
+
+/// Sentinel marking an unoccupied way. No reachable word address maps to
+/// this line index (it would require an address below `i64::MIN + 63`).
+const EMPTY_TAG: i64 = i64::MIN;
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
     #[must_use]
     pub fn new(config: &CacheConfig) -> Self {
+        let line_words = (config.line_bytes as i64) / WORD_BYTES;
+        let sets = config.sets();
         Cache {
-            line_words: (config.line_bytes as i64) / WORD_BYTES,
-            sets: config.sets(),
+            line_words,
+            sets,
             assoc: config.assoc,
-            tags: vec![Vec::new(); config.sets()],
+            line_shift: (line_words > 0 && line_words.count_ones() == 1)
+                .then(|| line_words.trailing_zeros()),
+            set_mask: (sets > 0 && sets.count_ones() == 1).then_some(sets as i64 - 1),
+            tags: vec![EMPTY_TAG; sets * config.assoc],
             hits: 0,
             misses: 0,
         }
     }
 
+    #[inline]
     fn line_of(&self, word_addr: i64) -> i64 {
-        word_addr.div_euclid(self.line_words)
+        // An arithmetic right shift is exactly floor-division by a
+        // power-of-two divisor, which is what `div_euclid` computes.
+        match self.line_shift {
+            Some(s) => word_addr >> s,
+            None => word_addr.div_euclid(self.line_words),
+        }
     }
 
+    #[inline]
     fn set_of(&self, line: i64) -> usize {
-        (line.rem_euclid(self.sets as i64)) as usize
+        match self.set_mask {
+            Some(m) => (line & m) as usize,
+            None => (line.rem_euclid(self.sets as i64)) as usize,
+        }
     }
 
     /// Accesses `word_addr`, updating LRU state, and returns `true` on a hit.
@@ -56,19 +83,43 @@ impl Cache {
     pub fn access(&mut self, word_addr: i64) -> bool {
         let line = self.line_of(word_addr);
         let set = self.set_of(line);
-        let ways = &mut self.tags[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
-            let tag = ways.remove(pos);
-            ways.push(tag);
-            self.hits += 1;
-            true
-        } else {
-            if ways.len() == self.assoc {
-                ways.remove(0);
+        debug_assert_ne!(line, EMPTY_TAG);
+        let ways = &mut self.tags[set * self.assoc..(set + 1) * self.assoc];
+        // Occupied prefix scan: find the line or the end of the prefix.
+        let mut len = ways.len();
+        let mut found = None;
+        for (k, &t) in ways.iter().enumerate() {
+            if t == line {
+                found = Some(k);
+                break;
             }
-            ways.push(line);
-            self.misses += 1;
-            false
+            if t == EMPTY_TAG {
+                len = k;
+                break;
+            }
+        }
+        match found {
+            Some(k) => {
+                // Hit: rotate the line to the MRU end of the occupied
+                // prefix (same order the remove+push of a Vec produced).
+                let prefix_end = ways[k..].iter().position(|&t| t == EMPTY_TAG);
+                let end = k + prefix_end.unwrap_or(ways.len() - k);
+                ways[k..end].rotate_left(1);
+                self.hits += 1;
+                true
+            }
+            None => {
+                if len == ways.len() {
+                    // Full set: evict LRU (front), shift, fill at MRU end.
+                    ways.rotate_left(1);
+                    let last = ways.len() - 1;
+                    ways[last] = line;
+                } else {
+                    ways[len] = line;
+                }
+                self.misses += 1;
+                false
+            }
         }
     }
 
@@ -77,22 +128,26 @@ impl Cache {
     pub fn contains(&self, word_addr: i64) -> bool {
         let line = self.line_of(word_addr);
         let set = self.set_of(line);
-        self.tags[set].contains(&line)
+        self.tags[set * self.assoc..(set + 1) * self.assoc].contains(&line)
     }
 
     /// Invalidates the line containing `word_addr` if present (coherence).
     pub fn invalidate(&mut self, word_addr: i64) {
         let line = self.line_of(word_addr);
         let set = self.set_of(line);
-        self.tags[set].retain(|&t| t != line);
+        let ways = &mut self.tags[set * self.assoc..(set + 1) * self.assoc];
+        if let Some(k) = ways.iter().position(|&t| t == line) {
+            // Preserve the order of the remaining occupied prefix.
+            ways[k..].rotate_left(1);
+            let last = ways.len() - 1;
+            ways[last] = EMPTY_TAG;
+        }
     }
 
     /// Drops every line (used when a machine is reset between runs while the
     /// caller wants cold caches).
     pub fn flush(&mut self) {
-        for set in &mut self.tags {
-            set.clear();
-        }
+        self.tags.fill(EMPTY_TAG);
     }
 
     /// Number of hits recorded so far.

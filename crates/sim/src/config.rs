@@ -68,6 +68,26 @@ pub struct CoreConfig {
     pub spec_op_latency: u64,
 }
 
+impl CoreConfig {
+    /// Base functional-unit latency of an instruction class, before memory
+    /// hierarchy latency (loads/stores/allocs report 0 here; the hierarchy
+    /// walk is charged separately).
+    #[must_use]
+    pub fn latency_of(&self, class: spice_ir::InstClass) -> u64 {
+        use spice_ir::InstClass;
+        match class {
+            InstClass::IntAlu | InstClass::Other => 1,
+            InstClass::IntMul => self.mul_latency,
+            InstClass::IntDiv => self.div_latency,
+            InstClass::Branch => self.branch_latency,
+            InstClass::Load | InstClass::Store | InstClass::Alloc => 0,
+            InstClass::Send | InstClass::Recv => 1,
+            InstClass::Spec => self.spec_op_latency,
+            InstClass::Resteer => 1,
+        }
+    }
+}
+
 /// Whole-machine configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MachineConfig {

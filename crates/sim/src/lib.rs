@@ -3,8 +3,8 @@
 //! The CGO 2008 Spice paper evaluates its transformation on a cycle-accurate
 //! 4-core Itanium 2 CMP model (Table 1) built in the Liberty Simulation
 //! Environment. This crate provides the equivalent substrate for the
-//! reproduction: a cycle-stepped multi-core machine that executes
-//! [`spice_ir`] programs with
+//! reproduction: a cycle-exact, event-driven multi-core machine that
+//! executes pre-decoded [`spice_ir`] programs with
 //!
 //! * the Table 1 cache hierarchy and latencies ([`config::MachineConfig`],
 //!   [`cache::MemoryHierarchy`]),

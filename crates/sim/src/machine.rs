@@ -1,22 +1,40 @@
-//! The cycle-stepped multi-core machine.
+//! The event-driven multi-core machine.
 //!
-//! One [`spice_ir::interp::ThreadState`] runs per core. Each cycle, every
-//! core that is not stalled retires at most one instruction; loads and stores
-//! walk the [`crate::cache::MemoryHierarchy`] and stall the core for the
-//! resulting latency, scalar sends become visible to the receiving core after
-//! the configured inter-core latency, and speculative stores land in the
-//! per-core [`crate::specbuf::SpecBuffer`] until the thread commits or is
-//! squashed. This is the substrate on which both the Spice-transformed code
-//! and the baseline TLS schemes are timed (paper §5).
+//! One [`spice_ir::interp::ThreadState`] runs per core over the pre-decoded
+//! program form ([`spice_ir::DecodedProgram`]). At every *active* cycle,
+//! each core that is not stalled retires at most one issue group; loads and
+//! stores walk the [`crate::cache::MemoryHierarchy`] and stall the core for
+//! the resulting latency, scalar sends become visible to the receiving core
+//! after the configured inter-core latency, and speculative stores land in
+//! the per-core [`crate::specbuf::SpecBuffer`] until the thread commits or
+//! is squashed. This is the substrate on which both the Spice-transformed
+//! code and the baseline TLS schemes are timed (paper §5).
+//!
+//! **Simulated time advances by events, not by ticks.** Each core advertises
+//! when it can next do something — its `busy_until` horizon, or, when
+//! blocked on a receive, the arrival time of the next message on the channel
+//! it is waiting for — and [`Machine::run`] jumps the clock straight to the
+//! minimum of those times, crediting the skipped interval's stall and idle
+//! cycles arithmetically. A skipped cycle is, by construction, one in which
+//! the cycle-stepped machine would only have incremented those same
+//! counters, so the event-driven run retires the identical instruction
+//! sequence at the identical cycles and produces **bit-identical**
+//! [`RunSummary`]s — it only spends less host time doing so. When exactly
+//! one core is runnable (every sequential baseline; the serial phases of a
+//! Spice invocation) the scheduler drops into a scan-free single-core loop
+//! with the same guarantee. See `DESIGN.md`, "harness performance
+//! architecture", for the invariant and its boundary conditions.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
 use spice_ir::exec::AccessSet;
-use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState, ThreadStatus};
-use spice_ir::{BlockId, FuncId, InstClass, Program, TrapKind};
+use spice_ir::interp::{
+    ChannelTable, FlatMemory, MemPort, StepEvent, SysPort, ThreadState, ThreadStatus,
+};
+use spice_ir::{BlockId, DecodedProgram, FuncId, InstClass, Program, TrapKind};
 
 use crate::cache::{MemAccessStats, MemoryHierarchy};
 use crate::config::MachineConfig;
@@ -29,34 +47,61 @@ struct Message {
     value: i64,
 }
 
-/// The set of inter-core scalar channels.
+/// The set of inter-core scalar channels, kept in a dense table indexed by
+/// the small integer channel ids the transformation allocates (no hashing on
+/// the send/receive path).
 #[derive(Debug, Clone, Default)]
 pub struct ChannelNet {
-    queues: HashMap<i64, VecDeque<Message>>,
+    queues: ChannelTable<Message>,
+    /// Running message count, so [`ChannelNet::pending`] — consulted every
+    /// scheduling round — is O(1) instead of a walk over every queue.
+    in_flight: usize,
 }
 
 impl ChannelNet {
     /// Enqueues `value` on `chan`, visible to receivers at `ready_at`.
     pub fn send(&mut self, chan: i64, value: i64, ready_at: u64) {
         self.queues
-            .entry(chan)
-            .or_default()
+            .queue_mut(chan)
             .push_back(Message { ready_at, value });
+        self.in_flight += 1;
     }
 
     /// Dequeues the oldest message on `chan` if it has arrived by `now`.
     pub fn try_recv(&mut self, chan: i64, now: u64) -> Option<i64> {
-        let q = self.queues.get_mut(&chan)?;
+        let q = self.queues.existing_mut(chan)?;
         match q.front() {
-            Some(m) if m.ready_at <= now => Some(q.pop_front().expect("front exists").value),
+            Some(m) if m.ready_at <= now => {
+                self.in_flight -= 1;
+                Some(q.pop_front().expect("front exists").value)
+            }
             _ => None,
         }
+    }
+
+    /// Arrival time of the oldest message queued on `chan`, if any — the
+    /// wake-up event for a core blocked receiving on it. (Send times are
+    /// monotone, so the queue front is the earliest arrival.)
+    #[must_use]
+    pub fn earliest_on(&self, chan: i64) -> Option<u64> {
+        self.queues.queue(chan)?.front().map(|m| m.ready_at)
     }
 
     /// Total messages currently queued (arrived or still in flight).
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.queues.values().map(VecDeque::len).sum()
+        debug_assert_eq!(
+            self.in_flight,
+            self.queues.queues().map(VecDeque::len).sum::<usize>()
+        );
+        self.in_flight
+    }
+
+    /// Empties every queue while keeping their allocations for the next
+    /// invocation.
+    pub fn clear(&mut self) {
+        self.queues.clear_queues();
+        self.in_flight = 0;
     }
 }
 
@@ -76,7 +121,9 @@ impl ChannelNet {
 /// core *k*'s read set while core 0's own `SpecBuffer` is mutably borrowed
 /// by its memory port — the per-core buffers are unreachable from there.
 /// Both recorders share one semantics (store-forwarded loads are excluded);
-/// see [`SpecBuffer::load`] for the rule and keep the two in sync.
+/// see [`SpecBuffer::load`] for the rule and keep the two in sync. (The
+/// machine turns the buffer-local recording *off* — this tracker is the one
+/// copy it consults.)
 #[derive(Debug)]
 struct ConflictTracker {
     enabled: bool,
@@ -279,6 +326,19 @@ enum SpecAction {
     Abort,
 }
 
+/// What ended one core's issue group for the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreCycleEnd {
+    /// Instructions retired; the core is busy until its new horizon.
+    Ran,
+    /// The core blocked on an empty channel.
+    Blocked,
+    /// The thread finished or halted.
+    Done,
+    /// The thread trapped.
+    Trapped,
+}
+
 struct CoreMemPort<'a> {
     mem: &'a mut FlatMemory,
     hier: &'a mut MemoryHierarchy,
@@ -309,7 +369,9 @@ impl MemPort for CoreMemPort<'_> {
         if self.spec.is_active() {
             // Validate the address eagerly so that wild speculative stores
             // trap like real ones would (the squash path recovers them).
-            self.mem.read(addr)?;
+            if addr < 0 || addr as usize >= self.mem.size() {
+                return Err(TrapKind::OutOfBoundsAccess { addr });
+            }
             self.spec.store(addr, value);
             Ok(())
         } else {
@@ -333,6 +395,10 @@ struct CoreSysPort<'a> {
     now: u64,
     comm_latency: u64,
     spec_action: Option<SpecAction>,
+    /// The channel of the last `try_recv` that came back empty — recorded so
+    /// a blocking receive advertises which arrival would wake it (the
+    /// event-driven scheduler's wake-up condition for blocked cores).
+    recv_failed_chan: Option<i64>,
 }
 
 impl SysPort for CoreSysPort<'_> {
@@ -342,7 +408,11 @@ impl SysPort for CoreSysPort<'_> {
     }
 
     fn try_recv(&mut self, chan: i64) -> Option<i64> {
-        self.channels.try_recv(chan, self.now)
+        let got = self.channels.try_recv(chan, self.now);
+        if got.is_none() {
+            self.recv_failed_chan = Some(chan);
+        }
+        got
     }
 
     fn spec_begin(&mut self) {
@@ -373,8 +443,12 @@ struct CoreState {
     busy_until: u64,
     stall: StallKind,
     blocked: bool,
+    /// The channel the thread's pending `Recv` found empty, while `blocked`:
+    /// the core's wake-up event is the next arrival on this channel.
+    waiting_chan: Option<i64>,
     report: CoreReport,
-    class_counts: HashMap<InstClass, u64>,
+    /// Retired-instruction counts, dense by [`InstClass::index`].
+    class_counts: [u64; InstClass::COUNT],
     done: bool,
 }
 
@@ -386,9 +460,204 @@ impl CoreState {
             busy_until: 0,
             stall: StallKind::None,
             blocked: false,
+            waiting_chan: None,
             report: CoreReport::default(),
-            class_counts: HashMap::new(),
+            class_counts: [0; InstClass::COUNT],
             done: false,
+        }
+    }
+}
+
+/// One core's execution context, split-borrowed out of the [`Machine`]: the
+/// thread, its memory/system ports, and the core's bookkeeping fields. Built
+/// once per scheduling episode — the lockstep path constructs it per core
+/// per cycle, the single-active fast loop holds one across its whole run so
+/// the ports are not reconstructed on every cycle.
+struct CoreRun<'a> {
+    i: usize,
+    issue_width: u64,
+    config: &'a MachineConfig,
+    decoded: &'a DecodedProgram,
+    activity: &'a mut Option<ActivityTrace>,
+    conflicts: &'a ConflictTracker,
+    cycle: &'a mut u64,
+    thread: &'a mut ThreadState,
+    mem_port: CoreMemPort<'a>,
+    sys_port: CoreSysPort<'a>,
+    busy_until: &'a mut u64,
+    stall: &'a mut StallKind,
+    blocked: &'a mut bool,
+    waiting_chan: &'a mut Option<i64>,
+    report: &'a mut CoreReport,
+    class_counts: &'a mut [u64; InstClass::COUNT],
+    done: &'a mut bool,
+}
+
+impl<'a> CoreRun<'a> {
+    fn new(m: &'a mut Machine, i: usize) -> Self {
+        let Machine {
+            config,
+            mem,
+            hier,
+            cores,
+            channels,
+            resteer_requests,
+            conflicts,
+            decoded,
+            cycle,
+            activity,
+            ..
+        } = m;
+        let CoreState {
+            thread,
+            spec,
+            busy_until,
+            stall,
+            blocked,
+            waiting_chan,
+            report,
+            class_counts,
+            done,
+        } = &mut cores[i];
+        let thread = thread.as_mut().expect("core has a runnable thread");
+        CoreRun {
+            i,
+            issue_width: config.core.issue_width.max(1),
+            config,
+            decoded,
+            activity,
+            conflicts,
+            cycle,
+            thread,
+            mem_port: CoreMemPort {
+                mem,
+                hier,
+                spec,
+                conflicts,
+                core: i,
+                latency: 0,
+            },
+            sys_port: CoreSysPort {
+                channels,
+                resteers: resteer_requests,
+                conflicts,
+                now: 0,
+                comm_latency: config.inter_core_latency,
+                spec_action: None,
+                recv_failed_chan: None,
+            },
+            busy_until,
+            stall,
+            blocked,
+            waiting_chan,
+            report,
+            class_counts,
+            done,
+        }
+    }
+
+    /// One cycle's issue group at `now` (see [`Machine::step_core`]).
+    fn issue_group(&mut self, now: u64) -> CoreCycleEnd {
+        self.sys_port.now = now;
+        let mut issued_this_cycle = 0u64;
+        loop {
+            self.mem_port.latency = 0;
+            self.sys_port.spec_action = None;
+            self.sys_port.recv_failed_chan = None;
+            let result = self
+                .thread
+                .step(self.decoded, &mut self.mem_port, &mut self.sys_port);
+
+            match result {
+                Ok(StepEvent::Executed(info)) => {
+                    self.report.retired += 1;
+                    self.class_counts[info.class.index()] += 1;
+                    if let Some(a) = self.activity {
+                        a.record(self.i, now);
+                    }
+                    let co_issuable = matches!(info.class, InstClass::IntAlu | InstClass::Other)
+                        && self.mem_port.latency == 0;
+                    if co_issuable {
+                        issued_this_cycle += 1;
+                        if issued_this_cycle < self.issue_width {
+                            // Keep filling this cycle's issue group. (ALU
+                            // operations never carry a spec action, so the
+                            // horizon/stall writes are deferred to the
+                            // instruction that ends the group — they would
+                            // only be overwritten.)
+                            continue;
+                        }
+                        *self.busy_until = now + 1;
+                        *self.stall = StallKind::None;
+                        *self.blocked = false;
+                        *self.waiting_chan = None;
+                        return CoreCycleEnd::Ran;
+                    }
+                    let mem_latency = self.mem_port.latency;
+                    let cost = self.config.core.latency_of(info.class).max(1) + mem_latency;
+                    *self.busy_until = now + cost;
+                    *self.stall = if mem_latency > 0 {
+                        StallKind::Memory
+                    } else {
+                        StallKind::None
+                    };
+                    *self.blocked = false;
+                    *self.waiting_chan = None;
+                    match self.sys_port.spec_action {
+                        Some(SpecAction::Begin) => self.mem_port.spec.begin(),
+                        Some(SpecAction::Commit) => {
+                            let writes = self.mem_port.spec.take_commit();
+                            self.report.spec_commits += 1;
+                            let mut extra = 0;
+                            for (addr, value) in writes {
+                                // Committed writes drain through the
+                                // hierarchy like ordinary stores, and join
+                                // the epoch's committed-write set for later
+                                // chunks' conflict checks.
+                                let (lat, _) = self.mem_port.hier.store(self.i, addr);
+                                extra += lat.min(self.config.l2.hit_latency);
+                                self.conflicts.record_write(addr);
+                                let _ = self.mem_port.mem.write(addr, value);
+                            }
+                            self.conflicts.end_chunk(self.i);
+                            *self.busy_until += extra;
+                        }
+                        Some(SpecAction::Abort) => {
+                            self.mem_port.spec.abort();
+                            self.report.spec_aborts += 1;
+                            self.conflicts.end_chunk(self.i);
+                        }
+                        None => {}
+                    }
+                    return CoreCycleEnd::Ran;
+                }
+                Ok(StepEvent::Blocked) => {
+                    *self.busy_until = now + 1;
+                    *self.stall = StallKind::Recv;
+                    *self.blocked = true;
+                    *self.waiting_chan = self.sys_port.recv_failed_chan;
+                    self.report.recv_stall_cycles += 1;
+                    return CoreCycleEnd::Blocked;
+                }
+                Ok(StepEvent::Halted) | Ok(StepEvent::Finished(_)) => {
+                    *self.done = true;
+                    *self.blocked = false;
+                    self.report.finished_at = Some(now);
+                    if let Ok(StepEvent::Finished(v)) = result {
+                        self.report.return_value = v;
+                    }
+                    return CoreCycleEnd::Done;
+                }
+                Err(_trap) => {
+                    // The thread stays trapped until (possibly) resteered
+                    // by another thread. It re-checks every cycle so that
+                    // an incoming resteer takes effect promptly.
+                    *self.busy_until = now + 1;
+                    *self.stall = StallKind::None;
+                    *self.blocked = false;
+                    return CoreCycleEnd::Trapped;
+                }
+            }
         }
     }
 }
@@ -444,6 +713,8 @@ impl ActivityTrace {
 pub struct Machine {
     config: MachineConfig,
     program: Program,
+    /// The pre-decoded execution form of `program`, built once at load.
+    decoded: DecodedProgram,
     mem: FlatMemory,
     hier: MemoryHierarchy,
     cores: Vec<CoreState>,
@@ -455,17 +726,29 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Creates a machine loaded with `program`: globals are materialized and
-    /// the heap sized from the configuration.
+    /// Creates a machine loaded with `program`: globals are materialized,
+    /// the heap sized from the configuration, and the program decoded once
+    /// into its dense execution form.
     #[must_use]
     pub fn new(config: MachineConfig, program: Program) -> Self {
         let mem = FlatMemory::for_program(&program, config.heap_words);
         let hier = MemoryHierarchy::new(&config);
-        let cores = (0..config.cores).map(|_| CoreState::new()).collect();
+        let cores: Vec<CoreState> = (0..config.cores)
+            .map(|_| {
+                let mut c = CoreState::new();
+                // The ConflictTracker mirrors every speculative read this
+                // machine cares about; the buffer-local read set would be a
+                // second copy nobody consults.
+                c.spec.set_read_tracking(false);
+                c
+            })
+            .collect();
         let conflicts = ConflictTracker::new(config.cores, config.conflict_detection);
+        let decoded = DecodedProgram::new(&program);
         Machine {
             config,
             program,
+            decoded,
             mem,
             hier,
             cores,
@@ -537,12 +820,13 @@ impl Machine {
             return Err(SimError::NoSuchCore { core });
         }
         let state = &mut self.cores[core];
-        state.thread = Some(ThreadState::new(&self.program, func, args));
+        state.thread = Some(ThreadState::new(&self.decoded, func, args));
         state.busy_until = self.cycle;
         state.done = false;
         state.blocked = false;
+        state.waiting_chan = None;
         state.report = CoreReport::default();
-        state.class_counts.clear();
+        state.class_counts = [0; InstClass::COUNT];
         Ok(())
     }
 
@@ -551,12 +835,13 @@ impl Machine {
     pub fn clear_threads(&mut self) {
         for c in &mut self.cores {
             c.thread = None;
-            c.spec = SpecBuffer::new();
+            c.spec.reset();
             c.busy_until = self.cycle;
             c.done = false;
             c.blocked = false;
+            c.waiting_chan = None;
         }
-        self.channels = ChannelNet::default();
+        self.channels.clear();
         self.resteer_requests.clear();
         // A fresh set of threads is a fresh loop invocation: the conflict
         // epoch (committed writes, read sets, verdicts) starts over.
@@ -571,194 +856,186 @@ impl Machine {
         }
     }
 
-    fn base_latency(&self, class: InstClass) -> u64 {
-        let c = &self.config.core;
-        match class {
-            InstClass::IntAlu | InstClass::Other => 1,
-            InstClass::IntMul => c.mul_latency,
-            InstClass::IntDiv => c.div_latency,
-            InstClass::Branch => c.branch_latency,
-            InstClass::Load | InstClass::Store | InstClass::Alloc => 0, // hierarchy latency added separately
-            InstClass::Send | InstClass::Recv => 1,
-            InstClass::Spec => c.spec_op_latency,
-            InstClass::Resteer => 1,
-        }
-    }
-
     /// Advances the machine by one cycle.
     pub fn step_cycle(&mut self) {
         let now = self.cycle;
         for i in 0..self.cores.len() {
             // Skip cores that are stalled, idle or done.
-            if self.cores[i].done || self.cores[i].thread.is_none() {
-                self.cores[i].report.idle_cycles += 1;
-                continue;
-            }
-            if self.cores[i].busy_until > now {
-                match self.cores[i].stall {
-                    StallKind::Memory => self.cores[i].report.mem_stall_cycles += 1,
-                    StallKind::Recv => self.cores[i].report.recv_stall_cycles += 1,
-                    StallKind::None => {}
+            {
+                let c = &mut self.cores[i];
+                if c.done || c.thread.is_none() {
+                    c.report.idle_cycles += 1;
+                    continue;
                 }
-                continue;
-            }
-            let mut thread = self.cores[i].thread.take().expect("checked above");
-            // A multi-issue core (Table 1: 6-issue) retires up to
-            // `issue_width` simple ALU operations per cycle; any memory
-            // access, long-latency operation, communication or control
-            // transfer ends the issue group.
-            let issue_width = self.config.core.issue_width.max(1);
-            let mut issued_this_cycle = 0u64;
-            loop {
-                let mut mem_port = CoreMemPort {
-                    mem: &mut self.mem,
-                    hier: &mut self.hier,
-                    spec: &mut self.cores[i].spec,
-                    conflicts: &self.conflicts,
-                    core: i,
-                    latency: 0,
-                };
-                let mut sys_port = CoreSysPort {
-                    channels: &mut self.channels,
-                    resteers: &mut self.resteer_requests,
-                    conflicts: &self.conflicts,
-                    now,
-                    comm_latency: self.config.inter_core_latency,
-                    spec_action: None,
-                };
-                let result = thread.step(&self.program, &mut mem_port, &mut sys_port);
-                let mem_latency = mem_port.latency;
-                let spec_action = sys_port.spec_action;
-
-                match result {
-                    Ok(StepEvent::Executed(info)) => {
-                        let co_issuable =
-                            matches!(info.class, InstClass::IntAlu | InstClass::Other)
-                                && mem_latency == 0;
-                        let cost = if co_issuable {
-                            1
-                        } else {
-                            self.base_latency(info.class).max(1) + mem_latency
-                        };
-                        let core = &mut self.cores[i];
-                        core.busy_until = now + cost;
-                        core.stall = if mem_latency > 0 {
-                            StallKind::Memory
-                        } else {
-                            StallKind::None
-                        };
-                        core.blocked = false;
-                        core.report.retired += 1;
-                        *core.class_counts.entry(info.class).or_insert(0) += 1;
-                        if let Some(a) = &mut self.activity {
-                            a.record(i, now);
-                        }
-                        match spec_action {
-                            Some(SpecAction::Begin) => core.spec.begin(),
-                            Some(SpecAction::Commit) => {
-                                let writes = core.spec.take_commit();
-                                core.report.spec_commits += 1;
-                                let mut extra = 0;
-                                for (addr, value) in writes {
-                                    // Committed writes drain through the
-                                    // hierarchy like ordinary stores, and
-                                    // join the epoch's committed-write set
-                                    // for later chunks' conflict checks.
-                                    let (lat, _) = self.hier.store(i, addr);
-                                    extra += lat.min(self.config.l2.hit_latency);
-                                    self.conflicts.record_write(addr);
-                                    let _ = self.mem.write(addr, value);
-                                }
-                                self.conflicts.end_chunk(i);
-                                self.cores[i].busy_until += extra;
-                            }
-                            Some(SpecAction::Abort) => {
-                                core.spec.abort();
-                                core.report.spec_aborts += 1;
-                                self.conflicts.end_chunk(i);
-                            }
-                            None => {}
-                        }
-                        issued_this_cycle += 1;
-                        if co_issuable && issued_this_cycle < issue_width {
-                            // Keep filling this cycle's issue group.
-                            continue;
-                        }
-                        break;
+                if c.busy_until > now {
+                    match c.stall {
+                        StallKind::Memory => c.report.mem_stall_cycles += 1,
+                        StallKind::Recv => c.report.recv_stall_cycles += 1,
+                        StallKind::None => {}
                     }
-                    Ok(StepEvent::Blocked) => {
-                        let core = &mut self.cores[i];
-                        core.busy_until = now + 1;
-                        core.stall = StallKind::Recv;
-                        core.blocked = true;
-                        core.report.recv_stall_cycles += 1;
-                        break;
-                    }
-                    Ok(StepEvent::Halted) | Ok(StepEvent::Finished(_)) => {
-                        let core = &mut self.cores[i];
-                        core.done = true;
-                        core.blocked = false;
-                        core.report.finished_at = Some(now);
-                        if let Ok(StepEvent::Finished(v)) = result {
-                            core.report.return_value = v;
-                        }
-                        break;
-                    }
-                    Err(_trap) => {
-                        // The thread stays trapped until (possibly) resteered
-                        // by another thread. It re-checks every cycle so that
-                        // an incoming resteer takes effect promptly.
-                        let core = &mut self.cores[i];
-                        core.busy_until = now + 1;
-                        core.stall = StallKind::None;
-                        core.blocked = false;
-                        break;
-                    }
+                    continue;
                 }
             }
-            self.cores[i].thread = Some(thread);
+            let _ = self.step_core(i, now);
         }
 
         // Deliver resteer requests at end of cycle.
         if !self.resteer_requests.is_empty() {
-            let requests = std::mem::take(&mut self.resteer_requests);
-            for (core, target) in requests {
-                let idx = core as usize;
-                if idx < self.cores.len() {
-                    if let Some(t) = self.cores[idx].thread.as_mut() {
-                        t.resteer_to(target);
-                        self.cores[idx].done = false;
-                        self.cores[idx].blocked = false;
-                        self.cores[idx].busy_until = now + self.config.inter_core_latency;
-                    }
-                }
-            }
+            self.deliver_resteers(now);
         }
 
         self.cycle += 1;
     }
 
-    fn all_done(&self) -> bool {
-        self.cores.iter().all(|c| c.thread.is_none() || c.done)
+    /// Executes one cycle's issue group on a single (ready) core: up to
+    /// `issue_width` co-issuable ALU operations (Table 1: 6-issue), ended by
+    /// any memory access, long-latency operation, communication or control
+    /// transfer. Returns what ended the group, so a caller driving one core
+    /// alone knows whether the schedule could have changed.
+    fn step_core(&mut self, i: usize, now: u64) -> CoreCycleEnd {
+        CoreRun::new(self, i).issue_group(now)
     }
 
-    fn progress_possible(&self) -> bool {
-        // Progress is possible if some core is busy (will wake up), some core
-        // is runnable and not blocked, or a blocked core has a message that
-        // will eventually arrive.
-        let any_active = self.cores.iter().any(|c| {
-            c.thread.is_some()
-                && !c.done
-                && !c.blocked
-                && !matches!(
-                    c.thread.as_ref().map(ThreadState::status),
-                    Some(ThreadStatus::Trapped(_))
-                )
-        });
-        any_active || (self.channels.pending() > 0)
+    /// Applies queued remote resteers (end-of-cycle semantics).
+    fn deliver_resteers(&mut self, now: u64) {
+        let requests = std::mem::take(&mut self.resteer_requests);
+        for (core, target) in requests {
+            let idx = core as usize;
+            if idx < self.cores.len() {
+                if let Some(t) = self.cores[idx].thread.as_mut() {
+                    t.resteer_to(target);
+                    self.cores[idx].done = false;
+                    self.cores[idx].blocked = false;
+                    self.cores[idx].waiting_chan = None;
+                    self.cores[idx].busy_until = now + self.config.inter_core_latency;
+                }
+            }
+        }
     }
 
-    /// Runs until every spawned thread has finished or halted.
+    /// Jumps the clock from `self.cycle` to `target`, crediting each core
+    /// with exactly the stall/idle cycles the cycle-stepped machine would
+    /// have accumulated over the skipped interval — by the event invariant,
+    /// those counter bumps are the *only* effect the skipped cycles could
+    /// have had.
+    fn skip_to(&mut self, target: u64) {
+        let dt = target.saturating_sub(self.cycle);
+        if dt == 0 {
+            return;
+        }
+        for c in &mut self.cores {
+            if c.done || c.thread.is_none() {
+                // Idle cores tick their idle counter every scanned cycle.
+                c.report.idle_cycles += dt;
+                continue;
+            }
+            let status = c.thread.as_ref().expect("checked above").status();
+            if matches!(status, ThreadStatus::Trapped(_)) {
+                // A trapped thread re-checks every cycle without touching
+                // any counter; skipping is free.
+                continue;
+            }
+            if c.blocked {
+                // A blocked thread retries its receive every cycle; each
+                // empty retry is one recv-stall cycle.
+                c.report.recv_stall_cycles += dt;
+                continue;
+            }
+            // Busy core: `target` never exceeds any busy core's horizon, so
+            // every skipped cycle is a stall cycle of the recorded kind.
+            debug_assert!(c.busy_until >= target, "skipped past a ready core");
+            match c.stall {
+                StallKind::Memory => c.report.mem_stall_cycles += dt,
+                StallKind::Recv => c.report.recv_stall_cycles += dt,
+                StallKind::None => {}
+            }
+        }
+        self.cycle = target;
+    }
+
+    /// Drives a lone runnable core without the per-cycle scheduling scans —
+    /// the common regime of every sequential baseline and of a Spice run's
+    /// serial phases (workers parked on their channels). The loop stays
+    /// cycle-exact: the core's own stall intervals are credited
+    /// arithmetically, and control returns to the general scheduler the
+    /// moment anything could change another core's schedule (a send, a
+    /// resteer, this core blocking, finishing or trapping, or the cycle
+    /// budget). The parked cores' idle/stall counters are settled in bulk on
+    /// exit for the whole interval — exactly what per-cycle ticking would
+    /// have accumulated.
+    fn run_single_active(&mut self, i: usize, limit: u64) {
+        let entry = self.cycle;
+        let mut deliver_at = None;
+        {
+            // One CoreRun for the whole episode: the ports and split borrows
+            // are built once, not once per cycle.
+            let mut run = CoreRun::new(self, i);
+            loop {
+                // Jump this core's own stall interval.
+                let bu = *run.busy_until;
+                if bu > *run.cycle {
+                    let target = bu.min(limit);
+                    let dt = target - *run.cycle;
+                    match *run.stall {
+                        StallKind::Memory => run.report.mem_stall_cycles += dt,
+                        StallKind::Recv => run.report.recv_stall_cycles += dt,
+                        StallKind::None => {}
+                    }
+                    *run.cycle = target;
+                }
+                if *run.cycle >= limit {
+                    break;
+                }
+                let now = *run.cycle;
+                let pending_before = run.sys_port.channels.pending();
+                let end = run.issue_group(now);
+                let sent = run.sys_port.channels.pending() > pending_before;
+                let resteered = !run.sys_port.resteers.is_empty();
+                *run.cycle = now + 1;
+                if sent || resteered || !matches!(end, CoreCycleEnd::Ran) {
+                    if resteered {
+                        // Delivery happens outside, once the split borrows
+                        // are released — at the same point in simulated
+                        // time (end of cycle `now`, before anything else
+                        // steps), so the semantics are unchanged.
+                        deliver_at = Some(now);
+                    }
+                    break;
+                }
+            }
+        }
+        // Settle the parked cores' counters for the elapsed interval: every
+        // cycle of it, a done/idle core would have ticked `idle_cycles` and
+        // a blocked core would have retried its receive into one more
+        // recv-stall cycle (their channels stayed empty by construction —
+        // the loop exits on the first send). This must happen BEFORE any
+        // pending resteer is delivered: delivery clears the target's
+        // blocked/done flags, but in the cycle-stepped machine the target
+        // still earned its stall/idle tick for the delivery cycle itself
+        // (cores are scanned before end-of-cycle delivery).
+        let dt = self.cycle - entry;
+        if dt > 0 {
+            for (k, c) in self.cores.iter_mut().enumerate() {
+                if k == i {
+                    continue;
+                }
+                if c.done || c.thread.is_none() {
+                    c.report.idle_cycles += dt;
+                } else if c.blocked {
+                    c.report.recv_stall_cycles += dt;
+                }
+                // Trapped cores tick nothing; other states cannot occur
+                // while this core is the only active one.
+            }
+        }
+        if let Some(now) = deliver_at {
+            self.deliver_resteers(now);
+        }
+    }
+
+    /// Runs until every spawned thread has finished or halted, advancing the
+    /// clock event-to-event (see the module documentation; the result is
+    /// bit-identical to stepping every cycle).
     ///
     /// # Errors
     ///
@@ -770,11 +1047,65 @@ impl Machine {
     ///   out.
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
         let limit = self.config.max_cycles;
-        while !self.all_done() {
+        loop {
+            // One pass over the cores gives the scheduler everything it
+            // needs: completion, runnability, and the earliest wake-up. A
+            // busy core wakes at `busy_until`; a core blocked on a receive
+            // wakes when the next message on its channel arrives (none in
+            // flight → no bounded wake-up: only another core's future send,
+            // itself an event, can rouse it); trapped cores wake only via a
+            // resteer delivered by another core's event.
+            let have_msgs = self.channels.pending() > 0;
+            let mut all_done = true;
+            let mut active = 0usize;
+            let mut active_idx = 0usize;
+            let mut blocked_wake_bounded = false;
+            let mut next: Option<u64> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                let Some(t) = &c.thread else { continue };
+                if c.done {
+                    continue;
+                }
+                all_done = false;
+                if matches!(t.status(), ThreadStatus::Trapped(_)) {
+                    continue;
+                }
+                let wake = if c.blocked {
+                    if !have_msgs {
+                        // Nothing in flight anywhere: this receive cannot
+                        // complete until someone sends, which is itself an
+                        // event.
+                        continue;
+                    }
+                    match c.waiting_chan.and_then(|ch| self.channels.earliest_on(ch)) {
+                        Some(arrival) => {
+                            blocked_wake_bounded = true;
+                            arrival.max(c.busy_until)
+                        }
+                        None => continue,
+                    }
+                } else {
+                    active += 1;
+                    active_idx = i;
+                    c.busy_until
+                };
+                next = Some(next.map_or(wake, |n| n.min(wake)));
+            }
+            if all_done {
+                return Ok(self.summary());
+            }
             if self.cycle >= limit {
                 return Err(SimError::MaxCyclesExceeded { limit });
             }
-            if !self.progress_possible() {
+            if active == 1 && !blocked_wake_bounded {
+                // The whole schedule hinges on one core: run it in the
+                // scan-free fast loop until anything could change that.
+                self.run_single_active(active_idx, limit);
+                continue;
+            }
+            // Progress is possible if some core is runnable or busy, or a
+            // blocked core's message will eventually arrive.
+            if active == 0 && !have_msgs {
                 // Distinguish trap-wedges from pure deadlocks.
                 for (i, c) in self.cores.iter().enumerate() {
                     if let Some(t) = &c.thread {
@@ -787,9 +1118,22 @@ impl Machine {
                 }
                 return Err(SimError::Deadlock { cycle: self.cycle });
             }
-            self.step_cycle();
+            match next.map(|n| n.max(self.cycle)) {
+                Some(target) if target > self.cycle => {
+                    // Nothing can happen before `target`: account the
+                    // skipped interval and land on the event (or on the
+                    // cycle budget, whichever is nearer).
+                    self.skip_to(target.min(limit));
+                }
+                Some(_) => self.step_cycle(),
+                None => {
+                    // Progress is "possible" only through messages nobody is
+                    // positioned to receive: the cycle-stepped machine would
+                    // idle forward to its budget, so jump straight there.
+                    self.skip_to(limit);
+                }
+            }
         }
-        Ok(self.summary())
     }
 
     /// Builds the per-core report without running.
@@ -808,10 +1152,10 @@ impl Machine {
                     ThreadStatus::Trapped(k) => Some(k),
                     _ => None,
                 });
-                let mut classes: Vec<(String, u64)> = c
-                    .class_counts
+                let mut classes: Vec<(String, u64)> = InstClass::ALL
                     .iter()
-                    .map(|(k, v)| (format!("{k:?}"), *v))
+                    .map(|k| (format!("{k:?}"), c.class_counts[k.index()]))
+                    .filter(|&(_, v)| v > 0)
                     .collect();
                 classes.sort();
                 report.retired_by_class = classes;
@@ -1173,5 +1517,115 @@ mod tests {
         let mut m = Machine::new(cfg, p);
         m.spawn(0, f, &[]).unwrap();
         assert_eq!(m.run(), Err(SimError::MaxCyclesExceeded { limit: 500 }));
+    }
+
+    /// The event scheduler must be observationally identical to stepping
+    /// every cycle: drive one machine with `run()` and a twin cycle-by-cycle
+    /// with `step_cycle()`, and compare the full summaries.
+    #[test]
+    fn event_scheduling_matches_cycle_stepping() {
+        let build = || {
+            // Two threads with staggered stalls and channel traffic: thread 0
+            // sends a sequence; thread 1 receives and chases memory.
+            let mut p = Program::new();
+            let data = p.add_global("data", 64);
+            let mut s = FunctionBuilder::new("producer");
+            let mut acc = s.copy(0i64);
+            for k in 0..6 {
+                acc = s.binop(BinOp::Add, acc, 3i64);
+                s.send(0i64, acc);
+                let _ = s.load(data + k, 0);
+            }
+            s.ret(Some(Operand::Reg(acc)));
+            let pf = p.add_func(s.finish());
+            let mut r = FunctionBuilder::new("consumer");
+            let mut sum = r.copy(0i64);
+            for k in 0..6 {
+                let v = r.recv(0i64);
+                let w = r.load(data + 2 * k, 0);
+                let t = r.binop(BinOp::Add, v, w);
+                let t2 = r.binop(BinOp::Add, sum, t);
+                sum = t2;
+                r.store(t2, data + 30 + k, 0);
+            }
+            r.ret(Some(Operand::Reg(sum)));
+            let rf = p.add_func(r.finish());
+            (p, pf, rf)
+        };
+
+        let (p, pf, rf) = build();
+        let mut event_m = Machine::new(tiny(2), p);
+        event_m.spawn(0, pf, &[]).unwrap();
+        event_m.spawn(1, rf, &[]).unwrap();
+        let event_summary = event_m.run().unwrap();
+
+        let (p, pf, rf) = build();
+        let mut tick_m = Machine::new(tiny(2), p);
+        tick_m.spawn(0, pf, &[]).unwrap();
+        tick_m.spawn(1, rf, &[]).unwrap();
+        let mut guard = 0;
+        while !tick_m.cores.iter().all(|c| c.thread.is_none() || c.done) {
+            tick_m.step_cycle();
+            guard += 1;
+            assert!(guard < 100_000, "tick twin diverged");
+        }
+        let tick_summary = tick_m.summary();
+
+        assert_eq!(event_summary, tick_summary);
+        assert_eq!(event_m.mem().words(), tick_m.mem().words());
+    }
+
+    /// Regression: a resteer issued from the single-active fast loop toward
+    /// a parked (blocked) core must not cost that core its stall credit for
+    /// the episode — the cycle-stepped machine ticks the blocked core every
+    /// cycle up to and including the delivery cycle, so the event-driven
+    /// settle must run before delivery clears the blocked flag.
+    #[test]
+    fn resteer_from_single_active_loop_matches_cycle_stepping() {
+        let build = || {
+            let mut p = Program::new();
+            // Core 1 blocks forever on a channel nobody sends to; its only
+            // exit is the remote resteer.
+            let mut w = FunctionBuilder::new("waiter");
+            let exit_bb = w.new_block();
+            let v = w.recv(9i64);
+            w.ret(Some(Operand::Reg(v)));
+            w.switch_to(exit_bb);
+            w.ret(Some(Operand::Imm(-1)));
+            let wf = p.add_func(w.finish());
+            // Core 0 computes alone for a while (single-active fast loop),
+            // then resteers core 1 to its exit block.
+            let mut boss = FunctionBuilder::new("boss");
+            let mut acc = boss.copy(0i64);
+            for _ in 0..40 {
+                acc = boss.binop(BinOp::Add, acc, 1i64);
+            }
+            boss.push(Inst::Resteer {
+                core: Operand::Imm(1),
+                target: exit_bb,
+            });
+            boss.ret(Some(Operand::Reg(acc)));
+            let bf = p.add_func(boss.finish());
+            (p, bf, wf)
+        };
+
+        let (p, bf, wf) = build();
+        let mut event_m = Machine::new(tiny(2), p);
+        event_m.spawn(0, bf, &[]).unwrap();
+        event_m.spawn(1, wf, &[]).unwrap();
+        let event_summary = event_m.run().unwrap();
+        assert_eq!(event_m.return_value(1), Some(-1));
+
+        let (p, bf, wf) = build();
+        let mut tick_m = Machine::new(tiny(2), p);
+        tick_m.spawn(0, bf, &[]).unwrap();
+        tick_m.spawn(1, wf, &[]).unwrap();
+        let mut guard = 0;
+        while !tick_m.cores.iter().all(|c| c.thread.is_none() || c.done) {
+            tick_m.step_cycle();
+            guard += 1;
+            assert!(guard < 100_000, "tick twin diverged");
+        }
+        assert_eq!(event_summary, tick_m.summary());
     }
 }

@@ -6,19 +6,42 @@
 //! discarded (squash). Loads by the speculative core see its own buffered
 //! stores; other cores do not. Read and write sets are tracked so that a
 //! conflict check between two threads' speculative accesses is available
-//! ("Conflict Detection" in §3), even though the loops evaluated by the paper
-//! — and by this reproduction — are chosen so that they do not need it.
+//! ("Conflict Detection" in §3).
+//!
+//! The buffer is on the simulator's per-access hot path, so its containers
+//! are the reusable dense structures from `spice_ir::exec`: the write buffer
+//! is an insertion-ordered open-addressed [`DenseMap`] (its entry order *is*
+//! the first-write commit order), the read set a page-bitmap [`AccessSet`].
+//! Commit and abort clear them without releasing storage, so one buffer
+//! serves every chunk a core runs.
 
-use std::collections::{HashMap, HashSet};
+use spice_ir::exec::{AccessSet, DenseMap};
 
 /// A speculative store buffer.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SpecBuffer {
     active: bool,
-    writes: HashMap<i64, i64>,
-    write_order: Vec<i64>,
-    read_set: HashSet<i64>,
+    writes: DenseMap<i64>,
+    read_set: AccessSet,
+    /// Whether [`SpecBuffer::load`] records missed loads into the read set.
+    /// On by default; the machine turns it off for its per-core buffers
+    /// because its `ConflictTracker` mirrors the same read stream (recording
+    /// twice would only burn host time, and the buffer-local set feeds
+    /// nothing there).
+    track_reads: bool,
     stores_buffered: u64,
+}
+
+impl Default for SpecBuffer {
+    fn default() -> Self {
+        SpecBuffer {
+            active: false,
+            writes: DenseMap::new(),
+            read_set: AccessSet::new(),
+            track_reads: true,
+            stores_buffered: 0,
+        }
+    }
 }
 
 impl SpecBuffer {
@@ -48,9 +71,7 @@ impl SpecBuffer {
         if !self.active {
             return false;
         }
-        if self.writes.insert(addr, value).is_none() {
-            self.write_order.push(addr);
-        }
+        self.writes.insert(addr, value);
         self.stores_buffered += 1;
         true
     }
@@ -67,21 +88,25 @@ impl SpecBuffer {
         if !self.active {
             return None;
         }
-        if let Some(v) = self.writes.get(&addr) {
-            return Some(*v);
+        if let Some(v) = self.writes.get(addr) {
+            return Some(v);
         }
-        self.read_set.insert(addr);
+        if self.track_reads {
+            self.read_set.insert(addr);
+        }
         None
+    }
+
+    /// Enables or disables read-set recording (see the field documentation;
+    /// the flag survives commits, aborts and resets).
+    pub fn set_read_tracking(&mut self, on: bool) {
+        self.track_reads = on;
     }
 
     /// Leaves speculative execution, returning the buffered writes in first
     /// write order so the caller can apply them to shared memory.
     pub fn take_commit(&mut self) -> Vec<(i64, i64)> {
-        let out: Vec<(i64, i64)> = self
-            .write_order
-            .iter()
-            .map(|a| (*a, self.writes[a]))
-            .collect();
+        let out: Vec<(i64, i64)> = self.writes.entries().to_vec();
         self.clear();
         out
     }
@@ -91,22 +116,30 @@ impl SpecBuffer {
         self.clear();
     }
 
+    /// Fully resets the buffer for a fresh loop invocation — like
+    /// [`SpecBuffer::abort`], but also zeroing the lifetime statistics —
+    /// while keeping the allocated storage for reuse.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.stores_buffered = 0;
+    }
+
     fn clear(&mut self) {
         self.active = false;
         self.writes.clear();
-        self.write_order.clear();
         self.read_set.clear();
     }
 
-    /// Addresses written speculatively.
+    /// Addresses written speculatively, in first-write order.
     #[must_use]
-    pub fn write_set(&self) -> HashSet<i64> {
-        self.writes.keys().copied().collect()
+    pub fn write_set(&self) -> Vec<i64> {
+        self.writes.entries().iter().map(|&(a, _)| a).collect()
     }
 
-    /// Addresses read while speculative.
+    /// Addresses read while speculative (loads not satisfied by this
+    /// buffer's own stores).
     #[must_use]
-    pub fn read_set(&self) -> &HashSet<i64> {
+    pub fn read_set(&self) -> &AccessSet {
         &self.read_set
     }
 
@@ -122,9 +155,11 @@ impl SpecBuffer {
     /// performs between a logically-later and a logically-earlier thread.
     #[must_use]
     pub fn conflicts_with(&self, earlier: &SpecBuffer) -> bool {
-        self.read_set
+        earlier
+            .writes
+            .entries()
             .iter()
-            .any(|addr| earlier.writes.contains_key(addr))
+            .any(|&(addr, _)| self.read_set.contains(addr))
     }
 }
 
@@ -149,10 +184,10 @@ mod tests {
         assert_eq!(b.load(10), Some(1));
         assert_eq!(b.load(99), None); // not written here -> caller reads memory
         assert!(
-            !b.read_set().contains(&10),
+            !b.read_set().contains(10),
             "store-forwarded loads never observe stale data"
         );
-        assert!(b.read_set().contains(&99));
+        assert!(b.read_set().contains(99));
     }
 
     #[test]
@@ -166,7 +201,7 @@ mod tests {
         assert_eq!(b.load(40), None);
         assert!(b.store(40, 5));
         assert_eq!(b.load(40), Some(5));
-        assert!(b.read_set().contains(&40));
+        assert!(b.read_set().contains(40));
 
         let mut earlier = SpecBuffer::new();
         earlier.begin();
@@ -204,6 +239,9 @@ mod tests {
         assert!(b.read_set().is_empty());
         // Statistics survive for reporting.
         assert_eq!(b.stores_buffered(), 1);
+        // A full invocation reset zeroes them too, reusing the buffers.
+        b.reset();
+        assert_eq!(b.stores_buffered(), 0);
     }
 
     #[test]

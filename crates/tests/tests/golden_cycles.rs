@@ -1,0 +1,55 @@
+//! Golden-cycle regression test: the simulated cycle counts of the Figure 7
+//! suite are pinned exactly.
+//!
+//! The event-driven scheduler and the pre-decoded dispatch are *host-side*
+//! optimizations — the simulated machine model did not change, so every
+//! workload's sequential and Spice cycle counts must be bit-identical to the
+//! goldens below (captured from the committed machine model on the
+//! reduced-size suite; the full-size equivalent is enforced in CI by
+//! regenerating `BENCH_fig7.json` and diffing it byte-for-byte against the
+//! committed artifact).
+//!
+//! If a PR *intends* to change simulated time (a new latency, an extra
+//! instruction in the transform), regenerate: run
+//! `cargo run --release -p spice-bench --bin fig7 -- --small` and copy the
+//! `sequential_cycles`/`spice_cycles` columns here, and commit the
+//! regenerated full-size `BENCH_fig7.json` alongside.
+
+use spice_bench::experiments::fig7;
+
+/// `(benchmark, threads, sequential_cycles, spice_cycles)` of the small
+/// suite.
+const GOLDEN: &[(&str, usize, u64, u64)] = &[
+    ("ks", 2, 22363, 25740),
+    ("ks", 4, 22363, 25294),
+    ("otter", 2, 12067, 15083),
+    ("otter", 4, 12067, 14561),
+    ("181.mcf", 2, 36342, 40308),
+    ("181.mcf", 4, 36342, 35238),
+    ("458.sjeng", 2, 19648, 18315),
+    ("458.sjeng", 4, 19648, 21391),
+    ("mcf_true", 2, 31820, 52887),
+    ("mcf_true", 4, 31820, 54802),
+    ("list_splice", 2, 18811, 30693),
+    ("list_splice", 4, 18811, 31705),
+];
+
+#[test]
+fn fig7_small_cycle_counts_match_goldens_exactly() {
+    let rows = fig7(true).expect("fig7 small");
+    assert_eq!(rows.len(), GOLDEN.len(), "suite composition changed");
+    for (row, &(name, threads, seq, spice)) in rows.iter().zip(GOLDEN) {
+        assert_eq!(row.benchmark, name, "row order changed");
+        assert_eq!(row.threads, threads, "thread sweep changed");
+        assert_eq!(
+            row.sequential_cycles, seq,
+            "{name}/{threads}t: sequential cycles drifted (simulated time must be bit-identical; \
+             see the module docs if the change is intentional)"
+        );
+        assert_eq!(
+            row.spice_cycles, spice,
+            "{name}/{threads}t: Spice cycles drifted (simulated time must be bit-identical; \
+             see the module docs if the change is intentional)"
+        );
+    }
+}
