@@ -12,7 +12,9 @@ use spice_core::valuepred::{
     evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
 };
 use spice_ir::interp::LocalSys;
-use spice_profiler::{measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin};
+use spice_profiler::{
+    measure_cycle_hotness, measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin,
+};
 use spice_sim::{Machine, MachineConfig};
 use spice_workloads::{
     fig8_corpus, run_workload_on, BackendRunSummary, KsConfig, KsWorkload, McfConfig, McfWorkload,
@@ -116,12 +118,38 @@ pub fn conflict_workload_factories(small: bool) -> Vec<(&'static str, WorkloadFa
         .collect()
 }
 
-/// The paper's four loops plus the conflict-carrying pair — the set every
-/// table, figure and cross-check now covers.
+/// Returns `(name, factory)` pairs for the miniature-application workloads
+/// (`spice_workloads::app_benchmarks{,_small}`): whole programs whose serial
+/// pivot phases execute as measured IR around the Spice target loop, so
+/// Table 2's hotness for them is profiler-measured. Like the conflict pair,
+/// their fig7 rows document recovery cost (the faithful refresh chain plus
+/// the serial phases' write traffic squash most chunks), not speedup.
+#[must_use]
+pub fn app_workload_factories(small: bool) -> Vec<(&'static str, WorkloadFactory)> {
+    let registry = move || {
+        if small {
+            spice_workloads::app_benchmarks_small()
+        } else {
+            spice_workloads::app_benchmarks()
+        }
+    };
+    registry()
+        .into_iter()
+        .enumerate()
+        .map(|(i, wl)| {
+            let factory: WorkloadFactory = Box::new(move || registry().swap_remove(i));
+            (wl.name(), factory)
+        })
+        .collect()
+}
+
+/// The paper's four loops, the conflict-carrying pair and the miniature
+/// applications — the set every table, figure and cross-check now covers.
 #[must_use]
 pub fn all_workload_factories(small: bool) -> Vec<(&'static str, WorkloadFactory)> {
     let mut v = paper_workload_factories(small);
     v.extend(conflict_workload_factories(small));
+    v.extend(app_workload_factories(small));
     v
 }
 
@@ -620,8 +648,16 @@ pub struct Table2Row {
     pub description: String,
     /// Parallelized loop.
     pub loop_name: String,
-    /// Hotness reported by the paper.
+    /// Hotness reported by the paper — a *comparison* column: the measured
+    /// value next to it is what the reproduction actually exhibits.
     pub paper_hotness: f64,
+    /// Whole-program hotness measured by profiler cycle attribution: the
+    /// target loop's share of all simulated cycles of the full run (serial
+    /// phases and helper functions included). For kernels under synthetic
+    /// drivers this is close to 1 — itself a faithful statement that those
+    /// drivers are not yet applications; for `mcf_app` the program around
+    /// the loop is real and the number is the application's.
+    pub measured_hotness: f64,
     /// Dynamic instructions per invocation of the loop, measured here.
     pub measured_loop_instructions: u64,
     /// Loop hotness within the kernel function (loop instructions over all
@@ -629,10 +665,11 @@ pub struct Table2Row {
     pub measured_kernel_fraction: f64,
 }
 
-/// Reproduces Table 2: benchmark details. The whole-application hotness
-/// column is taken from the paper (the surrounding applications are not
-/// reproduced); the measured columns characterise the re-implemented
-/// kernels.
+/// Reproduces Table 2: benchmark details. The `paper_hotness` column quotes
+/// the paper for comparison; `measured_hotness` comes from profiler cycle
+/// attribution over the whole program
+/// ([`spice_profiler::measure_cycle_hotness`] on a one-core machine — the
+/// reduced test machine for `small`, the Table 1 machine otherwise).
 ///
 /// # Errors
 ///
@@ -654,11 +691,19 @@ pub fn table2(small: bool) -> Result<Vec<Table2Row>, String> {
             &mut sys,
         )
         .map_err(|e| e.to_string())?;
+        let config = if small {
+            MachineConfig::test_tiny(1)
+        } else {
+            MachineConfig::itanium2_cmp()
+        };
+        let mut cycle_wl = factory();
+        let cycles = measure_cycle_hotness(cycle_wl.as_mut(), config)?;
         rows.push(Table2Row {
             benchmark: wl.name().to_string(),
             description: wl.description().to_string(),
             loop_name: wl.loop_name().to_string(),
             paper_hotness: wl.paper_hotness(),
+            measured_hotness: cycles.fraction(),
             measured_loop_instructions: report.loop_instructions,
             measured_kernel_fraction: report.fraction(),
         });
@@ -996,8 +1041,9 @@ mod tests {
     #[test]
     fn fig7_small_produces_rows_for_all_benchmarks() {
         let rows = fig7(true).expect("fig7 small run");
-        // Four paper loops + two conflict loops, at 2 and 4 threads each.
-        assert_eq!(rows.len(), 12);
+        // Four paper loops + two conflict loops + the mcf_app miniature
+        // application, at 2 and 4 threads each.
+        assert_eq!(rows.len(), 14);
         // Since the centralized predictor step runs on core 0 (with its
         // cache/coherence traffic and the new_invocation token exchange
         // measured), the ~100-iteration small loops sit below the
@@ -1016,6 +1062,7 @@ mod tests {
         assert!(txt.contains("GeoMean"));
         assert!(txt.contains("otter"));
         assert!(txt.contains("mcf_true"));
+        assert!(txt.contains("mcf_app"));
         // The conflict-carrying rows actually exercised the subsystem: their
         // dependence-violation squashes were taken and recovered (results
         // are checked inside run_workload_on), while the dependence-free
@@ -1078,8 +1125,8 @@ mod tests {
     #[test]
     fn harnessperf_small_runs_and_emits_valid_json() {
         let rows = harnessperf(true).expect("harnessperf small");
-        // Six workloads, three modes each.
-        assert_eq!(rows.len(), 18);
+        // Seven workloads, three modes each.
+        assert_eq!(rows.len(), 21);
         for r in &rows {
             assert!(r.simulated_cycles > 0, "{}/{}", r.benchmark, r.mode);
             assert!(r.host_nanos > 0, "{}/{}", r.benchmark, r.mode);
@@ -1094,6 +1141,49 @@ mod tests {
         );
         let txt = format_harnessperf(&rows);
         assert!(txt.contains("TOTAL") && txt.contains("pre-PR"));
+    }
+
+    /// Measured-hotness regression (small suite, one-core test machine):
+    /// the pure-kernel drivers attribute nearly every cycle to their loop —
+    /// a faithful statement that they are kernels, not applications — while
+    /// `mcf_app`'s refresh loop owns a *fraction* of a real program, and
+    /// that fraction is pinned to a band so a serial-phase or attribution
+    /// regression fails loudly. (The full-size Table 1-machine value is
+    /// recorded in DESIGN.md §3.5 next to the paper's 30%.)
+    #[test]
+    fn mcf_app_measured_hotness_is_in_band() {
+        let rows = table2(true).expect("table2 small");
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(
+                r.measured_hotness > 0.0 && r.measured_hotness <= 1.0,
+                "{}: hotness out of range: {}",
+                r.benchmark,
+                r.measured_hotness
+            );
+            if r.benchmark != "mcf_app" {
+                assert!(
+                    r.measured_hotness > 0.85,
+                    "{}: kernel driver should be nearly all loop, got {}",
+                    r.benchmark,
+                    r.measured_hotness
+                );
+            }
+        }
+        // Stated band: the small instance measures ≈0.27 on the reduced
+        // test machine (the full-size Table 1-machine value, 0.235, is
+        // recorded in DESIGN.md §3.5 next to the paper's 0.30). The band is
+        // wide enough for deliberate machine-model retunes but far from the
+        // degenerate poles (≈1 would mean the serial phases vanished, ≈0
+        // that the loop did).
+        let app = rows.iter().find(|r| r.benchmark == "mcf_app").expect("row");
+        assert!(
+            (0.18..=0.40).contains(&app.measured_hotness),
+            "mcf_app measured hotness left its band: {}",
+            app.measured_hotness
+        );
+        // And it is genuinely *measured*: not the quoted constant.
+        assert!((app.measured_hotness - app.paper_hotness).abs() > 1e-6);
     }
 
     #[test]
@@ -1117,7 +1207,7 @@ mod tests {
     #[test]
     fn crosscheck_backends_agree_on_all_benchmarks() {
         let rows = crosscheck(4).expect("crosscheck");
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         for r in &rows {
             assert!(
                 r.agree,
@@ -1126,10 +1216,11 @@ mod tests {
             );
             assert_eq!(r.sim.invocations, r.native.invocations);
         }
-        // The conflict pair passes the cross-check *because* both backends
-        // squash and recover dependence violations; each must report having
-        // actually done so.
-        for name in ["mcf_true", "list_splice"] {
+        // The conflict-carrying workloads (and the mcf_app application,
+        // whose refresh chain has the same faithful dependence) pass the
+        // cross-check *because* both backends squash and recover dependence
+        // violations; each must report having actually done so.
+        for name in ["mcf_true", "list_splice", "mcf_app"] {
             let row = rows.iter().find(|r| r.benchmark == name).expect(name);
             assert!(
                 row.sim.dependence_violations > 0,

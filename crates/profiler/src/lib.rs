@@ -15,6 +15,13 @@
 //! [`profile_workload`] glues the two to a [`spice_workloads::SpiceWorkload`]
 //! driver, and [`measure_hotness`] provides the dynamic-instruction loop
 //! hotness used in Table 2.
+//!
+//! For workloads that are whole miniature *applications* (serial phases plus
+//! a hot loop, all in IR — e.g. `mcf_app`), [`measure_cycle_hotness`] drives
+//! the full program, invocation by invocation, on a single core of the
+//! timing simulator with per-`(function, block)` cycle attribution enabled,
+//! and reports the target loop's share of all simulated cycles — Table 2's
+//! `measured_hotness` column, measured rather than quoted.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -158,6 +165,124 @@ pub fn measure_hotness(
     })
 }
 
+/// Whole-program hotness of a loop, in *simulated cycles* (the measured
+/// analogue of Table 2's "fraction of execution time" column): the cycles
+/// attributed to the target loop's blocks over the cycles of the entire
+/// program run, every invocation included — serial phases, calls and all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleHotnessReport {
+    /// Simulated cycles attributed to the target loop's blocks.
+    pub loop_cycles: u64,
+    /// Simulated cycles attributed to the whole program.
+    pub total_cycles: u64,
+    /// Per-function cycle totals (`(name, cycles)`), in function order.
+    pub per_function: Vec<(String, u64)>,
+}
+
+impl CycleHotnessReport {
+    /// Loop hotness in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.loop_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// Measures whole-program cycle hotness of `workload`'s target loop: the
+/// workload's full program (kernel function plus whatever serial-phase
+/// functions it calls) runs sequentially on one core of a machine built
+/// from `config`, with [`spice_sim::CycleAttribution`] enabled, over every
+/// invocation the driver produces. Every invocation's return value is
+/// checked against the workload's host-computed expectation, so the profile
+/// cannot silently come from a mis-executing program.
+///
+/// # Errors
+///
+/// Returns a description of the first simulation failure or result
+/// mismatch.
+pub fn measure_cycle_hotness(
+    workload: &mut dyn SpiceWorkload,
+    config: spice_sim::MachineConfig,
+) -> Result<CycleHotnessReport, String> {
+    let built = workload.build();
+    let kernel = built.kernel;
+    // Identify the target loop's blocks before the program moves into the
+    // machine (same selection rule as `measure_hotness`).
+    let f = built.program.func(kernel);
+    let forest = LoopForest::of(f);
+    let loop_blocks: HashSet<BlockId> = match built.loop_header_hint {
+        Some(h) => forest
+            .loop_with_header(h)
+            .map(|id| forest.get(id).blocks.clone())
+            .unwrap_or_default(),
+        None => forest
+            .top_level()
+            .into_iter()
+            .map(|id| forest.get(id))
+            .max_by_key(|l| l.blocks.len())
+            .map(|l| l.blocks.clone())
+            .unwrap_or_default(),
+    };
+    if loop_blocks.is_empty() {
+        return Err(format!("{}: kernel has no target loop", workload.name()));
+    }
+
+    let mut machine = spice_sim::Machine::new(config.with_cores(1), built.program);
+    machine.enable_cycle_attribution();
+    let mut args = workload.init(machine.mem_mut());
+    let mut inv = 0usize;
+    loop {
+        let expected = workload.expected_result(machine.mem());
+        machine.clear_threads();
+        machine.reset_cycle_counter();
+        machine
+            .spawn(0, kernel, &args)
+            .map_err(|e| format!("{}: {e}", workload.name()))?;
+        machine
+            .run()
+            .map_err(|e| format!("{}: invocation {inv}: {e}", workload.name()))?;
+        if let Some(e) = expected {
+            let got = machine.return_value(0);
+            if got != Some(e) {
+                return Err(format!(
+                    "{}: invocation {inv} returned {got:?}, expected {e}",
+                    workload.name()
+                ));
+            }
+        }
+        match workload.next_invocation(machine.mem_mut(), inv) {
+            Some(a) => {
+                args = a;
+                inv += 1;
+            }
+            None => break,
+        }
+    }
+
+    let attr = machine
+        .cycle_attribution()
+        .expect("attribution was enabled");
+    let loop_cycles = loop_blocks
+        .iter()
+        .map(|&b| attr.block_cycles(kernel, b))
+        .sum();
+    let per_function = machine
+        .program()
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), attr.func_cycles(FuncId(i as u32))))
+        .collect();
+    Ok(CycleHotnessReport {
+        loop_cycles,
+        total_cycles: attr.total_cycles(),
+        per_function,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +350,25 @@ mod tests {
             report.fraction()
         );
         assert!(report.total_instructions > report.loop_instructions);
+    }
+
+    #[test]
+    fn cycle_hotness_of_a_pure_kernel_is_high_and_checked() {
+        // A workload that is all loop: nearly every simulated cycle must be
+        // attributed to the loop's blocks, and the per-function rollup must
+        // cover the whole program.
+        let mut wl = ChurnListWorkload::new("cyc", 1.0, 40, 3, 6);
+        let report =
+            measure_cycle_hotness(&mut wl, spice_sim::MachineConfig::test_tiny(1)).unwrap();
+        assert!(
+            report.fraction() > 0.8,
+            "fraction was {}",
+            report.fraction()
+        );
+        assert!(report.total_cycles > report.loop_cycles);
+        assert_eq!(report.per_function.len(), 1);
+        let per_fn_total: u64 = report.per_function.iter().map(|(_, c)| c).sum();
+        assert_eq!(per_fn_total, report.total_cycles);
     }
 
     #[test]

@@ -783,14 +783,19 @@ impl SysPort for NopSys {
     fn resteer(&mut self, _core: i64, _target: BlockId) {}
 }
 
-/// Steps `state` until it next *arrives* at `block` (enters it through a
-/// branch). Returns `Ok(None)` on arrival, `Ok(Some(v))` if the function
+/// Steps `state` until it next *arrives* at block `block` **of function
+/// `func`** (enters it through a branch). The function qualification
+/// matters: block ids are function-local, so a kernel whose entry phase
+/// calls helper functions (e.g. `mcf_app`'s arc scan and relink) would
+/// otherwise "arrive" at a callee block that merely shares the header's
+/// numeric id. Returns `Ok(None)` on arrival, `Ok(Some(v))` if the function
 /// finished first, `Err` on trap/block/budget-exhaustion.
 fn step_to_block_arrival(
     program: &DecodedProgram,
     state: &mut ThreadState,
     mem: &mut dyn MemPort,
     sys: &mut dyn SysPort,
+    func: FuncId,
     block: BlockId,
     steps_left: &mut u64,
 ) -> Result<Option<Option<i64>>, TrapKind> {
@@ -801,7 +806,10 @@ fn step_to_block_arrival(
         *steps_left -= 1;
         match state.step(program, mem, sys)? {
             StepEvent::Executed(info) => {
-                if info.class == InstClass::Branch && state.current_block() == block {
+                if info.class == InstClass::Branch
+                    && state.current_block() == block
+                    && state.current_func() == func
+                {
                     return Ok(None);
                 }
             }
@@ -812,8 +820,14 @@ fn step_to_block_arrival(
     }
 }
 
-/// Snapshot of the spec-relevant registers of a stopped chunk.
+/// Snapshot of the spec-relevant registers of a stopped chunk. Meaningless
+/// (and not even addressable — register files are function-local) unless the
+/// thread's innermost frame is the kernel function, as it is at every
+/// boundary; a chunk that faulted inside a callee reports no finals.
 fn snapshot_finals(spec: &SpiceLoopSpec, state: &ThreadState) -> Vec<(Reg, i64)> {
+    if state.current_func() != spec.func {
+        return Vec::new();
+    }
     let mut regs: Vec<Reg> = spec.cursors.clone();
     regs.extend(spec.live_outs.iter().copied());
     for r in &spec.reductions {
@@ -875,6 +889,7 @@ fn run_worker_chunk(
         &mut state,
         &mut port,
         &mut sys,
+        spec.func,
         spec.header,
         &mut steps,
     ) {
@@ -978,7 +993,7 @@ fn run_worker_chunk(
             }
             match state.step(program, &mut port, &mut sys) {
                 Ok(StepEvent::Executed(info)) => {
-                    if info.class == InstClass::Branch {
+                    if info.class == InstClass::Branch && state.current_func() == spec.func {
                         if state.current_block() == spec.exit_block {
                             // The loop genuinely ended inside this chunk; the
                             // main thread executes the exit code itself.
@@ -1055,7 +1070,15 @@ fn run_main_chunk(
     let mut sys = NopSys;
     let mut steps = budget;
 
-    match step_to_block_arrival(program, &mut state, port, &mut sys, spec.header, &mut steps) {
+    match step_to_block_arrival(
+        program,
+        &mut state,
+        port,
+        &mut sys,
+        spec.func,
+        spec.header,
+        &mut steps,
+    ) {
         Ok(None) => {}
         Ok(Some(v)) => {
             return Ok(MainChunk {
@@ -1096,7 +1119,15 @@ fn run_main_chunk(
             }
             memo_idx += 1;
         }
-        match step_to_block_arrival(program, &mut state, port, &mut sys, spec.header, &mut steps) {
+        match step_to_block_arrival(
+            program,
+            &mut state,
+            port,
+            &mut sys,
+            spec.func,
+            spec.header,
+            &mut steps,
+        ) {
             Ok(None) => iterations += 1,
             Ok(Some(v)) => {
                 return Ok(MainChunk {
@@ -1131,7 +1162,10 @@ fn finish_main(
         steps -= 1;
         match state.step(program, port, &mut sys) {
             Ok(StepEvent::Executed(info)) => {
-                if info.class == InstClass::Branch && state.current_block() == spec.header {
+                if info.class == InstClass::Branch
+                    && state.current_block() == spec.header
+                    && state.current_func() == spec.func
+                {
                     iterations += 1;
                 }
             }

@@ -25,7 +25,7 @@
 //! with the same guarantee. See `DESIGN.md`, "harness performance
 //! architecture", for the invariant and its boundary conditions.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
@@ -134,6 +134,17 @@ struct ConflictTracker {
     /// on core 0 at the start of every invocation, and without the exemption
     /// each worker's in-loop threshold loads would read as RAW violations.
     exempt: Option<(i64, i64)>,
+    /// Number of cores currently inside a speculative chunk (between
+    /// `spec.begin` and its commit/abort). While this is zero, architectural
+    /// writes are *not* recorded into the epoch's committed-write set: a
+    /// write that precedes every active (and therefore every future)
+    /// speculative read of the epoch cannot be the earlier half of a RAW
+    /// violation — the reader observes the post-write value. This is what
+    /// lets a miniature application's serial phases (e.g. `mcf_app`'s arc
+    /// scan and tree relink, which store to the very links the speculative
+    /// walk later traverses) run before the workers are released without
+    /// poisoning every chunk.
+    active_chunks: Cell<usize>,
     epoch_writes: RefCell<AccessSet>,
     read_sets: RefCell<Vec<AccessSet>>,
     /// First conflicting word address found per core this epoch, if any.
@@ -145,6 +156,7 @@ impl ConflictTracker {
         ConflictTracker {
             enabled,
             exempt: None,
+            active_chunks: Cell::new(0),
             epoch_writes: RefCell::new(AccessSet::new()),
             read_sets: RefCell::new(vec![AccessSet::new(); cores]),
             verdicts: RefCell::new(vec![None; cores]),
@@ -163,10 +175,19 @@ impl ConflictTracker {
     }
 
     /// Records a write that became architectural (a non-speculative store or
-    /// one address of a committed speculative buffer).
+    /// one address of a committed speculative buffer). Skipped while no core
+    /// is speculating — see [`ConflictTracker::active_chunks`]; the skip is
+    /// exact, not merely safe.
     fn record_write(&self, addr: i64) {
-        if self.enabled && !self.is_exempt(addr) {
+        if self.enabled && self.active_chunks.get() > 0 && !self.is_exempt(addr) {
             self.epoch_writes.borrow_mut().insert(addr);
+        }
+    }
+
+    /// Starts a core's speculative chunk (`spec.begin` retired).
+    fn start_chunk(&self) {
+        if self.enabled {
+            self.active_chunks.set(self.active_chunks.get() + 1);
         }
     }
 
@@ -175,6 +196,8 @@ impl ConflictTracker {
     fn end_chunk(&self, core: usize) {
         if self.enabled {
             self.read_sets.borrow_mut()[core].clear();
+            self.active_chunks
+                .set(self.active_chunks.get().saturating_sub(1));
         }
     }
 
@@ -204,6 +227,7 @@ impl ConflictTracker {
 
     /// Starts a new epoch (loop invocation): all sets and verdicts reset.
     fn clear_epoch(&self) {
+        self.active_chunks.set(0);
         self.epoch_writes.borrow_mut().clear();
         for s in self.read_sets.borrow_mut().iter_mut() {
             s.clear();
@@ -479,6 +503,7 @@ struct CoreRun<'a> {
     config: &'a MachineConfig,
     decoded: &'a DecodedProgram,
     activity: &'a mut Option<ActivityTrace>,
+    attribution: &'a mut Option<CycleAttribution>,
     conflicts: &'a ConflictTracker,
     cycle: &'a mut u64,
     thread: &'a mut ThreadState,
@@ -506,6 +531,7 @@ impl<'a> CoreRun<'a> {
             decoded,
             cycle,
             activity,
+            attribution,
             ..
         } = m;
         let CoreState {
@@ -526,6 +552,7 @@ impl<'a> CoreRun<'a> {
             config,
             decoded,
             activity,
+            attribution,
             conflicts,
             cycle,
             thread,
@@ -560,10 +587,18 @@ impl<'a> CoreRun<'a> {
     fn issue_group(&mut self, now: u64) -> CoreCycleEnd {
         self.sys_port.now = now;
         let mut issued_this_cycle = 0u64;
+        // Source location of the instruction about to retire, captured only
+        // when attribution is on: the group's whole busy interval is charged
+        // to the location of the instruction that *ends* the group.
+        let attributing = self.attribution.is_some();
+        let mut src = (FuncId(0), BlockId(0));
         loop {
             self.mem_port.latency = 0;
             self.sys_port.spec_action = None;
             self.sys_port.recv_failed_chan = None;
+            if attributing {
+                src = (self.thread.current_func(), self.thread.current_block());
+            }
             let result = self
                 .thread
                 .step(self.decoded, &mut self.mem_port, &mut self.sys_port);
@@ -591,6 +626,9 @@ impl<'a> CoreRun<'a> {
                         *self.stall = StallKind::None;
                         *self.blocked = false;
                         *self.waiting_chan = None;
+                        if let Some(a) = self.attribution.as_mut() {
+                            a.add(src.0, src.1, 1);
+                        }
                         return CoreCycleEnd::Ran;
                     }
                     let mem_latency = self.mem_port.latency;
@@ -604,7 +642,10 @@ impl<'a> CoreRun<'a> {
                     *self.blocked = false;
                     *self.waiting_chan = None;
                     match self.sys_port.spec_action {
-                        Some(SpecAction::Begin) => self.mem_port.spec.begin(),
+                        Some(SpecAction::Begin) => {
+                            self.mem_port.spec.begin();
+                            self.conflicts.start_chunk();
+                        }
                         Some(SpecAction::Commit) => {
                             let writes = self.mem_port.spec.take_commit();
                             self.report.spec_commits += 1;
@@ -628,6 +669,9 @@ impl<'a> CoreRun<'a> {
                             self.conflicts.end_chunk(self.i);
                         }
                         None => {}
+                    }
+                    if let Some(a) = self.attribution.as_mut() {
+                        a.add(src.0, src.1, *self.busy_until - now);
                     }
                     return CoreCycleEnd::Ran;
                 }
@@ -659,6 +703,63 @@ impl<'a> CoreRun<'a> {
                 }
             }
         }
+    }
+}
+
+/// Cycle attribution by source location: every busy interval a retired
+/// issue group causes (functional-unit latency, memory stalls, commit
+/// drains) is charged to the `(function, block)` of the instruction that
+/// ended the group. Summed per function this is whole-program profile data —
+/// the measured analogue of Table 2's "fraction of execution time" column —
+/// and summed over a loop's blocks it is the loop's measured hotness.
+/// Attribution is an *observer*: enabling it never changes simulated time,
+/// and it accumulates across invocations until the machine is dropped.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CycleAttribution {
+    /// `cycles[func][block]` — busy cycles charged to that block.
+    cycles: Vec<Vec<u64>>,
+}
+
+impl CycleAttribution {
+    fn add(&mut self, func: FuncId, block: BlockId, dt: u64) {
+        if dt == 0 {
+            return;
+        }
+        let f = func.index();
+        if self.cycles.len() <= f {
+            self.cycles.resize_with(f + 1, Vec::new);
+        }
+        let row = &mut self.cycles[f];
+        let b = block.index();
+        if row.len() <= b {
+            row.resize(b + 1, 0);
+        }
+        row[b] += dt;
+    }
+
+    /// Cycles attributed to one block of `func`.
+    #[must_use]
+    pub fn block_cycles(&self, func: FuncId, block: BlockId) -> u64 {
+        self.cycles
+            .get(func.index())
+            .and_then(|row| row.get(block.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Cycles attributed to `func` as a whole.
+    #[must_use]
+    pub fn func_cycles(&self, func: FuncId) -> u64 {
+        self.cycles
+            .get(func.index())
+            .map(|row| row.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// All attributed cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().flatten().sum()
     }
 }
 
@@ -723,6 +824,7 @@ pub struct Machine {
     conflicts: ConflictTracker,
     cycle: u64,
     activity: Option<ActivityTrace>,
+    attribution: Option<CycleAttribution>,
 }
 
 impl Machine {
@@ -757,6 +859,7 @@ impl Machine {
             conflicts,
             cycle: 0,
             activity: None,
+            attribution: None,
         }
     }
 
@@ -802,6 +905,19 @@ impl Machine {
     /// Enables activity tracing with the given window (in cycles).
     pub fn enable_activity_trace(&mut self, window: u64) {
         self.activity = Some(ActivityTrace::new(self.config.cores, window.max(1)));
+    }
+
+    /// Enables per-`(function, block)` cycle attribution (see
+    /// [`CycleAttribution`]). Purely observational; accumulates across
+    /// invocations (`clear_threads`/`reset_cycle_counter` do not reset it).
+    pub fn enable_cycle_attribution(&mut self) {
+        self.attribution = Some(CycleAttribution::default());
+    }
+
+    /// The accumulated cycle attribution, if enabled.
+    #[must_use]
+    pub fn cycle_attribution(&self) -> Option<&CycleAttribution> {
+        self.attribution.as_ref()
     }
 
     /// Returns the recorded activity trace, if tracing was enabled.

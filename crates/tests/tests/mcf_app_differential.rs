@@ -1,0 +1,157 @@
+//! Differential test layer for the `mcf_app` miniature application.
+//!
+//! Modeled on the interpreter-validation pattern of differential execution:
+//! the same program runs on three independent engines — the timing-simulator
+//! backend (Spice-transformed IR on simulated cores), the native-thread
+//! backend (interpreted chunks on OS threads), and a pure-host Rust
+//! implementation of the network simplex ([`spice_workloads::HostMcfApp`],
+//! which never touches simulated memory) — and everything observable must be
+//! bit-identical across all three:
+//!
+//! * the per-pivot checksum (the sum of all non-root potentials — a value
+//!   data-dependent on every store the refresh loop makes),
+//! * the final potential of every node (live-out memory of the
+//!   application),
+//! * the invocation count.
+//!
+//! A sweep of seeded random flow networks (several sizes × seeds) keeps the
+//! agreement from being an artifact of one lucky instance. Because the
+//! refresh loop carries the faithful `pred->potential` dependence and the
+//! pivot phases store into the very links the speculative walk traverses,
+//! agreement *requires* the conflict-detection subsystem to squash and
+//! recover correctly on both backends — which the test also asserts it
+//! actually exercised.
+
+use spice_core::backend::SimBackend;
+use spice_ir::exec::ExecutionBackend;
+use spice_runtime::NativeLoopBackend;
+use spice_workloads::{run_workload_on, HostMcfApp, McfAppConfig, McfAppWorkload};
+
+fn run_backend(
+    config: &McfAppConfig,
+    backend: &mut dyn ExecutionBackend,
+) -> (Vec<Option<i64>>, Vec<i64>, usize) {
+    let mut wl = McfAppWorkload::new(config.clone());
+    let summary = run_workload_on(&mut wl, backend)
+        .unwrap_or_else(|e| panic!("{} run failed: {e}", backend.name()));
+    let potentials: Vec<i64> = (0..config.nodes)
+        .map(|i| wl.potential(backend.mem(), i))
+        .collect();
+    (summary.return_values, potentials, summary.invocations)
+}
+
+#[test]
+fn sim_native_and_host_agree_over_a_sweep_of_networks() {
+    for &(nodes, arcs) in &[(60usize, 140usize), (110, 260)] {
+        for seed in [11u64, 12, 13] {
+            let config = McfAppConfig {
+                nodes,
+                arcs,
+                pivots: 8,
+                seed,
+            };
+            let label = format!("nodes={nodes} arcs={arcs} seed={seed}");
+
+            // Leg 1: pure host — plain Rust arrays, no IR anywhere.
+            let mut host = HostMcfApp::new(&config);
+            let host_checksums: Vec<Option<i64>> =
+                (0..config.pivots).map(|_| Some(host.pivot())).collect();
+            let host_potentials = host.potentials().to_vec();
+
+            // Leg 2: the timing simulator (Spice-transformed, 4 threads).
+            let mut sim = SimBackend::tiny(4);
+            let (sim_checksums, sim_potentials, sim_invocations) = run_backend(&config, &mut sim);
+
+            // Leg 3: native OS threads (interpreted chunks, 4 threads).
+            let mut native = NativeLoopBackend::new(4);
+            let (nat_checksums, nat_potentials, nat_invocations) =
+                run_backend(&config, &mut native);
+
+            assert_eq!(sim_invocations, config.pivots, "{label}: sim invocations");
+            assert_eq!(
+                nat_invocations, config.pivots,
+                "{label}: native invocations"
+            );
+            assert_eq!(
+                sim_checksums, host_checksums,
+                "{label}: sim checksums diverged from the host application"
+            );
+            assert_eq!(
+                nat_checksums, host_checksums,
+                "{label}: native checksums diverged from the host application"
+            );
+            assert_eq!(
+                sim_potentials, host_potentials,
+                "{label}: sim final potentials diverged"
+            );
+            assert_eq!(
+                nat_potentials, host_potentials,
+                "{label}: native final potentials diverged"
+            );
+        }
+    }
+}
+
+/// The agreement above is only meaningful if speculation actually ran and
+/// the conflict subsystem actually recovered: a config large enough to
+/// speculate must produce dependence-violation squashes on both backends,
+/// and the results must *still* be bit-identical to the host.
+#[test]
+fn agreement_survives_actual_dependence_violations() {
+    let config = McfAppConfig {
+        nodes: 120,
+        arcs: 260,
+        pivots: 8,
+        seed: 0x6d63_6661,
+    };
+    let mut host = HostMcfApp::new(&config);
+    let host_checksums: Vec<Option<i64>> = (0..config.pivots).map(|_| Some(host.pivot())).collect();
+
+    for (name, backend) in [
+        (
+            "sim",
+            Box::new(SimBackend::tiny(4)) as Box<dyn ExecutionBackend>,
+        ),
+        ("native", Box::new(NativeLoopBackend::new(4))),
+    ] {
+        let mut backend = backend;
+        let mut wl = McfAppWorkload::new(config.clone());
+        let summary = run_workload_on(&mut wl, backend.as_mut())
+            .unwrap_or_else(|e| panic!("{name} run failed: {e}"));
+        assert_eq!(summary.return_values, host_checksums, "{name} checksums");
+        assert!(
+            summary.dependence_violations > 0,
+            "{name}: the refresh chain never tripped the conflict detector — \
+             nothing was speculated, the differential layer proved nothing"
+        );
+        assert!(
+            summary.committed_chunks + summary.squashed_chunks > 0,
+            "{name}"
+        );
+    }
+}
+
+/// The expectation machinery itself is differential: `run_workload_on`
+/// checks every invocation against `expected_result`, which snapshots the
+/// network *from simulated memory* and runs the host pivot on it. This test
+/// pins the third leg the other way around: a sequential (2-thread minimum,
+/// but prediction-free first invocation) run and the host app stay in
+/// lockstep pivot by pivot, not just at the end.
+#[test]
+fn per_pivot_lockstep_with_the_host_application() {
+    let config = McfAppConfig {
+        nodes: 80,
+        arcs: 180,
+        pivots: 6,
+        seed: 21,
+    };
+    let mut host = HostMcfApp::new(&config);
+    let mut wl = McfAppWorkload::new(config.clone());
+    let mut backend = NativeLoopBackend::new(2);
+    let summary = run_workload_on(&mut wl, &mut backend).expect("native run");
+    assert_eq!(summary.return_values.len(), config.pivots);
+    for (inv, ret) in summary.return_values.iter().enumerate() {
+        let expected = host.pivot();
+        assert_eq!(*ret, Some(expected), "pivot {inv}");
+    }
+}

@@ -134,6 +134,12 @@ impl SpiceWorkload for ConflictListWorkload {
         0.0
     }
 
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // Its writers hit successor chunks' reads by design — the workload
+        // exists to exercise the detector.
+        spice_ir::exec::ConflictPolicy::Detect
+    }
+
     fn build(&mut self) -> BuiltKernel {
         let mut program = Program::new();
         let base = program.add_global(

@@ -140,6 +140,13 @@ impl SpiceWorkload for KsWorkload {
         0.98
     }
 
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // The gain scan is read-only inside the loop (its store sits in the
+        // exit block, executed by the main thread after the merge), so
+        // chunks carry no cross-chunk memory flow by construction.
+        spice_ir::exec::ConflictPolicy::AssumeIndependent
+    }
+
     fn build(&mut self) -> BuiltKernel {
         let mut program = Program::new();
         let arena_base = program.add_global(

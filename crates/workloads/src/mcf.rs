@@ -215,6 +215,15 @@ impl SpiceWorkload for McfWorkload {
         0.30
     }
 
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // The faithful kernel's pred->potential chain *requires* detection.
+        // The dependence-free control keeps Detect too, deliberately: it is
+        // the suite's precision probe — the detector must never fire on it
+        // (asserted by the fig7 harness), which only means something if the
+        // tracking actually runs.
+        spice_ir::exec::ConflictPolicy::Detect
+    }
+
     fn build(&mut self) -> BuiltKernel {
         let mut program = Program::new();
         let arena_base = program.add_global(

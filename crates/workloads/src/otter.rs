@@ -120,6 +120,12 @@ impl SpiceWorkload for OtterWorkload {
         0.20
     }
 
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // `find_lightest_cl` only reads inside the loop (the argmin store is
+        // in the exit block); chunks are independent by construction.
+        spice_ir::exec::ConflictPolicy::AssumeIndependent
+    }
+
     fn build(&mut self) -> BuiltKernel {
         let mut program = Program::new();
         let arena_base = program.add_global(

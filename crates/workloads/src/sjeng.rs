@@ -171,6 +171,11 @@ impl SpiceWorkload for SjengWorkload {
         0.26
     }
 
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // The evaluation walk stores nothing; chunks cannot conflict.
+        spice_ir::exec::ConflictPolicy::AssumeIndependent
+    }
+
     fn build(&mut self) -> BuiltKernel {
         let mut program = Program::new();
         let arena_base = program.add_global(

@@ -20,6 +20,7 @@ use spice_ir::{BinOp, Operand, Program};
 use crate::arena::{ListMirror, RecordArena};
 use crate::conflict::{ConflictConfig, ConflictListWorkload};
 use crate::mcf::{McfConfig, McfWorkload};
+use crate::mcf_app::{McfAppConfig, McfAppWorkload};
 use crate::{BuiltKernel, SpiceWorkload};
 
 const VALUE: i64 = 0;
@@ -111,6 +112,11 @@ impl SpiceWorkload for ChurnListWorkload {
 
     fn paper_hotness(&self) -> f64 {
         0.0
+    }
+
+    fn conflict_policy(&self) -> spice_ir::exec::ConflictPolicy {
+        // A pure pointer-chasing sum: no stores inside the loop.
+        spice_ir::exec::ConflictPolicy::AssumeIndependent
     }
 
     fn build(&mut self) -> BuiltKernel {
@@ -308,6 +314,38 @@ pub fn conflict_benchmarks_small() -> Vec<Box<dyn SpiceWorkload>> {
             seed: 0x59_11CE,
         })),
     ]
+}
+
+/// The miniature-application workloads: drivers that grew into whole
+/// programs whose non-loop phases execute as measured serial IR, so Table 2
+/// hotness is *measured* by profiler cycle attribution instead of quoted
+/// from the paper. Currently the `mcf_app` network simplex (one pivot per
+/// invocation: entering-arc selection, basis exchange + relink, then the
+/// faithful `refresh_potential_true` walk as the Spice target loop).
+#[must_use]
+pub fn app_benchmarks() -> Vec<Box<dyn SpiceWorkload>> {
+    // Instance shape: ~0.6 candidate arcs per node, calibrated so the
+    // measured whole-program profile sits in the real application's regime
+    // (refresh loop ≈ a quarter of all cycles; the remainder is arc pricing
+    // and the full-tree relink — see DESIGN.md §3.5 for the measured value
+    // next to the paper's 30%).
+    vec![Box::new(McfAppWorkload::new(McfAppConfig {
+        nodes: 2_500,
+        arcs: 1_500,
+        pivots: 10,
+        seed: 0x6d63_6661,
+    }))]
+}
+
+/// Smaller configuration of the application workloads, for quick test runs.
+#[must_use]
+pub fn app_benchmarks_small() -> Vec<Box<dyn SpiceWorkload>> {
+    vec![Box::new(McfAppWorkload::new(McfAppConfig {
+        nodes: 120,
+        arcs: 150,
+        pivots: 8,
+        seed: 0x6d63_6661,
+    }))]
 }
 
 /// The Figure 8 corpus. Loop predictability targets are chosen so the binned

@@ -1,0 +1,74 @@
+//! The `mcf_app` scenario: a miniature network-simplex application whose
+//! pivots run end-to-end as measured IR — entering-arc selection and the
+//! basis-exchange relink as serial phases, the faithful
+//! `refresh_potential_true` walk as the Spice-parallelized hot loop. The
+//! whole-program hotness of that loop is *measured* by profiler cycle
+//! attribution, not quoted from the paper, and both execution backends must
+//! agree bit-for-bit with the pure-host network simplex.
+//!
+//! Run with: `cargo run --example mcf_app`
+
+use spice_bench::experiments::run_workload_backend;
+use spice_core::backend::BackendChoice;
+use spice_core::predictor::PredictorOptions;
+use spice_profiler::measure_cycle_hotness;
+use spice_sim::MachineConfig;
+use spice_workloads::{HostMcfApp, McfAppConfig, McfAppWorkload};
+
+fn main() {
+    let config = McfAppConfig {
+        nodes: 400,
+        arcs: 900,
+        pivots: 12,
+        seed: 7,
+    };
+
+    // Whole-program hotness, measured: one core of the Table 1 machine,
+    // cycle attribution per (function, block).
+    let mut wl = McfAppWorkload::new(config.clone());
+    let hotness =
+        measure_cycle_hotness(&mut wl, MachineConfig::itanium2_cmp()).expect("hotness run");
+    println!("mcf_app whole-program profile ({} pivots):", config.pivots);
+    for (name, cycles) in &hotness.per_function {
+        println!(
+            "  {name:<22} {cycles:>12} cycles ({:.1}%)",
+            100.0 * *cycles as f64 / hotness.total_cycles as f64
+        );
+    }
+    println!(
+        "  refresh_potential_true loop: {} of {} cycles -> measured hotness {:.1}% \
+         (paper's Table 2 quotes 30%)",
+        hotness.loop_cycles,
+        hotness.total_cycles,
+        hotness.fraction() * 100.0
+    );
+    println!();
+
+    // The independent host-side network simplex: the reference every
+    // backend's checksums must match, pivot by pivot.
+    let mut host = HostMcfApp::new(&config);
+    let host_checksums: Vec<Option<i64>> = (0..config.pivots).map(|_| Some(host.pivot())).collect();
+
+    for choice in [BackendChoice::Sim, BackendChoice::Native] {
+        let mut wl = McfAppWorkload::new(config.clone());
+        let summary = run_workload_backend(&mut wl, choice, 4, PredictorOptions::default())
+            .expect("backend run");
+        assert_eq!(
+            summary.return_values, host_checksums,
+            "backend {choice} diverged from the host network simplex"
+        );
+        println!(
+            "{choice}: {} pivots, results bit-identical to the host app; \
+             {} chunks committed, {} squashed ({} dependence violations recovered)",
+            summary.invocations,
+            summary.committed_chunks,
+            summary.squashed_chunks,
+            summary.dependence_violations
+        );
+    }
+    println!();
+    println!("The pivot phases execute as serial IR on the main thread, so their cycles are in");
+    println!("every measured number; the refresh walk carries the real pred->potential chain,");
+    println!("and the conflict-detection subsystem squashes and recovers the violations the");
+    println!("speculation takes — which is why all three implementations agree exactly.");
+}
