@@ -1,20 +1,19 @@
 //! Ablation of the value-predictor design choices (re-memoization, dynamic
 //! load balancing) on the otter loop with 4 threads.
+//!
+//! A thin wrapper over the simulation farm: the three variants run as
+//! parallel jobs (`--jobs N`, default host parallelism).
+
+use spice_bench::experiments::format_ablation;
+use spice_bench::farm_driver::{run_manifest, Figure, Manifest, OutPaths};
+
 fn main() {
     let small = spice_bench::small_requested();
-    let rows = spice_bench::experiments::ablation(small).expect("ablation");
-    println!("Predictor ablation — otter, 4 threads");
-    println!(
-        "{:<36} {:>14} {:>9} {:>10}",
-        "variant", "cycles", "misspec", "imbalance"
-    );
-    for r in rows {
-        println!(
-            "{:<36} {:>14} {:>8.1}% {:>10.3}",
-            r.variant,
-            r.cycles,
-            r.misspeculation_rate * 100.0,
-            r.load_imbalance
-        );
-    }
+    let manifest = Manifest {
+        figures: vec![Figure::Ablation],
+        small,
+        jobs: spice_bench::jobs_requested(),
+    };
+    let report = run_manifest(&manifest, &OutPaths::default()).expect("ablation");
+    print!("{}", format_ablation(&report.ablation_rows));
 }

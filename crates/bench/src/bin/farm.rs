@@ -1,0 +1,135 @@
+//! The simulation farm: runs the whole evaluation (or a chosen subset of
+//! figures) as one parallel sweep on a work-stealing pool, with every
+//! program decoded once and shared, and artifacts streamed row-by-row in
+//! deterministic job order — byte-identical at any `--jobs`.
+//!
+//! ```text
+//! cargo run --release -p spice-bench --bin farm -- [flags]
+//!   --small           reduced-size inputs
+//!   --jobs N          worker threads (default 0 = host parallelism)
+//!   --figures LIST    comma-separated subset of fig7,table2,ablation,harness
+//!   --out-dir DIR     where artifacts land (default ".")
+//!   --check           CI perf smoke: run the harness figure only, write
+//!                     nothing, compare ns/simulated-cycle against the
+//!                     committed BENCH_farm.json
+//! ```
+//!
+//! Besides the per-figure artifacts, a normal run writes `BENCH_farm.json`:
+//! serial-equivalent vs wall seconds, worker/job counts, host cores, and
+//! preparation-cache accounting — the farm's own performance record.
+
+use std::path::PathBuf;
+
+use spice_bench::experiments::{format_ablation, format_fig7, format_harnessperf, format_table2};
+use spice_bench::farm_driver::{farm_json, run_manifest, Figure, Manifest, OutPaths};
+
+/// A fresh run must stay within this factor of the committed
+/// ns-per-simulated-cycle. Generous on purpose: CI machines differ from the
+/// machine that committed the baseline.
+const CHECK_FACTOR: f64 = 4.0;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = spice_bench::small_requested();
+    let jobs = spice_bench::jobs_requested();
+    let check = args.iter().any(|a| a == "--check");
+    let out_dir = PathBuf::from(arg_value(&args, "--out-dir").unwrap_or_else(|| ".".to_string()));
+
+    let figures = if check {
+        vec![Figure::Harness]
+    } else {
+        match arg_value(&args, "--figures") {
+            Some(list) => Figure::parse_list(&list).unwrap_or_else(|e| panic!("{e}")),
+            None => Figure::ALL.to_vec(),
+        }
+    };
+
+    let manifest = Manifest {
+        figures: figures.clone(),
+        small,
+        jobs,
+    };
+    let outs = if check {
+        OutPaths::default()
+    } else {
+        OutPaths {
+            fig7: figures
+                .contains(&Figure::Fig7)
+                .then(|| out_dir.join("BENCH_fig7.json")),
+            table2: figures
+                .contains(&Figure::Table2)
+                .then(|| out_dir.join("BENCH_table2.json")),
+            harness: figures
+                .contains(&Figure::Harness)
+                .then(|| out_dir.join("BENCH_harness.json")),
+        }
+    };
+
+    let report = run_manifest(&manifest, &outs).expect("farm run");
+
+    if figures.contains(&Figure::Fig7) {
+        print!("{}", format_fig7(&report.fig7_rows));
+        println!();
+    }
+    if figures.contains(&Figure::Table2) {
+        print!("{}", format_table2(&report.table2_rows));
+        println!();
+    }
+    if figures.contains(&Figure::Ablation) {
+        print!("{}", format_ablation(&report.ablation_rows));
+        println!();
+    }
+    if figures.contains(&Figure::Harness) {
+        print!("{}", format_harnessperf(&report.harness_rows));
+    }
+    println!(
+        "farm: {} jobs on {} workers ({} cores): {:.3} s serial-equivalent in {:.3} s wall \
+         ({:.2}x), prepare {:.3} s ({} builds, {} shared)",
+        report.stats.jobs,
+        report.stats.workers,
+        report.host_cores,
+        report.serial_equivalent_seconds(),
+        report.farm_wall_seconds(),
+        report.parallel_speedup(),
+        report.cache.build_nanos as f64 / 1e9,
+        report.cache.misses,
+        report.cache.hits,
+    );
+
+    if check {
+        let committed_path = out_dir.join("BENCH_farm.json");
+        let committed = std::fs::read_to_string(&committed_path).unwrap_or_else(|e| {
+            panic!(
+                "--check needs the committed {}: {e}",
+                committed_path.display()
+            )
+        });
+        let baseline = spice_bench::json::extract_number(&committed, "ns_per_simulated_cycle")
+            .expect("committed artifact has ns_per_simulated_cycle");
+        let measured = report.ns_per_simulated_cycle();
+        println!(
+            "perf-smoke: measured {measured:.1} ns/cycle vs committed {baseline:.1} \
+             (limit {CHECK_FACTOR}x)"
+        );
+        if !measured.is_finite() || measured > baseline * CHECK_FACTOR {
+            eprintln!(
+                "farm-speed regression: {measured:.1} ns/cycle exceeds \
+                 {CHECK_FACTOR}x the committed {baseline:.1}"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let doc = farm_json(&report);
+    spice_bench::json::validate(&doc).expect("emitted artifact must be well-formed JSON");
+    let farm_path = out_dir.join("BENCH_farm.json");
+    std::fs::write(&farm_path, &doc).expect("write BENCH_farm.json");
+    eprintln!("wrote {}", farm_path.display());
+}

@@ -1,16 +1,16 @@
 //! Reproduces Figure 7: loop speedups with 2 and 4 threads, plus the
 //! conflict-carrying workloads' recovery-cost rows.
 //!
-//! Prints the text table and writes `BENCH_fig7.json` (machine-readable,
-//! emitted through `spice_bench::json` — no serialization dependency, but
-//! names are escaped and non-finite metrics become `null`) so the
-//! performance trajectory of the reproduction can accumulate across runs.
-//! There is one emit path and one artifact: `--small` selects reduced-size
-//! inputs and is recorded in the JSON's `small` field, but writes to the
-//! same file, so the trajectory always has a single source of truth. Pass
-//! `--out PATH` to redirect the JSON elsewhere.
+//! A thin wrapper over the simulation farm: the sweep runs on a
+//! work-stealing pool (`--jobs N`, default host parallelism) and
+//! `BENCH_fig7.json` streams out row-by-row in job order, so its bytes are
+//! identical at any worker count. `--small` selects reduced-size inputs and
+//! is recorded in the JSON's `small` field but writes to the same file, so
+//! the trajectory always has a single source of truth. Pass `--out PATH` to
+//! redirect the JSON elsewhere.
 
-use spice_bench::experiments::{fig7, fig7_json, format_fig7};
+use spice_bench::experiments::format_fig7;
+use spice_bench::farm_driver::{run_manifest, Figure, Manifest, OutPaths};
 
 fn main() {
     let small = spice_bench::small_requested();
@@ -21,10 +21,15 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
             .unwrap_or_else(|| "BENCH_fig7.json".to_string())
     };
-    let rows = fig7(small).expect("fig7");
-    print!("{}", format_fig7(&rows));
-    let json = fig7_json(&rows, small);
-    spice_bench::json::validate(&json).expect("emitted artifact must be well-formed JSON");
-    std::fs::write(&out_path, &json).expect("write BENCH_fig7.json");
-    eprintln!("wrote {out_path}");
+    let manifest = Manifest {
+        figures: vec![Figure::Fig7],
+        small,
+        jobs: spice_bench::jobs_requested(),
+    };
+    let outs = OutPaths {
+        fig7: Some(out_path.into()),
+        ..OutPaths::default()
+    };
+    let report = run_manifest(&manifest, &outs).expect("fig7");
+    print!("{}", format_fig7(&report.fig7_rows));
 }

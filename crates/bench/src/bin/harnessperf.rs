@@ -1,10 +1,14 @@
 //! Harness wall-clock benchmark: how much host time one simulated cycle
-//! costs, per workload and mode, over the Figure 7 suite.
+//! costs, per workload and mode, over the Figure 7 suite. One-time
+//! preparation (IR build, analysis, decode, memory image) is timed
+//! separately from simulation, so ns-per-cycle measures dispatch only.
 //!
-//! Writes `BENCH_harness.json` (through `spice_bench::json`) so harness-speed
-//! regressions become visible trajectory data next to the simulated-number
-//! artifacts. `--small` selects the reduced-size inputs; `--out PATH`
-//! redirects the artifact.
+//! A thin wrapper over the simulation farm (`--jobs N`, default host
+//! parallelism). Writes `BENCH_harness.json` (streamed in job order —
+//! byte-identical at any worker count) so harness-speed regressions become
+//! visible trajectory data next to the simulated-number artifacts.
+//! `--small` selects the reduced-size inputs; `--out PATH` redirects the
+//! artifact.
 //!
 //! `--check` is the CI perf-smoke mode: instead of writing, it re-runs the
 //! suite and compares the measured overall host-ns-per-simulated-cycle
@@ -14,9 +18,8 @@
 //! `--check --small` still compares against it, since ns-per-cycle is a
 //! size-independent rate.
 
-use spice_bench::experiments::{
-    format_harnessperf, harness_ns_per_cycle, harnessperf, harnessperf_json,
-};
+use spice_bench::experiments::{format_harnessperf, harness_ns_per_cycle};
+use spice_bench::farm_driver::{run_manifest, Figure, Manifest, OutPaths};
 
 /// A fresh run must stay within this factor of the committed
 /// ns-per-simulated-cycle. Generous on purpose: CI machines differ from the
@@ -33,15 +36,28 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_harness.json".to_string());
 
-    let rows = harnessperf(small).expect("harnessperf");
-    print!("{}", format_harnessperf(&rows));
+    let manifest = Manifest {
+        figures: vec![Figure::Harness],
+        small,
+        jobs: spice_bench::jobs_requested(),
+    };
+    let outs = if check {
+        OutPaths::default()
+    } else {
+        OutPaths {
+            harness: Some(out_path.clone().into()),
+            ..OutPaths::default()
+        }
+    };
+    let report = run_manifest(&manifest, &outs).expect("harnessperf");
+    print!("{}", format_harnessperf(&report.harness_rows));
 
     if check {
         let committed = std::fs::read_to_string(&out_path)
             .unwrap_or_else(|e| panic!("--check needs the committed {out_path}: {e}"));
         let baseline = spice_bench::json::extract_number(&committed, "ns_per_simulated_cycle")
             .expect("committed artifact has ns_per_simulated_cycle");
-        let measured = harness_ns_per_cycle(&rows);
+        let measured = harness_ns_per_cycle(&report.harness_rows);
         println!(
             "perf-smoke: measured {measured:.1} ns/cycle vs committed {baseline:.1} \
              (limit {CHECK_FACTOR}x)"
@@ -53,11 +69,5 @@ fn main() {
             );
             std::process::exit(1);
         }
-        return;
     }
-
-    let json = harnessperf_json(&rows, small);
-    spice_bench::json::validate(&json).expect("emitted artifact must be well-formed JSON");
-    std::fs::write(&out_path, &json).expect("write BENCH_harness.json");
-    eprintln!("wrote {out_path}");
 }

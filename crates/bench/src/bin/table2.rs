@@ -1,26 +1,32 @@
-//! Reproduces Table 2: benchmark details.
+//! Reproduces Table 2: benchmark details, including the conflict-precision
+//! probe columns (word- vs line-granular dependence squashes).
+//!
+//! A thin wrapper over the simulation farm: hotness measurements and
+//! conflict probes run as parallel jobs (`--jobs N`, default host
+//! parallelism) and `BENCH_table2.json` streams out in job order —
+//! byte-identical at any worker count. `--out PATH` redirects the artifact.
+
+use spice_bench::experiments::format_table2;
+use spice_bench::farm_driver::{run_manifest, Figure, Manifest, OutPaths};
+
 fn main() {
     let small = spice_bench::small_requested();
-    let rows = spice_bench::experiments::table2(small).expect("table2");
-    println!("Table 2 — benchmark details");
-    println!(
-        "{:<12} {:<38} {:<30} {:>8} {:>9} {:>14} {:>10}",
-        "benchmark", "description", "loop", "paper", "measured", "loop insts/inv", "kernel frac"
-    );
-    for r in rows {
-        println!(
-            "{:<12} {:<38} {:<30} {:>7.0}% {:>8.1}% {:>14} {:>9.1}%",
-            r.benchmark,
-            r.description,
-            r.loop_name,
-            r.paper_hotness * 100.0,
-            r.measured_hotness * 100.0,
-            r.measured_loop_instructions,
-            r.measured_kernel_fraction * 100.0
-        );
-    }
-    println!("\n(paper column: whole-application fraction reported by the paper, for comparison;");
-    println!(" measured column: profiler cycle attribution over the whole program — for the");
-    println!(" kernel drivers that program is just the kernel, for mcf_app it is a miniature");
-    println!(" network-simplex application. See DESIGN.md §3.5.)");
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1).cloned())
+            .unwrap_or_else(|| "BENCH_table2.json".to_string())
+    };
+    let manifest = Manifest {
+        figures: vec![Figure::Table2],
+        small,
+        jobs: spice_bench::jobs_requested(),
+    };
+    let outs = OutPaths {
+        table2: Some(out_path.into()),
+        ..OutPaths::default()
+    };
+    let report = run_manifest(&manifest, &outs).expect("table2");
+    print!("{}", format_table2(&report.table2_rows));
 }

@@ -8,21 +8,26 @@ use spice_core::backend::{make_backend_with, BackendChoice, SimBackend};
 use spice_core::baseline::{render_schedule, LoopTimingModel, ScheduleKind};
 use spice_core::pipeline::{predictor_options_with_estimate, run_sequential};
 use spice_core::predictor::PredictorOptions;
+use spice_core::prepared::PreparedProgram;
 use spice_core::valuepred::{
     evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
 };
 use spice_ir::interp::LocalSys;
+use spice_ir::FuncId;
 use spice_profiler::{
     measure_cycle_hotness, measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin,
 };
 use spice_sim::{Machine, MachineConfig};
 use spice_workloads::{
-    fig8_corpus, run_workload_on, BackendRunSummary, KsConfig, KsWorkload, McfConfig, McfWorkload,
-    OtterConfig, OtterWorkload, SjengConfig, SjengWorkload, SpiceWorkload, Suite,
+    drive_loaded_workload, fig8_corpus, run_workload_on, workload_load_options, BackendRunSummary,
+    KsConfig, KsWorkload, McfConfig, McfWorkload, OtterConfig, OtterWorkload, SjengConfig,
+    SjengWorkload, SpiceWorkload, Suite,
 };
 
 /// Factory for a fresh instance of one of the paper's four benchmark loops.
-type WorkloadFactory = Box<dyn Fn() -> Box<dyn SpiceWorkload>>;
+/// `Send + Sync` so a sweep engine can construct workloads from any host
+/// thread.
+pub type WorkloadFactory = Box<dyn Fn() -> Box<dyn SpiceWorkload> + Send + Sync>;
 
 /// Returns `(name, factory)` pairs for the Table 2 / Figure 7 benchmarks.
 ///
@@ -162,13 +167,24 @@ pub fn run_workload_sequential(workload: &mut dyn SpiceWorkload) -> Result<u64, 
     let built = workload.build();
     let config = MachineConfig::itanium2_cmp().with_cores(1);
     let mut machine = Machine::new(config, built.program);
+    drive_sequential_workload(workload, &mut machine, built.kernel)
+}
+
+/// Drives every invocation of `workload` on an already-built one-core
+/// machine, checking each return value against the host-computed
+/// expectation. Shared between the direct sequential path and the farm's
+/// prepared-program jobs so both produce the same cycle totals.
+fn drive_sequential_workload(
+    workload: &mut dyn SpiceWorkload,
+    machine: &mut Machine,
+    kernel: FuncId,
+) -> Result<u64, String> {
     let mut args = workload.init(machine.mem_mut());
     let mut total = 0u64;
     let mut inv = 0usize;
     loop {
         let expected = workload.expected_result(machine.mem());
-        let (cycles, ret) =
-            run_sequential(&mut machine, built.kernel, &args).map_err(|e| e.to_string())?;
+        let (cycles, ret) = run_sequential(machine, kernel, &args).map_err(|e| e.to_string())?;
         if let Some(e) = expected {
             if ret != Some(e) {
                 return Err(format!(
@@ -243,6 +259,233 @@ pub fn run_workload_backend(
 ) -> Result<BackendRunSummary, String> {
     let mut backend = make_backend_with(choice, threads, predictor);
     run_workload_on(workload, backend.as_mut())
+}
+
+/// One execution mode of the Figure 7 / harness-perf matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Untransformed program on one core.
+    Sequential,
+    /// Spice-transformed program with this many worker threads.
+    Spice {
+        /// Thread count the transform is generated for.
+        threads: usize,
+    },
+}
+
+impl SweepMode {
+    /// The three modes every benchmark runs in, in artifact row order.
+    pub const ALL: [SweepMode; 3] = [
+        SweepMode::Sequential,
+        SweepMode::Spice { threads: 2 },
+        SweepMode::Spice { threads: 4 },
+    ];
+
+    /// The mode label used in artifacts: `"sequential"`, `"spice2"`, ….
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            SweepMode::Sequential => "sequential".to_string(),
+            SweepMode::Spice { threads } => format!("spice{threads}"),
+        }
+    }
+}
+
+/// A shareable preparation of one benchmark in one sweep mode: the
+/// [`PreparedProgram`] (decoded IR, initial image, transform), the kernel
+/// id, and the wall time the whole preparation took — workload
+/// construction, IR build, loop analysis, Spice transform, decode and
+/// image. The farm shares one `SweepPrep` across jobs through
+/// `spice_farm::PreparedCache`; a serial run builds it inline and uses it
+/// once. Either way [`run_prepared_sweep`] produces the same simulated
+/// numbers, which is what keeps farm artifacts byte-identical to serial
+/// ones.
+#[derive(Debug, Clone)]
+pub struct SweepPrep {
+    /// The shared immutable program state.
+    pub prepared: PreparedProgram,
+    /// Kernel function of the workload's built program.
+    pub kernel: FuncId,
+    /// Wall nanoseconds the preparation took, end to end.
+    pub build_nanos: u128,
+}
+
+/// Builds the preparation for one `(benchmark, mode)` cell. `tiny` selects
+/// the reduced test machine (used by the Table 2 conflict probes when
+/// `--small`); the Figure 7 / harness sweep always simulates the Table 1
+/// machine. `granularity_log2` coarsens the conflict sets (0 = exact
+/// words) and is only meaningful for Spice modes.
+///
+/// # Errors
+///
+/// Returns a description of any analysis or transformation failure.
+pub fn prepare_sweep(
+    factory: &WorkloadFactory,
+    mode: SweepMode,
+    tiny: bool,
+    granularity_log2: u8,
+) -> Result<SweepPrep, String> {
+    let started = std::time::Instant::now();
+    let mut wl = factory();
+    let built = wl.build();
+    let prepared = match mode {
+        SweepMode::Sequential => {
+            let config = if tiny {
+                MachineConfig::test_tiny(1)
+            } else {
+                MachineConfig::itanium2_cmp().with_cores(1)
+            };
+            PreparedProgram::sequential(config, built.program)
+        }
+        SweepMode::Spice { threads } => {
+            let config = if tiny {
+                MachineConfig::test_tiny(threads)
+            } else {
+                MachineConfig::itanium2_cmp()
+            };
+            let estimate = wl.expected_iterations();
+            let options = workload_load_options(wl.as_ref(), &built)
+                .with_conflict_granularity_log2(granularity_log2);
+            PreparedProgram::spice(
+                config,
+                threads,
+                predictor_options_with_estimate(estimate),
+                built.program,
+                built.kernel,
+                options,
+            )
+            .map_err(|e| e.to_string())?
+        }
+    };
+    Ok(SweepPrep {
+        prepared,
+        kernel: built.kernel,
+        build_nanos: started.elapsed().as_nanos(),
+    })
+}
+
+/// The cache key under which a preparation is shared: two jobs whose keys
+/// are equal build identical [`SweepPrep`]s, so the first builds and the
+/// rest reuse. Notably the Table 2 word-granularity conflict probe of a
+/// full-size run keys the same as the Figure 7 four-thread run — same
+/// machine, same transform — so the probe rides on the sweep's decode.
+#[must_use]
+pub fn sweep_prep_key(
+    benchmark: &str,
+    mode: SweepMode,
+    tiny: bool,
+    granularity_log2: u8,
+) -> String {
+    format!(
+        "{benchmark}|{}|{}|g{granularity_log2}",
+        mode.label(),
+        if tiny { "tiny" } else { "it2" }
+    )
+}
+
+/// Result of one sweep job: the simulated outcome plus the simulate-only
+/// host time. Preparation time lives in [`SweepPrep::build_nanos`] — the
+/// split the harness-perf report uses so ns-per-simulated-cycle measures
+/// dispatch, not one-time decode/transform work.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// Total simulated cycles over all invocations.
+    pub cycles: u64,
+    /// Host wall nanoseconds spent simulating (init + invocations).
+    pub sim_nanos: u128,
+    /// Fraction of invocations with at least one squashed worker (0 for
+    /// sequential runs).
+    pub misspeculation_rate: f64,
+    /// Mean coefficient of variation of per-core work (0 for sequential).
+    pub load_imbalance: f64,
+    /// Invocations executed (0 reported for sequential runs).
+    pub invocations: usize,
+    /// Dependence-violation squashes taken and recovered.
+    pub dependence_violations: usize,
+    /// The full backend summary for Spice modes (per-invocation return
+    /// values included), `None` for sequential runs.
+    pub summary: Option<BackendRunSummary>,
+}
+
+/// Runs one sweep job over a shared preparation: a fresh workload instance
+/// from `factory`, a fresh machine over `prep`'s decoded program, every
+/// invocation driven with result checks.
+///
+/// # Errors
+///
+/// Returns the first simulation failure or result mismatch.
+pub fn run_prepared_sweep(factory: &WorkloadFactory, prep: &SweepPrep) -> Result<SweepRun, String> {
+    let mut wl = factory();
+    // Workloads stash driver-side state (arenas, layouts) during `build`;
+    // the program it returns is discarded — `prep` already holds the shared
+    // decoded copy, which an identical factory built deterministically.
+    let _ = wl.build();
+    let started = std::time::Instant::now();
+    if prep.prepared.is_spice() {
+        let mut backend = SimBackend::from_prepared(&prep.prepared);
+        let summary = drive_loaded_workload(wl.as_mut(), &mut backend)?;
+        Ok(SweepRun {
+            cycles: u64::try_from(summary.total_cost).unwrap_or(u64::MAX),
+            sim_nanos: started.elapsed().as_nanos(),
+            misspeculation_rate: summary.misspeculation_rate(),
+            load_imbalance: summary.load_imbalance(),
+            invocations: summary.invocations,
+            dependence_violations: summary.dependence_violations,
+            summary: Some(summary),
+        })
+    } else {
+        let mut machine = prep.prepared.machine();
+        let cycles = drive_sequential_workload(wl.as_mut(), &mut machine, prep.kernel)?;
+        Ok(SweepRun {
+            cycles,
+            sim_nanos: started.elapsed().as_nanos(),
+            misspeculation_rate: 0.0,
+            load_imbalance: 0.0,
+            invocations: 0,
+            dependence_violations: 0,
+            summary: None,
+        })
+    }
+}
+
+/// Assembles a [`Fig7Row`] from a benchmark's sequential cycles and one of
+/// its Spice sweep runs — the one row constructor both the serial `fig7`
+/// path and the farm sink use.
+#[must_use]
+pub fn fig7_row_from_sweep(
+    benchmark: &str,
+    threads: usize,
+    sequential_cycles: u64,
+    run: &SweepRun,
+) -> Fig7Row {
+    Fig7Row {
+        benchmark: benchmark.to_string(),
+        threads,
+        sequential_cycles,
+        spice_cycles: run.cycles,
+        speedup: sequential_cycles as f64 / run.cycles as f64,
+        misspeculation_rate: run.misspeculation_rate,
+        load_imbalance: run.load_imbalance,
+        dependence_violations: run.dependence_violations,
+    }
+}
+
+/// Assembles a [`HarnessPerfRow`] from one sweep cell — again shared
+/// between the serial `harnessperf` path and the farm sink.
+#[must_use]
+pub fn harness_row_from_sweep(
+    benchmark: &str,
+    mode: SweepMode,
+    build_nanos: u128,
+    run: &SweepRun,
+) -> HarnessPerfRow {
+    HarnessPerfRow {
+        benchmark: benchmark.to_string(),
+        mode: mode.label(),
+        simulated_cycles: run.cycles,
+        build_nanos,
+        host_nanos: run.sim_nanos,
+    }
 }
 
 /// One row of the backend cross-check: the same workload driven over the
@@ -333,26 +576,12 @@ pub struct Fig7Row {
 pub fn fig7(small: bool) -> Result<Vec<Fig7Row>, String> {
     let mut rows = Vec::new();
     for (name, factory) in all_workload_factories(small) {
-        let mut seq_wl = factory();
-        let sequential_cycles = run_workload_sequential(seq_wl.as_mut())?;
+        let seq_prep = prepare_sweep(&factory, SweepMode::Sequential, false, 0)?;
+        let sequential_cycles = run_prepared_sweep(&factory, &seq_prep)?.cycles;
         for &threads in &[2usize, 4] {
-            let mut wl = factory();
-            let estimate = wl.expected_iterations();
-            let result = run_workload_spice(
-                wl.as_mut(),
-                threads,
-                predictor_options_with_estimate(estimate),
-            )?;
-            rows.push(Fig7Row {
-                benchmark: name.to_string(),
-                threads,
-                sequential_cycles,
-                spice_cycles: result.cycles,
-                speedup: sequential_cycles as f64 / result.cycles as f64,
-                misspeculation_rate: result.misspeculation_rate,
-                load_imbalance: result.load_imbalance,
-                dependence_violations: result.dependence_violations,
-            });
+            let prep = prepare_sweep(&factory, SweepMode::Spice { threads }, false, 0)?;
+            let run = run_prepared_sweep(&factory, &prep)?;
+            rows.push(fig7_row_from_sweep(name, threads, sequential_cycles, &run));
         }
     }
     Ok(rows)
@@ -375,47 +604,63 @@ pub fn fig7_geomean(rows: &[Fig7Row], threads: usize) -> f64 {
     spice_sim::geomean(&v)
 }
 
-/// Renders Figure 7 rows as the `BENCH_fig7.json` document: workload names
-/// escaped and every float finite-checked through [`crate::json`], so an
-/// empty or degenerate run yields `null` metrics instead of an unparseable
-/// artifact.
+/// Opening of the `BENCH_fig7.json` document, up to and including the
+/// `"rows": [` line. A streaming writer emits this before any job has
+/// retired; the aggregate lines (geomeans) live in the
+/// [footer](fig7_json_footer) because they are only known once every row is
+/// in.
+#[must_use]
+pub fn fig7_json_header(small: bool) -> String {
+    format!("{{\n  \"figure\": \"fig7\",\n  \"small\": {small},\n  \"rows\": [\n")
+}
+
+/// One row of the Figure 7 artifact (no separator, no trailing newline):
+/// the unit a streaming writer appends as the corresponding job retires.
+/// Workload names are escaped and every float finite-checked through
+/// [`crate::json`], so a degenerate run yields `null` metrics instead of an
+/// unparseable artifact.
+#[must_use]
+pub fn fig7_json_row(r: &Fig7Row) -> String {
+    format!(
+        "    {{\"benchmark\": {}, \"threads\": {}, \"sequential_cycles\": {}, \
+         \"spice_cycles\": {}, \"speedup\": {}, \"misspeculation_rate\": {}, \
+         \"load_imbalance\": {}, \"dependence_violations\": {}}}",
+        crate::json::string(&r.benchmark),
+        r.threads,
+        r.sequential_cycles,
+        r.spice_cycles,
+        crate::json::float(r.speedup),
+        crate::json::float(r.misspeculation_rate),
+        crate::json::float(r.load_imbalance),
+        r.dependence_violations
+    )
+}
+
+/// Closing of the Figure 7 artifact: ends the rows array and appends the
+/// geomean summary computed over all rows.
+#[must_use]
+pub fn fig7_json_footer(rows: &[Fig7Row]) -> String {
+    format!(
+        "\n  ],\n  \"geomean_speedup_2t\": {},\n  \"geomean_speedup_4t\": {}\n}}\n",
+        crate::json::float(fig7_geomean(rows, 2)),
+        crate::json::float(fig7_geomean(rows, 4))
+    )
+}
+
+/// Renders Figure 7 rows as the `BENCH_fig7.json` document — the serial
+/// composition of [`fig7_json_header`], [`fig7_json_row`] and
+/// [`fig7_json_footer`], so a farm run streaming rows one at a time
+/// produces byte-identical output.
 #[must_use]
 pub fn fig7_json(rows: &[Fig7Row], small: bool) -> String {
-    use std::fmt::Write as _;
-
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"figure\": \"fig7\",");
-    let _ = writeln!(s, "  \"small\": {small},");
-    let _ = writeln!(
-        s,
-        "  \"geomean_speedup_2t\": {},",
-        crate::json::float(fig7_geomean(rows, 2))
-    );
-    let _ = writeln!(
-        s,
-        "  \"geomean_speedup_4t\": {},",
-        crate::json::float(fig7_geomean(rows, 4))
-    );
-    s.push_str("  \"rows\": [\n");
+    let mut s = fig7_json_header(small);
     for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"benchmark\": {}, \"threads\": {}, \"sequential_cycles\": {}, \
-             \"spice_cycles\": {}, \"speedup\": {}, \"misspeculation_rate\": {}, \
-             \"load_imbalance\": {}, \"dependence_violations\": {}}}{comma}",
-            crate::json::string(&r.benchmark),
-            r.threads,
-            r.sequential_cycles,
-            r.spice_cycles,
-            crate::json::float(r.speedup),
-            crate::json::float(r.misspeculation_rate),
-            crate::json::float(r.load_imbalance),
-            r.dependence_violations
-        );
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&fig7_json_row(r));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str(&fig7_json_footer(rows));
     s
 }
 
@@ -455,7 +700,8 @@ pub fn table1() -> Vec<(String, String)> {
 }
 
 /// One timed harness run: a workload in one execution mode, with the host
-/// time it took and the simulated cycles it covered.
+/// time it took — split into one-time preparation and per-cycle simulation
+/// — and the simulated cycles it covered.
 #[derive(Debug, Clone)]
 pub struct HarnessPerfRow {
     /// Benchmark name.
@@ -464,14 +710,21 @@ pub struct HarnessPerfRow {
     pub mode: String,
     /// Total simulated cycles of the run.
     pub simulated_cycles: u64,
-    /// Host wall-clock nanoseconds the run took (workload build, transform
-    /// and simulation — everything a bench invocation waits for).
+    /// Host wall nanoseconds of the one-time preparation: workload
+    /// construction, IR build, analysis, transform, decode, initial image.
+    /// A sweep pays this once per `(benchmark, mode)` and shares the result
+    /// across jobs, so it is reported separately and excluded from
+    /// [`ns_per_cycle`](HarnessPerfRow::ns_per_cycle).
+    pub build_nanos: u128,
+    /// Host wall nanoseconds spent simulating (init plus all invocations).
     pub host_nanos: u128,
 }
 
 impl HarnessPerfRow {
     /// Host nanoseconds per simulated cycle — the harness-speed metric the
-    /// perf-smoke trajectory tracks.
+    /// perf-smoke trajectory tracks. Measures simulation dispatch only;
+    /// one-time preparation cost is in
+    /// [`build_nanos`](HarnessPerfRow::build_nanos).
     #[must_use]
     pub fn ns_per_cycle(&self) -> f64 {
         if self.simulated_cycles == 0 {
@@ -487,7 +740,10 @@ impl HarnessPerfRow {
 /// simulated-cycle totals recorded per run. This is the same work `fig7`
 /// performs — the *simulated* numbers are identical by construction — but
 /// the deliverable is host seconds, so harness-speed regressions become
-/// visible trajectory data in `BENCH_harness.json`.
+/// visible trajectory data in `BENCH_harness.json`. Preparation time
+/// (decode, transform) is recorded per row in `build_nanos`, separate from
+/// the simulate time `host_nanos`, so the ns-per-cycle rate tracks
+/// dispatch cost alone.
 ///
 /// # Errors
 ///
@@ -495,39 +751,26 @@ impl HarnessPerfRow {
 pub fn harnessperf(small: bool) -> Result<Vec<HarnessPerfRow>, String> {
     let mut rows = Vec::new();
     for (name, factory) in all_workload_factories(small) {
-        let started = std::time::Instant::now();
-        let mut seq_wl = factory();
-        let sequential_cycles = run_workload_sequential(seq_wl.as_mut())?;
-        rows.push(HarnessPerfRow {
-            benchmark: name.to_string(),
-            mode: "sequential".to_string(),
-            simulated_cycles: sequential_cycles,
-            host_nanos: started.elapsed().as_nanos(),
-        });
-        for &threads in &[2usize, 4] {
-            let started = std::time::Instant::now();
-            let mut wl = factory();
-            let estimate = wl.expected_iterations();
-            let result = run_workload_spice(
-                wl.as_mut(),
-                threads,
-                predictor_options_with_estimate(estimate),
-            )?;
-            rows.push(HarnessPerfRow {
-                benchmark: name.to_string(),
-                mode: format!("spice{threads}"),
-                simulated_cycles: result.cycles,
-                host_nanos: started.elapsed().as_nanos(),
-            });
+        for mode in SweepMode::ALL {
+            let prep = prepare_sweep(&factory, mode, false, 0)?;
+            let run = run_prepared_sweep(&factory, &prep)?;
+            rows.push(harness_row_from_sweep(name, mode, prep.build_nanos, &run));
         }
     }
     Ok(rows)
 }
 
-/// Total host seconds of a harness-perf run.
+/// Total simulate-time host seconds of a harness-perf run.
 #[must_use]
 pub fn harness_total_seconds(rows: &[HarnessPerfRow]) -> f64 {
     rows.iter().map(|r| r.host_nanos as f64 / 1e9).sum()
+}
+
+/// Total one-time preparation seconds (IR build + analysis + transform +
+/// decode) of a harness-perf run — the cost a sweep amortizes across jobs.
+#[must_use]
+pub fn harness_build_seconds(rows: &[HarnessPerfRow]) -> f64 {
+    rows.iter().map(|r| r.build_nanos as f64 / 1e9).sum()
 }
 
 /// Overall host-ns-per-simulated-cycle of a harness-perf run.
@@ -552,61 +795,66 @@ pub const PRE_PR_TOTAL_HOST_SECONDS: f64 = 1.727;
 /// See [`PRE_PR_TOTAL_HOST_SECONDS`].
 pub const PRE_PR_NS_PER_CYCLE: f64 = 85.3;
 
+/// Opening of the `BENCH_harness.json` document: the run-independent
+/// constants (pre-PR baseline) and the start of the rows array. Aggregates
+/// live in the [footer](harnessperf_json_footer).
+#[must_use]
+pub fn harnessperf_json_header(small: bool) -> String {
+    format!(
+        "{{\n  \"figure\": \"harness\",\n  \"small\": {small},\n  \
+         \"pre_pr_total_host_seconds\": {},\n  \
+         \"pre_pr_ns_per_simulated_cycle\": {},\n  \"rows\": [\n",
+        crate::json::float(PRE_PR_TOTAL_HOST_SECONDS),
+        crate::json::float(PRE_PR_NS_PER_CYCLE)
+    )
+}
+
+/// One row of the harness artifact (no separator, no trailing newline).
+#[must_use]
+pub fn harnessperf_json_row(r: &HarnessPerfRow) -> String {
+    format!(
+        "    {{\"benchmark\": {}, \"mode\": {}, \"simulated_cycles\": {}, \
+         \"build_nanos\": {}, \"host_nanos\": {}, \"ns_per_cycle\": {}}}",
+        crate::json::string(&r.benchmark),
+        crate::json::string(&r.mode),
+        r.simulated_cycles,
+        r.build_nanos,
+        r.host_nanos,
+        crate::json::float(r.ns_per_cycle())
+    )
+}
+
+/// Closing of the harness artifact: ends the rows array and appends the
+/// totals computed over all rows. `ns_per_simulated_cycle` measures
+/// simulation dispatch only; the one-time preparation cost is the separate
+/// `total_build_seconds`.
+#[must_use]
+pub fn harnessperf_json_footer(rows: &[HarnessPerfRow]) -> String {
+    format!(
+        "\n  ],\n  \"speedup_vs_pre_pr\": {},\n  \"total_host_seconds\": {},\n  \
+         \"total_build_seconds\": {},\n  \"total_simulated_cycles\": {},\n  \
+         \"ns_per_simulated_cycle\": {}\n}}\n",
+        crate::json::float(PRE_PR_NS_PER_CYCLE / harness_ns_per_cycle(rows)),
+        crate::json::float(harness_total_seconds(rows)),
+        crate::json::float(harness_build_seconds(rows)),
+        rows.iter().map(|r| r.simulated_cycles).sum::<u64>(),
+        crate::json::float(harness_ns_per_cycle(rows))
+    )
+}
+
 /// Renders harness-perf rows as the `BENCH_harness.json` document through
-/// [`crate::json`] (names escaped, non-finite metrics → `null`).
+/// [`crate::json`] (names escaped, non-finite metrics → `null`) — the
+/// serial composition of the streaming header/row/footer pieces.
 #[must_use]
 pub fn harnessperf_json(rows: &[HarnessPerfRow], small: bool) -> String {
-    use std::fmt::Write as _;
-
-    let mut s = String::new();
-    s.push_str("{\n");
-    let _ = writeln!(s, "  \"figure\": \"harness\",");
-    let _ = writeln!(s, "  \"small\": {small},");
-    let _ = writeln!(
-        s,
-        "  \"pre_pr_total_host_seconds\": {},",
-        crate::json::float(PRE_PR_TOTAL_HOST_SECONDS)
-    );
-    let _ = writeln!(
-        s,
-        "  \"pre_pr_ns_per_simulated_cycle\": {},",
-        crate::json::float(PRE_PR_NS_PER_CYCLE)
-    );
-    let _ = writeln!(
-        s,
-        "  \"speedup_vs_pre_pr\": {},",
-        crate::json::float(PRE_PR_NS_PER_CYCLE / harness_ns_per_cycle(rows))
-    );
-    let _ = writeln!(
-        s,
-        "  \"total_host_seconds\": {},",
-        crate::json::float(harness_total_seconds(rows))
-    );
-    let _ = writeln!(
-        s,
-        "  \"total_simulated_cycles\": {},",
-        rows.iter().map(|r| r.simulated_cycles).sum::<u64>()
-    );
-    let _ = writeln!(
-        s,
-        "  \"ns_per_simulated_cycle\": {},",
-        crate::json::float(harness_ns_per_cycle(rows))
-    );
-    s.push_str("  \"rows\": [\n");
+    let mut s = harnessperf_json_header(small);
     for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        let _ = writeln!(
-            s,
-            "    {{\"benchmark\": {}, \"mode\": {}, \"simulated_cycles\": {}, \
-             \"host_nanos\": {}, \"ns_per_cycle\": {}}}{comma}",
-            crate::json::string(&r.benchmark),
-            crate::json::string(&r.mode),
-            r.simulated_cycles,
-            r.host_nanos,
-            crate::json::float(r.ns_per_cycle())
-        );
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&harnessperf_json_row(r));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str(&harnessperf_json_footer(rows));
     s
 }
 
@@ -615,20 +863,23 @@ pub fn harnessperf_json(rows: &[HarnessPerfRow], small: bool) -> String {
 pub fn format_harnessperf(rows: &[HarnessPerfRow]) -> String {
     let mut s = String::new();
     s.push_str("Harness performance — host cost per simulated cycle\n");
-    s.push_str("benchmark    mode        sim cycles      host ms   ns/cycle\n");
+    s.push_str("benchmark    mode        sim cycles   build ms    sim ms   ns/cycle\n");
     for r in rows {
         s.push_str(&format!(
-            "{:<12} {:<10} {:>12}  {:>9.2}  {:>9.1}\n",
+            "{:<12} {:<10} {:>12}  {:>9.2} {:>9.2}  {:>9.1}\n",
             r.benchmark,
             r.mode,
             r.simulated_cycles,
+            r.build_nanos as f64 / 1e6,
             r.host_nanos as f64 / 1e6,
             r.ns_per_cycle()
         ));
     }
     s.push_str(&format!(
-        "TOTAL: {:.3} host seconds, {:.1} ns per simulated cycle\n",
+        "TOTAL: {:.3} host seconds simulating (+{:.3} s one-time preparation), \
+         {:.1} ns per simulated cycle\n",
         harness_total_seconds(rows),
+        harness_build_seconds(rows),
         harness_ns_per_cycle(rows)
     ));
     s.push_str(&format!(
@@ -663,6 +914,100 @@ pub struct Table2Row {
     /// Loop hotness within the kernel function (loop instructions over all
     /// instructions of the kernel run).
     pub measured_kernel_fraction: f64,
+    /// Dependence-violation squashes of a 4-thread Spice run at exact word
+    /// granularity — the conflict-precision baseline. `None` when the
+    /// workload asserts [`ConflictPolicy::AssumeIndependent`] (no tracking
+    /// to coarsen).
+    ///
+    /// [`ConflictPolicy::AssumeIndependent`]: spice_ir::exec::ConflictPolicy
+    pub word_violations: Option<usize>,
+    /// The same run with conflict sets coarsened to 64-byte lines
+    /// ([`LINE_GRANULARITY_LOG2`]) — extra squashes over the word-granular
+    /// count are false conflicts from distinct words sharing a line.
+    pub line_violations: Option<usize>,
+}
+
+impl Table2Row {
+    /// Fraction of line-granular dependence violations that are false
+    /// conflicts: `(line - word) / line`. `None` without tracking, 0 when
+    /// the line-granular run saw no violations at all.
+    #[must_use]
+    pub fn false_conflict_rate(&self) -> Option<f64> {
+        let (word, line) = (self.word_violations?, self.line_violations?);
+        Some(line.saturating_sub(word) as f64 / line.max(1) as f64)
+    }
+}
+
+/// Conflict-set coarsening modelling 64-byte-line hardware detection:
+/// 8 words (2^3) per grain.
+pub const LINE_GRANULARITY_LOG2: u8 = 3;
+
+/// Dependence violations of a 4-thread Spice run of a fresh workload
+/// instance at the given conflict-set granularity (the reduced test machine
+/// when `small`) — the Table 2 conflict-precision probe, also dispatched as
+/// a standalone farm job. At word granularity and full size the probe's
+/// preparation is identical to the Figure 7 four-thread run's, so a farm
+/// sweep shares one decode between them.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn table2_probe(
+    factory: &WorkloadFactory,
+    small: bool,
+    granularity_log2: u8,
+) -> Result<usize, String> {
+    let prep = prepare_sweep(
+        factory,
+        SweepMode::Spice { threads: 4 },
+        small,
+        granularity_log2,
+    )?;
+    Ok(run_prepared_sweep(factory, &prep)?.dependence_violations)
+}
+
+/// The profiling portion of one Table 2 row: loop-instruction counts plus
+/// whole-program cycle attribution, with the conflict-probe columns left
+/// `None`. The farm runs this as one job per benchmark and fills the probe
+/// columns from separate probe jobs; the serial [`table2`] does both
+/// inline.
+///
+/// # Errors
+///
+/// Returns the first profiling failure.
+pub fn table2_hotness_row(factory: &WorkloadFactory, small: bool) -> Result<Table2Row, String> {
+    let mut wl = factory();
+    let built = wl.build();
+    let mut mem = spice_ir::interp::FlatMemory::for_program(&built.program, 1 << 22);
+    let args = wl.init(&mut mem);
+    let mut sys = LocalSys::new();
+    let report = measure_hotness(
+        &built.program,
+        built.kernel,
+        built.loop_header_hint,
+        &args,
+        &mut mem,
+        &mut sys,
+    )
+    .map_err(|e| e.to_string())?;
+    let config = if small {
+        MachineConfig::test_tiny(1)
+    } else {
+        MachineConfig::itanium2_cmp()
+    };
+    let mut cycle_wl = factory();
+    let cycles = measure_cycle_hotness(cycle_wl.as_mut(), config)?;
+    Ok(Table2Row {
+        benchmark: wl.name().to_string(),
+        description: wl.description().to_string(),
+        loop_name: wl.loop_name().to_string(),
+        paper_hotness: wl.paper_hotness(),
+        measured_hotness: cycles.fraction(),
+        measured_loop_instructions: report.loop_instructions,
+        measured_kernel_fraction: report.fraction(),
+        word_violations: None,
+        line_violations: None,
+    })
 }
 
 /// Reproduces Table 2: benchmark details. The `paper_hotness` column quotes
@@ -677,38 +1022,118 @@ pub struct Table2Row {
 pub fn table2(small: bool) -> Result<Vec<Table2Row>, String> {
     let mut rows = Vec::new();
     for (_, factory) in all_workload_factories(small) {
-        let mut wl = factory();
-        let built = wl.build();
-        let mut mem = spice_ir::interp::FlatMemory::for_program(&built.program, 1 << 22);
-        let args = wl.init(&mut mem);
-        let mut sys = LocalSys::new();
-        let report = measure_hotness(
-            &built.program,
-            built.kernel,
-            built.loop_header_hint,
-            &args,
-            &mut mem,
-            &mut sys,
-        )
-        .map_err(|e| e.to_string())?;
-        let config = if small {
-            MachineConfig::test_tiny(1)
-        } else {
-            MachineConfig::itanium2_cmp()
-        };
-        let mut cycle_wl = factory();
-        let cycles = measure_cycle_hotness(cycle_wl.as_mut(), config)?;
-        rows.push(Table2Row {
-            benchmark: wl.name().to_string(),
-            description: wl.description().to_string(),
-            loop_name: wl.loop_name().to_string(),
-            paper_hotness: wl.paper_hotness(),
-            measured_hotness: cycles.fraction(),
-            measured_loop_instructions: report.loop_instructions,
-            measured_kernel_fraction: report.fraction(),
-        });
+        let mut row = table2_hotness_row(&factory, small)?;
+        // Conflict-precision probe (the satellite column): the same loop
+        // under 4-thread Spice at word vs 64-byte-line conflict granularity.
+        if factory().conflict_policy().detects() {
+            row.word_violations = Some(table2_probe(&factory, small, 0)?);
+            row.line_violations = Some(table2_probe(&factory, small, LINE_GRANULARITY_LOG2)?);
+        }
+        rows.push(row);
     }
     Ok(rows)
+}
+
+/// Opening of the `BENCH_table2.json` document. Every value in this
+/// artifact is a deterministic count or fraction (no host timings), so a
+/// farm run at any `--jobs` produces the identical bytes.
+#[must_use]
+pub fn table2_json_header(small: bool) -> String {
+    format!(
+        "{{\n  \"figure\": \"table2\",\n  \"small\": {small},\n  \
+         \"line_granularity_log2\": {LINE_GRANULARITY_LOG2},\n  \"rows\": [\n"
+    )
+}
+
+/// One row of the Table 2 artifact (no separator, no trailing newline).
+#[must_use]
+pub fn table2_json_row(r: &Table2Row) -> String {
+    let opt = |v: Option<usize>| v.map_or_else(|| "null".to_string(), |n| n.to_string());
+    format!(
+        "    {{\"benchmark\": {}, \"loop\": {}, \"paper_hotness\": {}, \
+         \"measured_hotness\": {}, \"loop_instructions\": {}, \
+         \"kernel_fraction\": {}, \"word_violations\": {}, \
+         \"line_violations\": {}, \"false_conflict_rate\": {}}}",
+        crate::json::string(&r.benchmark),
+        crate::json::string(&r.loop_name),
+        crate::json::float(r.paper_hotness),
+        crate::json::float(r.measured_hotness),
+        r.measured_loop_instructions,
+        crate::json::float(r.measured_kernel_fraction),
+        opt(r.word_violations),
+        opt(r.line_violations),
+        r.false_conflict_rate()
+            .map_or_else(|| "null".to_string(), crate::json::float)
+    )
+}
+
+/// Closing of the Table 2 artifact.
+#[must_use]
+pub fn table2_json_footer() -> String {
+    "\n  ]\n}\n".to_string()
+}
+
+/// Renders Table 2 rows as the `BENCH_table2.json` document — the serial
+/// composition of the streaming header/row/footer pieces.
+#[must_use]
+pub fn table2_json(rows: &[Table2Row], small: bool) -> String {
+    let mut s = table2_json_header(small);
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&table2_json_row(r));
+    }
+    s.push_str(&table2_json_footer());
+    s
+}
+
+/// Renders Table 2 as the text table the `table2` and `farm` binaries print.
+#[must_use]
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::from("Table 2 — benchmark details\n");
+    s.push_str(&format!(
+        "{:<12} {:<38} {:<30} {:>8} {:>9} {:>14} {:>10} {:>11} {:>11} {:>10}\n",
+        "benchmark",
+        "description",
+        "loop",
+        "paper",
+        "measured",
+        "loop insts/inv",
+        "kernel frac",
+        "word viol.",
+        "line viol.",
+        "false conf"
+    ));
+    for r in rows {
+        let opt = |v: Option<usize>| v.map_or("-".to_string(), |n| n.to_string());
+        let rate = r
+            .false_conflict_rate()
+            .map_or("-".to_string(), |f| format!("{:.1}%", f * 100.0));
+        s.push_str(&format!(
+            "{:<12} {:<38} {:<30} {:>7.0}% {:>8.1}% {:>14} {:>9.1}% {:>11} {:>11} {:>10}\n",
+            r.benchmark,
+            r.description,
+            r.loop_name,
+            r.paper_hotness * 100.0,
+            r.measured_hotness * 100.0,
+            r.measured_loop_instructions,
+            r.measured_kernel_fraction * 100.0,
+            opt(r.word_violations),
+            opt(r.line_violations),
+            rate
+        ));
+    }
+    s.push_str(
+        "\n(paper column: whole-application fraction reported by the paper, for comparison;\n \
+         measured column: profiler cycle attribution over the whole program — for the\n \
+         kernel drivers that program is just the kernel, for mcf_app it is a miniature\n \
+         network-simplex application. See DESIGN.md §3.5. The violation columns probe\n \
+         conflict-detection precision: dependence squashes of a 4-thread Spice run with\n \
+         word-granular vs 64-byte-line-granular conflict sets; the false-conflict rate\n \
+         is the share of line-granular squashes the coarsening invented.)\n",
+    );
+    s
 }
 
 /// One benchmark's bar of the Figure 8 reproduction.
@@ -984,15 +1409,16 @@ pub struct AblationRow {
 ///
 /// Returns the first failure encountered.
 pub fn ablation(small: bool) -> Result<Vec<AblationRow>, String> {
-    let make = || {
-        OtterWorkload::new(OtterConfig {
-            initial_len: if small { 80 } else { 500 },
-            inserts_per_invocation: 5,
-            invocations: if small { 10 } else { 200 },
-            seed: 0xab1a,
-        })
-    };
-    let variants: Vec<(&str, PredictorOptions)> = vec![
+    (0..ablation_variants().len())
+        .map(|i| ablation_variant_row(small, i))
+        .collect()
+}
+
+/// The predictor-configuration variants the ablation compares, in row
+/// order.
+#[must_use]
+pub fn ablation_variants() -> Vec<(&'static str, PredictorOptions)> {
+    vec![
         (
             "re-memoize + load balance (paper)",
             PredictorOptions::default(),
@@ -1011,20 +1437,55 @@ pub fn ablation(small: bool) -> Result<Vec<AblationRow>, String> {
                 ..PredictorOptions::default()
             },
         ),
-    ];
-    let mut rows = Vec::new();
-    for (name, mut opts) in variants {
-        let mut wl = make();
-        opts.initial_work_estimate = Some(wl.expected_iterations());
-        let result = run_workload_spice(&mut wl, 4, opts)?;
-        rows.push(AblationRow {
-            variant: name.to_string(),
-            cycles: result.cycles,
-            misspeculation_rate: result.misspeculation_rate,
-            load_imbalance: result.load_imbalance,
-        });
+    ]
+}
+
+/// One ablation variant as a standalone unit of work — the granularity the
+/// farm dispatches.
+///
+/// # Errors
+///
+/// Returns the first simulation failure.
+pub fn ablation_variant_row(small: bool, variant: usize) -> Result<AblationRow, String> {
+    let (name, mut opts) = ablation_variants()
+        .into_iter()
+        .nth(variant)
+        .ok_or_else(|| format!("no ablation variant {variant}"))?;
+    let mut wl = OtterWorkload::new(OtterConfig {
+        initial_len: if small { 80 } else { 500 },
+        inserts_per_invocation: 5,
+        invocations: if small { 10 } else { 200 },
+        seed: 0xab1a,
+    });
+    opts.initial_work_estimate = Some(wl.expected_iterations());
+    let result = run_workload_spice(&mut wl, 4, opts)?;
+    Ok(AblationRow {
+        variant: name.to_string(),
+        cycles: result.cycles,
+        misspeculation_rate: result.misspeculation_rate,
+        load_imbalance: result.load_imbalance,
+    })
+}
+
+/// Renders the ablation as the text table the `ablation` and `farm`
+/// binaries print.
+#[must_use]
+pub fn format_ablation(rows: &[AblationRow]) -> String {
+    let mut s = String::from("Predictor ablation — otter, 4 threads\n");
+    s.push_str(&format!(
+        "{:<36} {:>14} {:>9} {:>10}\n",
+        "variant", "cycles", "misspec", "imbalance"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<36} {:>14} {:>8.1}% {:>10.3}\n",
+            r.variant,
+            r.cycles,
+            r.misspeculation_rate * 100.0,
+            r.load_imbalance
+        ));
     }
-    Ok(rows)
+    s
 }
 
 #[cfg(test)]

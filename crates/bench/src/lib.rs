@@ -10,15 +10,32 @@
 //! | Figure 7 (loop speedups) | `cargo run -p spice-bench --bin fig7` | [`experiments::fig7`] |
 //! | Figure 8 (predictability) | `cargo run -p spice-bench --bin fig8` | [`experiments::fig8`] |
 //! | Ablations (§4/§5 discussion) | `cargo run -p spice-bench --bin ablation` | [`experiments::ablation`] |
+//! | Whole evaluation, in parallel | `cargo run -p spice-bench --bin farm` | [`farm_driver::run_manifest`] |
 //!
 //! Pass `--small` to any binary for a fast, reduced-size run (used by CI and
-//! the crate's own tests).
+//! the crate's own tests). The figure binaries are thin wrappers over the
+//! simulation farm ([`farm_driver`]): the same jobs, run on a work-stealing
+//! pool sized by `--jobs` (default: host parallelism), with artifacts
+//! streamed in deterministic job order so bytes never depend on scheduling.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod farm_driver;
 pub mod json;
+
+/// Returns the `--jobs N` argument (worker threads), or 0 meaning "size to
+/// the host's parallelism".
+#[must_use]
+pub fn jobs_requested() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
 
 /// Returns `true` when the process arguments request a reduced-size run.
 #[must_use]

@@ -14,10 +14,9 @@ use spice_ir::{FuncId, Program};
 use spice_runtime::NativeLoopBackend;
 use spice_sim::{Machine, MachineConfig};
 
-use crate::analysis::LoopAnalysis;
 use crate::pipeline::{PipelineError, SpiceRunner};
 use crate::predictor::PredictorOptions;
-use crate::transform::{SpiceOptions, SpiceTransform};
+use crate::prepared::PreparedProgram;
 
 /// The timing-simulator execution backend: analysis + transformation +
 /// cycle-stepped simulation, carrying the centralized predictor across
@@ -82,6 +81,43 @@ impl SimBackend {
         self
     }
 
+    /// A backend already loaded from a shared preparation — the sweep path:
+    /// the preparation is built once, and every job instantiates its own
+    /// machine and runner over the shared decoded program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` is not a Spice preparation
+    /// ([`PreparedProgram::spice`]).
+    #[must_use]
+    pub fn from_prepared(prepared: &PreparedProgram) -> Self {
+        let mut backend = SimBackend {
+            config: prepared.config().clone(),
+            threads: prepared.threads(),
+            predictor: PredictorOptions::default(),
+            loaded: None,
+        };
+        backend.load_prepared(prepared);
+        backend
+    }
+
+    /// Loads this backend from a shared preparation (see
+    /// [`SimBackend::from_prepared`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prepared` is not a Spice preparation.
+    pub fn load_prepared(&mut self, prepared: &PreparedProgram) {
+        // The runner exempts the predictor-array range from conflict
+        // detection on every invocation (see `SpiceRunner::run_invocation`).
+        let machine = prepared.machine();
+        let runner = prepared
+            .runner()
+            .expect("load_prepared needs a Spice preparation");
+        self.threads = prepared.threads();
+        self.loaded = Some(SimLoaded { machine, runner });
+    }
+
     /// The runner driving the loaded program, for stats inspection.
     #[must_use]
     pub fn runner(&self) -> Option<&SpiceRunner> {
@@ -108,42 +144,23 @@ impl ExecutionBackend for SimBackend {
 
     fn load(
         &mut self,
-        mut program: Program,
+        program: Program,
         kernel: FuncId,
         options: LoadOptions,
     ) -> Result<(), BackendError> {
-        let analysis = match options.loop_header {
-            Some(h) => LoopAnalysis::analyze(&program, kernel, h),
-            None => LoopAnalysis::analyze_outermost(&program, kernel),
-        }
-        .map_err(|e| BackendError::Analysis(e.to_string()))?;
-        let mut predictor = self.predictor;
-        if predictor.initial_work_estimate.is_none() {
-            predictor.initial_work_estimate = options.work_estimate;
-        }
-        let spice = SpiceTransform::new(SpiceOptions {
-            threads: self.threads,
-            predictor,
-            conflict_policy: options.conflict_policy,
-        })
-        .apply(&mut program, &analysis)
-        .map_err(|e| BackendError::Analysis(e.to_string()))?;
-        // The machine's memory is sized by the program's globals plus the
-        // larger of the machine's own heap reservation and the one the
-        // caller requested — so both backends honor `LoadOptions::heap_words`
-        // and a workload cannot fit on one substrate but not the other.
-        let mut config = self.config.clone().with_cores(self.threads);
-        config.heap_words = config.heap_words.max(options.heap_words);
-        // The machine's conflict detection backs the generated `spec.check`
-        // instructions; skip the tracking entirely when the policy asserts
-        // independence (the checks are not emitted either).
-        config.conflict_detection = options.conflict_policy.detects();
-        let config = config;
-        // The runner exempts the predictor-array range from conflict
-        // detection on every invocation (see `SpiceRunner::run_invocation`).
-        let machine = Machine::new(config, program);
-        let runner = SpiceRunner::new(spice);
-        self.loaded = Some(SimLoaded { machine, runner });
+        // One preparation logic for every caller: a direct `load` builds a
+        // PreparedProgram and instantiates it once; a sweep builds the same
+        // PreparedProgram once and instantiates it per job — so the two
+        // paths cannot drift apart.
+        let prepared = PreparedProgram::spice(
+            self.config.clone(),
+            self.threads,
+            self.predictor,
+            program,
+            kernel,
+            options,
+        )?;
+        self.load_prepared(&prepared);
         Ok(())
     }
 

@@ -86,6 +86,7 @@ pub mod backend;
 pub mod baseline;
 pub mod pipeline;
 pub mod predictor;
+pub mod prepared;
 pub mod transform;
 pub mod valuepred;
 
@@ -93,4 +94,5 @@ pub use analysis::{Applicability, LoopAnalysis};
 pub use backend::{make_backend, make_backend_with, BackendChoice, SimBackend};
 pub use pipeline::{run_sequential, InvocationReport, PipelineError, SpiceRunner};
 pub use predictor::{Assignment, PredictorLayout, PredictorOptions};
+pub use prepared::PreparedProgram;
 pub use transform::{SpiceOptions, SpiceParallelLoop, SpiceTransform, TransformError};

@@ -1,0 +1,328 @@
+//! `spice-farm`: a work-stealing parallel job engine for simulation sweeps.
+//!
+//! The bench binaries run hundreds of independent simulations (one per
+//! workload × size × thread count × seed). This crate turns that sweep into
+//! jobs on a work-stealing pool of `std::thread` workers while keeping the
+//! one property a benchmark artifact cannot lose: **output is a pure
+//! function of the job list, never of completion order**.
+//!
+//! Three pieces provide that:
+//!
+//! * [`Job`] / [`JobResult`] — every job carries a caller-assigned
+//!   deterministic id. Results are delivered to the caller's sink strictly
+//!   in ascending id order, whatever order workers finish in, so a
+//!   streaming writer produces byte-identical artifacts at `--jobs 1` and
+//!   `--jobs N`.
+//! * a work-stealing scheduler ([`steal::TaskPool`]) — per-worker deques
+//!   seeded round-robin plus a global injector; idle workers steal the
+//!   oldest task of the most loaded peer. No external crates.
+//! * [`PreparedCache`] — a build-once, string-keyed cache so expensive
+//!   immutable state (decoded programs, initial memory images) is built
+//!   exactly once and shared by `Arc` across all jobs, with build time
+//!   accounted separately from simulate time.
+//!
+//! The engine is deliberately generic: it does not know what a simulation
+//! is. `spice-bench` supplies the domain model (job specs, manifests,
+//! artifact writers) on top.
+
+mod cache;
+pub mod steal;
+
+pub use cache::{CacheStats, PreparedCache};
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use steal::{Task, TaskPool};
+
+/// One schedulable unit of a sweep.
+///
+/// The `id` is assigned by the caller and must be unique within one
+/// [`run_jobs`] call; it fixes the delivery order of results. Use a
+/// deterministic enumeration of the sweep (manifest order) so artifacts
+/// never depend on scheduling.
+pub struct Job<T> {
+    /// Caller-assigned unique id; results are sunk in ascending id order.
+    pub id: u64,
+    /// Human-readable tag carried into the [`JobResult`] (e.g.
+    /// `"fig7/ks/t4"`).
+    pub label: String,
+    /// The work. Runs on some worker thread exactly once; a panic is caught
+    /// and reported as an `Err` outcome instead of tearing the sweep down.
+    pub work: Box<dyn FnOnce() -> Result<T, String> + Send>,
+}
+
+impl<T> Job<T> {
+    /// Convenience constructor boxing the work closure.
+    pub fn new(
+        id: u64,
+        label: impl Into<String>,
+        work: impl FnOnce() -> Result<T, String> + Send + 'static,
+    ) -> Self {
+        Job {
+            id,
+            label: label.into(),
+            work: Box::new(work),
+        }
+    }
+}
+
+/// Outcome of one [`Job`], delivered to the sink in id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult<T> {
+    /// The id the job was submitted with.
+    pub id: u64,
+    /// The label the job was submitted with.
+    pub label: String,
+    /// Wall nanoseconds the job's work closure ran for on its worker.
+    pub host_nanos: u128,
+    /// The job's value, or its error / panic message.
+    pub outcome: Result<T, String>,
+}
+
+/// Aggregate accounting for one [`run_jobs`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Jobs submitted (and delivered — every job yields exactly one result).
+    pub jobs: usize,
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// Jobs whose outcome was `Err` (including caught panics).
+    pub failures: usize,
+    /// Sum of per-job `host_nanos` — total compute, independent of overlap.
+    pub total_job_nanos: u128,
+    /// Wall nanoseconds from first spawn to last delivery.
+    pub wall_nanos: u128,
+}
+
+/// Resolves a requested worker count: `0` means "size to the host".
+#[must_use]
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `jobs` on `workers` threads (0 = host parallelism), streaming each
+/// [`JobResult`] into `sink` **strictly in ascending job id order** as jobs
+/// retire. The sink runs on the calling thread; a result that finishes out
+/// of order is buffered until every smaller id has been delivered.
+///
+/// Worker panics inside a job are caught and surfaced as `Err` outcomes;
+/// the sweep always delivers exactly one result per job.
+///
+/// # Panics
+///
+/// Panics if two jobs share an id — delivery order would be ambiguous.
+pub fn run_jobs<T: Send + 'static>(
+    jobs: Vec<Job<T>>,
+    workers: usize,
+    mut sink: impl FnMut(JobResult<T>),
+) -> FarmStats {
+    let started = Instant::now();
+    let total = jobs.len();
+    let workers = resolve_workers(workers).min(total.max(1));
+
+    // The delivery schedule: ascending ids, fixed before anything runs.
+    let mut order: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+    order.sort_unstable();
+    assert!(
+        order.windows(2).all(|w| w[0] != w[1]),
+        "duplicate job id in farm submission"
+    );
+
+    let (tx, rx) = mpsc::channel::<JobResult<T>>();
+    let tasks: Vec<Task> = jobs
+        .into_iter()
+        .map(|job| {
+            let tx = tx.clone();
+            let Job { id, label, work } = job;
+            Box::new(move || {
+                let job_started = Instant::now();
+                let outcome = match catch_unwind(AssertUnwindSafe(work)) {
+                    Ok(result) => result,
+                    Err(payload) => Err(panic_message(payload.as_ref())),
+                };
+                let result = JobResult {
+                    id,
+                    label,
+                    host_nanos: job_started.elapsed().as_nanos(),
+                    outcome,
+                };
+                // The receiver outlives the pool; a send failure means the
+                // caller thread died, and unwinding here is the right answer.
+                tx.send(result).expect("farm result channel closed");
+            }) as Task
+        })
+        .collect();
+    drop(tx);
+
+    let pool = TaskPool::seeded(workers, tasks);
+    let mut failures = 0usize;
+    let mut total_job_nanos = 0u128;
+
+    std::thread::scope(|scope| {
+        for w in 0..pool.workers() {
+            let pool = &pool;
+            scope.spawn(move || {
+                while let Some(task) = pool.claim(w) {
+                    task();
+                }
+            });
+        }
+
+        // Reorder on the caller thread: buffer out-of-order arrivals, flush
+        // the sink whenever the next expected id is available.
+        let mut pending: HashMap<u64, JobResult<T>> = HashMap::new();
+        let mut next = 0usize;
+        for result in rx {
+            total_job_nanos += result.host_nanos;
+            if result.outcome.is_err() {
+                failures += 1;
+            }
+            pending.insert(result.id, result);
+            while next < order.len() {
+                let Some(ready) = pending.remove(&order[next]) else {
+                    break;
+                };
+                sink(ready);
+                next += 1;
+            }
+        }
+        assert!(pending.is_empty(), "farm lost a job result");
+    });
+
+    FarmStats {
+        jobs: total,
+        workers,
+        failures,
+        total_job_nanos,
+        wall_nanos: started.elapsed().as_nanos(),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn sweep(n: u64) -> Vec<Job<u64>> {
+        (0..n)
+            .map(|i| Job::new(i, format!("job{i}"), move || Ok(i * i)))
+            .collect()
+    }
+
+    #[test]
+    fn results_arrive_in_id_order_regardless_of_worker_count() {
+        for workers in [1, 2, 4, 7] {
+            let mut seen = Vec::new();
+            let stats = run_jobs(sweep(23), workers, |r| {
+                seen.push((r.id, r.outcome.unwrap()));
+            });
+            let expect: Vec<(u64, u64)> = (0..23).map(|i| (i, i * i)).collect();
+            assert_eq!(seen, expect, "workers={workers}");
+            assert_eq!(stats.jobs, 23);
+            assert_eq!(stats.failures, 0);
+            assert!(stats.workers <= 23);
+        }
+    }
+
+    #[test]
+    fn id_order_holds_even_when_early_ids_finish_last() {
+        // Job 0 sleeps; its result must still be sunk first.
+        let jobs: Vec<Job<&'static str>> = vec![
+            Job::new(0, "slow", || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Ok("slow")
+            }),
+            Job::new(1, "fast", || Ok("fast")),
+            Job::new(2, "faster", || Ok("faster")),
+        ];
+        let mut labels = Vec::new();
+        run_jobs(jobs, 3, |r| labels.push(r.label));
+        assert_eq!(labels, ["slow", "fast", "faster"]);
+    }
+
+    #[test]
+    fn sparse_and_unsorted_ids_deliver_ascending() {
+        let jobs: Vec<Job<u64>> = [40u64, 7, 19]
+            .into_iter()
+            .map(|id| Job::new(id, id.to_string(), move || Ok(id)))
+            .collect();
+        let mut ids = Vec::new();
+        run_jobs(jobs, 2, |r| ids.push(r.id));
+        assert_eq!(ids, [7, 19, 40]);
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_an_err_and_the_sweep_survives() {
+        let jobs: Vec<Job<u32>> = vec![
+            Job::new(0, "ok", || Ok(1)),
+            Job::new(1, "boom", || panic!("deliberate test panic")),
+            Job::new(2, "err", || Err("plain error".to_string())),
+            Job::new(3, "ok2", || Ok(4)),
+        ];
+        let mut outcomes = Vec::new();
+        let stats = run_jobs(jobs, 2, |r| outcomes.push(r.outcome));
+        assert_eq!(stats.failures, 2);
+        assert_eq!(outcomes[0], Ok(1));
+        assert_eq!(
+            outcomes[1],
+            Err("job panicked: deliberate test panic".to_string())
+        );
+        assert_eq!(outcomes[2], Err("plain error".to_string()));
+        assert_eq!(outcomes[3], Ok(4));
+    }
+
+    #[test]
+    fn all_workers_participate_under_load() {
+        // 64 jobs that each record their thread; with 4 workers and jobs
+        // long enough to overlap, more than one distinct thread must run.
+        let distinct = Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let jobs: Vec<Job<()>> = (0..64)
+            .map(|i| {
+                let distinct = Arc::clone(&distinct);
+                Job::new(i, format!("j{i}"), move || {
+                    distinct.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    Ok(())
+                })
+            })
+            .collect();
+        let stats = run_jobs(jobs, 4, |_| {});
+        assert_eq!(stats.workers, 4);
+        // On a single-core host the scheduler may still serialize onto one
+        // thread; only assert when the host can actually overlap.
+        if std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) >= 2 {
+            assert!(distinct.lock().unwrap().len() >= 2);
+        }
+        assert!(stats.total_job_nanos > 0);
+        assert!(stats.wall_nanos > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate job id")]
+    fn duplicate_ids_are_rejected() {
+        let jobs: Vec<Job<u32>> = vec![Job::new(3, "a", || Ok(0)), Job::new(3, "b", || Ok(0))];
+        run_jobs(jobs, 1, |_| {});
+    }
+
+    #[test]
+    fn resolve_workers_contract() {
+        assert_eq!(resolve_workers(5), 5);
+        assert!(resolve_workers(0) >= 1);
+    }
+}

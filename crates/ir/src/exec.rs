@@ -350,6 +350,13 @@ pub struct LoadOptions {
     /// violating chunks; [`ConflictPolicy::AssumeIndependent`] skips all
     /// tracking for loops known to carry no cross-chunk memory flow.
     pub conflict_policy: ConflictPolicy,
+    /// Conflict-detection granularity as a power-of-two word count: every
+    /// tracked address is coarsened to a `2^conflict_granularity_log2`-word
+    /// grain before the read/write-set comparison. `0` (the default) is
+    /// exact word granularity; `3` models 64-byte-line hardware detection,
+    /// which trades set size for false conflicts between distinct words
+    /// sharing a line.
+    pub conflict_granularity_log2: u8,
 }
 
 impl LoadOptions {
@@ -361,6 +368,7 @@ impl LoadOptions {
             loop_header: None,
             work_estimate,
             conflict_policy: ConflictPolicy::default(),
+            conflict_granularity_log2: 0,
         }
     }
 
@@ -368,6 +376,14 @@ impl LoadOptions {
     #[must_use]
     pub fn with_conflict_policy(mut self, policy: ConflictPolicy) -> Self {
         self.conflict_policy = policy;
+        self
+    }
+
+    /// The same options with a conflict-detection granularity (power-of-two
+    /// words per grain; `0` = exact words, `3` = 64-byte lines).
+    #[must_use]
+    pub fn with_conflict_granularity_log2(mut self, granularity_log2: u8) -> Self {
+        self.conflict_granularity_log2 = granularity_log2;
         self
     }
 }

@@ -48,15 +48,21 @@ const PAGE_WORDS: i64 = 64;
 pub struct AccessSet {
     pages: DenseMap<u64>,
     len: usize,
-    /// Coarse `[lo, hi]` address span, for an O(1) disjointness fast-path.
+    /// Coarse `[lo, hi]` grain span, for an O(1) disjointness fast-path.
     span: Option<(i64, i64)>,
+    /// Tracking granularity: addresses are coarsened to `2^granularity_log2`
+    /// -word grains before insertion, so two distinct words in one grain
+    /// alias (a deliberate false conflict, modelling line- or sector-granular
+    /// hardware detection). `0` is exact word granularity.
+    granularity_log2: u8,
 }
 
 impl PartialEq for AccessSet {
     fn eq(&self, other: &Self) -> bool {
         // Set equality over contents; the page tables' probe layouts and
         // insertion orders are representation detail.
-        self.len == other.len
+        self.granularity_log2 == other.granularity_log2
+            && self.len == other.len
             && self.pages.entries().len() == other.pages.entries().len()
             && self
                 .pages
@@ -69,13 +75,31 @@ impl PartialEq for AccessSet {
 impl Eq for AccessSet {}
 
 impl AccessSet {
-    /// Creates an empty set.
+    /// Creates an empty set at exact word granularity.
     #[must_use]
     pub fn new() -> Self {
         AccessSet::default()
     }
 
-    /// Number of distinct word addresses in the set.
+    /// Creates an empty set that coarsens every address to a
+    /// `2^granularity_log2`-word grain. `0` is exact word granularity; `3`
+    /// models a 64-byte (8-word) detection line.
+    #[must_use]
+    pub fn with_granularity(granularity_log2: u8) -> Self {
+        AccessSet {
+            granularity_log2,
+            ..AccessSet::default()
+        }
+    }
+
+    /// The coarsening factor this set was built with.
+    #[must_use]
+    pub fn granularity_log2(&self) -> u8 {
+        self.granularity_log2
+    }
+
+    /// Number of distinct grains in the set (word addresses when the
+    /// granularity is 0).
     #[must_use]
     pub fn len(&self) -> usize {
         self.len
@@ -87,17 +111,27 @@ impl AccessSet {
         self.len == 0
     }
 
-    fn page_of(addr: i64) -> (i64, u64) {
+    /// Coarsens a word address to this set's grain. Arithmetic right shift
+    /// is floor division by the power-of-two grain size, so negative
+    /// addresses coarsen consistently with `div_euclid`.
+    #[inline]
+    fn grain_of(&self, addr: i64) -> i64 {
+        addr >> self.granularity_log2
+    }
+
+    fn page_of(grain: i64) -> (i64, u64) {
         (
-            addr.div_euclid(PAGE_WORDS),
-            1u64 << addr.rem_euclid(PAGE_WORDS),
+            grain.div_euclid(PAGE_WORDS),
+            1u64 << grain.rem_euclid(PAGE_WORDS),
         )
     }
 
-    /// Inserts a word address. Returns `true` if it was not already present.
+    /// Inserts a word address (coarsened to this set's grain). Returns
+    /// `true` if its grain was not already present.
     #[inline]
     pub fn insert(&mut self, addr: i64) -> bool {
-        let (page, bit) = Self::page_of(addr);
+        let grain = self.grain_of(addr);
+        let (page, bit) = Self::page_of(grain);
         let slot = self.pages.entry_or(page, 0);
         if *slot & bit != 0 {
             return false;
@@ -105,8 +139,8 @@ impl AccessSet {
         *slot |= bit;
         self.len += 1;
         self.span = Some(match self.span {
-            None => (addr, addr),
-            Some((lo, hi)) => (lo.min(addr), hi.max(addr)),
+            None => (grain, grain),
+            Some((lo, hi)) => (lo.min(grain), hi.max(grain)),
         });
         true
     }
@@ -118,11 +152,11 @@ impl AccessSet {
         }
     }
 
-    /// Whether `addr` is in the set.
+    /// Whether `addr`'s grain is in the set.
     #[must_use]
     #[inline]
     pub fn contains(&self, addr: i64) -> bool {
-        let (page, bit) = Self::page_of(addr);
+        let (page, bit) = Self::page_of(self.grain_of(addr));
         self.pages.get(page).is_some_and(|slot| slot & bit != 0)
     }
 
@@ -140,6 +174,10 @@ impl AccessSet {
         // unordered, so every overlapping page is inspected and the minimum
         // shared address is taken — the witness stays the smallest one, as
         // the ordered walk used to guarantee.
+        debug_assert_eq!(
+            self.granularity_log2, other.granularity_log2,
+            "intersecting sets of different granularity is meaningless"
+        );
         let (a, b) = (self.span?, other.span?);
         if a.1 < b.0 || b.1 < a.0 {
             return None;
@@ -154,15 +192,17 @@ impl AccessSet {
             if let Some(other_bits) = large.get(page) {
                 let both = bits & other_bits;
                 if both != 0 {
-                    let addr = page * PAGE_WORDS + i64::from(both.trailing_zeros());
+                    let grain = page * PAGE_WORDS + i64::from(both.trailing_zeros());
                     best = Some(match best {
-                        None => addr,
-                        Some(b) => b.min(addr),
+                        None => grain,
+                        Some(b) => b.min(grain),
                     });
                 }
             }
         }
-        best
+        // Report the witness as the grain's lowest word address, so squash
+        // diagnostics stay in address space whatever the coarsening.
+        best.map(|grain| grain << self.granularity_log2)
     }
 
     /// Removes every address, recycling the set (and its page-table storage)
@@ -173,16 +213,18 @@ impl AccessSet {
         self.span = None;
     }
 
-    /// Iterates the word addresses in ascending order. (Sorts a snapshot of
-    /// the page keys; diagnostics and tests only — the hot paths never
-    /// enumerate a set.)
+    /// Iterates the grains in ascending order, each as its lowest word
+    /// address (the word addresses themselves at granularity 0). (Sorts a
+    /// snapshot of the page keys; diagnostics and tests only — the hot paths
+    /// never enumerate a set.)
     pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let shift = self.granularity_log2;
         let mut pages: Vec<(i64, u64)> = self.pages.entries().to_vec();
         pages.sort_unstable_by_key(|&(page, _)| page);
-        pages.into_iter().flat_map(|(page, bits)| {
+        pages.into_iter().flat_map(move |(page, bits)| {
             (0..PAGE_WORDS).filter_map(move |i| {
                 if bits & (1u64 << i) != 0 {
-                    Some(page * PAGE_WORDS + i)
+                    Some((page * PAGE_WORDS + i) << shift)
                 } else {
                     None
                 }
@@ -361,6 +403,38 @@ mod tests {
         assert!(s.contains(-1) && s.contains(-64));
         assert!(!s.contains(-2));
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![-64, -1]);
+    }
+
+    /// Line-granular coarsening: distinct words inside one grain alias (the
+    /// modelled false conflict), grain-adjacent words do not, the witness is
+    /// the grain base address, and negative addresses coarsen by floor
+    /// division so the grain at the origin is not double-width.
+    #[test]
+    fn coarsened_grains_alias_within_a_line() {
+        let mut a = AccessSet::with_granularity(3);
+        let mut b = AccessSet::with_granularity(3);
+        assert_eq!(a.granularity_log2(), 3);
+        a.insert(17); // grain 2 = words [16, 24)
+        assert!(a.contains(23), "same 8-word grain aliases");
+        assert!(!a.contains(24), "next grain does not");
+        assert!(!a.insert(22), "grain already present");
+        assert_eq!(a.len(), 1);
+        b.insert(16);
+        assert_eq!(a.first_overlap(&b), Some(16), "witness is the grain base");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![16]);
+
+        // Floor coarsening across zero: words -8..0 share one grain, and
+        // -1 does not alias 0.
+        let mut n = AccessSet::with_granularity(3);
+        n.insert(-1);
+        assert!(n.contains(-8) && !n.contains(0) && !n.contains(-9));
+        assert_eq!(n.iter().collect::<Vec<_>>(), vec![-8]);
+        n.clear();
+        assert_eq!(n.granularity_log2(), 3, "clear keeps the granularity");
+
+        // Granularity 0 keeps today's exact-word behaviour.
+        let exact = AccessSet::new();
+        assert_eq!(exact.granularity_log2(), 0);
     }
 
     #[test]

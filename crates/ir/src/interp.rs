@@ -383,32 +383,87 @@ pub enum StepEvent {
     Finished(Option<i64>),
 }
 
-/// Timing-relevant description of a retired instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecInfo {
-    /// Functional-unit class.
-    pub class: InstClass,
-    /// Word address touched, for loads and stores.
-    pub mem_addr: Option<i64>,
-    /// For branches: whether the branch was taken.
-    pub branch_taken: Option<bool>,
-}
+/// Timing-relevant description of a retired instruction, packed into a
+/// single machine word so the per-step return of the decoded-dispatch hot
+/// path is one register wide:
+///
+/// ```text
+/// bits 0..=3   functional-unit class ([`InstClass::index`], < 16)
+/// bit  4       a memory word address is attached (loads and stores)
+/// bit  5       a branch direction is attached (control transfers)
+/// bit  6       the branch was taken (valid only when bit 5 is set)
+/// bits 8..=63  signed word address payload (valid only when bit 4 is set)
+/// ```
+///
+/// Word addresses are indices into a [`FlatMemory`], far below the 56-bit
+/// payload capacity; the `mem` constructor debug-asserts the round trip.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ExecInfo(u64);
 
 impl ExecInfo {
-    fn plain(class: InstClass) -> Self {
-        ExecInfo {
-            class,
-            mem_addr: None,
-            branch_taken: None,
-        }
+    const CLASS_MASK: u64 = 0xf;
+    const HAS_MEM: u64 = 1 << 4;
+    const HAS_BRANCH: u64 = 1 << 5;
+    const BRANCH_TAKEN: u64 = 1 << 6;
+    const ADDR_SHIFT: u32 = 8;
+
+    /// An instruction that touches neither memory nor control flow.
+    #[must_use]
+    #[inline]
+    pub fn plain(class: InstClass) -> Self {
+        ExecInfo(class.index() as u64)
     }
 
-    fn branch(taken: bool) -> Self {
-        ExecInfo {
-            class: InstClass::Branch,
-            mem_addr: None,
-            branch_taken: Some(taken),
-        }
+    /// A load or store that touched word address `addr`.
+    #[must_use]
+    #[inline]
+    pub fn mem(class: InstClass, addr: i64) -> Self {
+        let packed =
+            ExecInfo(class.index() as u64 | Self::HAS_MEM | ((addr as u64) << Self::ADDR_SHIFT));
+        debug_assert_eq!(packed.mem_addr(), Some(addr), "address payload overflow");
+        packed
+    }
+
+    /// A control transfer with its resolved direction.
+    #[must_use]
+    #[inline]
+    pub fn branch(taken: bool) -> Self {
+        ExecInfo(
+            InstClass::Branch.index() as u64
+                | Self::HAS_BRANCH
+                | if taken { Self::BRANCH_TAKEN } else { 0 },
+        )
+    }
+
+    /// Functional-unit class.
+    #[must_use]
+    #[inline]
+    pub fn class(self) -> InstClass {
+        InstClass::ALL[(self.0 & Self::CLASS_MASK) as usize]
+    }
+
+    /// Word address touched, for loads and stores.
+    #[must_use]
+    #[inline]
+    pub fn mem_addr(self) -> Option<i64> {
+        (self.0 & Self::HAS_MEM != 0).then_some((self.0 as i64) >> Self::ADDR_SHIFT)
+    }
+
+    /// For branches: whether the branch was taken.
+    #[must_use]
+    #[inline]
+    pub fn branch_taken(self) -> Option<bool> {
+        (self.0 & Self::HAS_BRANCH != 0).then_some(self.0 & Self::BRANCH_TAKEN != 0)
+    }
+}
+
+impl std::fmt::Debug for ExecInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecInfo")
+            .field("class", &self.class())
+            .field("mem_addr", &self.mem_addr())
+            .field("branch_taken", &self.branch_taken())
+            .finish()
     }
 }
 
@@ -636,11 +691,7 @@ impl ThreadState {
                 self.regs[*dst as usize] = v;
                 self.pc = pc + 1;
                 self.retired += 1;
-                Ok(StepEvent::Executed(ExecInfo {
-                    class: InstClass::Load,
-                    mem_addr: Some(a),
-                    branch_taken: None,
-                }))
+                Ok(StepEvent::Executed(ExecInfo::mem(InstClass::Load, a)))
             }
             DInst::Store { src, addr, offset } => {
                 let a = self.operand(*addr) + offset;
@@ -649,11 +700,7 @@ impl ThreadState {
                 }
                 self.pc = pc + 1;
                 self.retired += 1;
-                Ok(StepEvent::Executed(ExecInfo {
-                    class: InstClass::Store,
-                    mem_addr: Some(a),
-                    branch_taken: None,
-                }))
+                Ok(StepEvent::Executed(ExecInfo::mem(InstClass::Store, a)))
             }
             DInst::Alloc { dst, words } => {
                 let base = match mem.alloc(self.operand(*words)) {
@@ -913,7 +960,7 @@ pub fn run_function_with(
             }
         }
         match thread.step(&decoded, mem, sys)? {
-            StepEvent::Executed(info) => stats.record(info.class),
+            StepEvent::Executed(info) => stats.record(info.class()),
             StepEvent::Blocked => {
                 // Single-threaded: nobody will ever fill the channel.
                 return Err(TrapKind::UnsupportedIntrinsic);

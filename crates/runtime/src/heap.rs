@@ -198,6 +198,17 @@ impl<'h> SpecView<'h> {
         }
     }
 
+    /// The same view with its load set coarsened to
+    /// `2^granularity_log2`-word grains (see
+    /// [`AccessSet::with_granularity`]); the validation side must build its
+    /// write sets at the same granularity.
+    #[must_use]
+    pub fn with_conflict_granularity(mut self, granularity_log2: u8) -> Self {
+        debug_assert!(self.reads.is_empty(), "set the granularity before reads");
+        self.reads = AccessSet::with_granularity(granularity_log2);
+        self
+    }
+
     /// Reads a word, preferring this thread's own speculative writes.
     #[must_use]
     pub fn read(&self, addr: i64) -> Option<i64> {

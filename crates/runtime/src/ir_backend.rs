@@ -98,6 +98,8 @@ struct Loaded {
     /// [`ConflictPolicy::Detect`] every chunk records its load set and the
     /// ordered validation squashes RAW violations.
     policy: ConflictPolicy,
+    /// Conflict-set coarsening (power-of-two words per grain; 0 = exact).
+    granularity_log2: u8,
     /// The memoization plan of the most recent invocation (the centralized
     /// step's output), per thread.
     last_plan: Vec<Vec<(u64, usize)>>,
@@ -117,6 +119,7 @@ struct WorkerTask {
     plan: Vec<(u64, usize)>,
     budget: u64,
     detect: bool,
+    granularity_log2: u8,
 }
 
 /// A pre-spawned worker thread: tasks go down `task_tx`, one
@@ -148,10 +151,21 @@ impl PoolWorker {
                     plan,
                     budget,
                     detect,
+                    granularity_log2,
                 } = task;
                 let chunk = run_worker_chunk(
-                    &program, kernel, &spec, &args, &heap, &start, successor, &squash, &plan,
-                    budget, detect,
+                    &program,
+                    kernel,
+                    &spec,
+                    &args,
+                    &heap,
+                    &start,
+                    successor,
+                    &squash,
+                    &plan,
+                    budget,
+                    detect,
+                    granularity_log2,
                 );
                 if result_tx.send(chunk).is_err() {
                     break;
@@ -388,6 +402,7 @@ impl ExecutionBackend for NativeLoopBackend {
             predictions: vec![vec![0; width]; self.threads - 1],
             last_work,
             policy: options.conflict_policy,
+            granularity_log2: options.conflict_granularity_log2,
             last_plan: Vec::new(),
         });
         Ok(())
@@ -428,6 +443,7 @@ impl ExecutionBackend for NativeLoopBackend {
         loaded.heap_dirty = true;
 
         let detect = loaded.policy.detects();
+        let granularity_log2 = loaded.granularity_log2;
         let predictions = loaded.predictions.clone();
         let program = Arc::clone(&loaded.decoded);
         let kernel = loaded.kernel;
@@ -465,6 +481,7 @@ impl ExecutionBackend for NativeLoopBackend {
                 plan: memo_plan[wi + 1].clone(),
                 budget,
                 detect,
+                granularity_log2,
             };
             if let Err(e) = pool.workers[wi].send(task) {
                 // A worker already tasked this invocation must be squashed
@@ -485,7 +502,7 @@ impl ExecutionBackend for NativeLoopBackend {
         let mut port = DirectPort {
             heap: &heap,
             alloc_next: alloc_base,
-            write_log: detect.then(AccessSet::new),
+            write_log: detect.then(|| AccessSet::with_granularity(granularity_log2)),
         };
         let mut main = match run_main_chunk(
             &program,
@@ -806,7 +823,7 @@ fn step_to_block_arrival(
         *steps_left -= 1;
         match state.step(program, mem, sys)? {
             StepEvent::Executed(info) => {
-                if info.class == InstClass::Branch
+                if info.class() == InstClass::Branch
                     && state.current_block() == block
                     && state.current_func() == func
                 {
@@ -859,10 +876,12 @@ fn run_worker_chunk(
     memo_plan: &[(u64, usize)],
     budget: u64,
     track_reads: bool,
+    granularity_log2: u8,
 ) -> WorkerChunk {
     let mut state = ThreadState::new(program, kernel, args);
     let mut port = SpecPort {
-        view: SpecView::with_read_tracking(heap, track_reads),
+        view: SpecView::with_read_tracking(heap, track_reads)
+            .with_conflict_granularity(granularity_log2),
         heap_len: heap.len(),
     };
     let mut sys = NopSys;
@@ -993,7 +1012,7 @@ fn run_worker_chunk(
             }
             match state.step(program, &mut port, &mut sys) {
                 Ok(StepEvent::Executed(info)) => {
-                    if info.class == InstClass::Branch && state.current_func() == spec.func {
+                    if info.class() == InstClass::Branch && state.current_func() == spec.func {
                         if state.current_block() == spec.exit_block {
                             // The loop genuinely ended inside this chunk; the
                             // main thread executes the exit code itself.
@@ -1162,7 +1181,7 @@ fn finish_main(
         steps -= 1;
         match state.step(program, port, &mut sys) {
             Ok(StepEvent::Executed(info)) => {
-                if info.class == InstClass::Branch
+                if info.class() == InstClass::Branch
                     && state.current_block() == spec.header
                     && state.current_func() == spec.func
                 {

@@ -117,6 +117,11 @@ pub struct MachineConfig {
     /// Detection"). Answering a `spec.check` requires it; with it off the
     /// machine behaves like the pre-subsystem model (no conflicts reported).
     pub conflict_detection: bool,
+    /// Conflict-detection granularity as a power-of-two word count per
+    /// tracked grain: `0` is exact word detection, `3` models 64-byte-line
+    /// hardware tag comparison (with its false conflicts between distinct
+    /// words sharing a line).
+    pub conflict_granularity_log2: u8,
 }
 
 impl MachineConfig {
@@ -158,6 +163,7 @@ impl MachineConfig {
             heap_words: 4 * 1024 * 1024,
             max_cycles: 2_000_000_000,
             conflict_detection: true,
+            conflict_granularity_log2: 0,
         }
     }
 
@@ -207,6 +213,7 @@ impl MachineConfig {
             heap_words: 64 * 1024,
             max_cycles: 50_000_000,
             conflict_detection: true,
+            conflict_granularity_log2: 0,
         }
     }
 

@@ -27,6 +27,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -152,13 +153,13 @@ struct ConflictTracker {
 }
 
 impl ConflictTracker {
-    fn new(cores: usize, enabled: bool) -> Self {
+    fn new(cores: usize, enabled: bool, granularity_log2: u8) -> Self {
         ConflictTracker {
             enabled,
             exempt: None,
             active_chunks: Cell::new(0),
-            epoch_writes: RefCell::new(AccessSet::new()),
-            read_sets: RefCell::new(vec![AccessSet::new(); cores]),
+            epoch_writes: RefCell::new(AccessSet::with_granularity(granularity_log2)),
+            read_sets: RefCell::new(vec![AccessSet::with_granularity(granularity_log2); cores]),
             verdicts: RefCell::new(vec![None; cores]),
         }
     }
@@ -606,11 +607,11 @@ impl<'a> CoreRun<'a> {
             match result {
                 Ok(StepEvent::Executed(info)) => {
                     self.report.retired += 1;
-                    self.class_counts[info.class.index()] += 1;
+                    self.class_counts[info.class().index()] += 1;
                     if let Some(a) = self.activity {
                         a.record(self.i, now);
                     }
-                    let co_issuable = matches!(info.class, InstClass::IntAlu | InstClass::Other)
+                    let co_issuable = matches!(info.class(), InstClass::IntAlu | InstClass::Other)
                         && self.mem_port.latency == 0;
                     if co_issuable {
                         issued_this_cycle += 1;
@@ -632,7 +633,7 @@ impl<'a> CoreRun<'a> {
                         return CoreCycleEnd::Ran;
                     }
                     let mem_latency = self.mem_port.latency;
-                    let cost = self.config.core.latency_of(info.class).max(1) + mem_latency;
+                    let cost = self.config.core.latency_of(info.class()).max(1) + mem_latency;
                     *self.busy_until = now + cost;
                     *self.stall = if mem_latency > 0 {
                         StallKind::Memory
@@ -810,12 +811,18 @@ impl ActivityTrace {
 }
 
 /// The multi-core machine.
+///
+/// The program and its decoded execution form live behind [`Arc`]s: they are
+/// immutable once built, so a sweep running the same workload under many
+/// configurations decodes once and every machine shares the result
+/// ([`Machine::from_shared`]). Per-machine state — memory, caches, cores,
+/// conflict sets — stays owned and private.
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
-    program: Program,
+    program: Arc<Program>,
     /// The pre-decoded execution form of `program`, built once at load.
-    decoded: DecodedProgram,
+    decoded: Arc<DecodedProgram>,
     mem: FlatMemory,
     hier: MemoryHierarchy,
     cores: Vec<CoreState>,
@@ -834,6 +841,23 @@ impl Machine {
     #[must_use]
     pub fn new(config: MachineConfig, program: Program) -> Self {
         let mem = FlatMemory::for_program(&program, config.heap_words);
+        let decoded = Arc::new(DecodedProgram::new(&program));
+        Machine::from_shared(config, Arc::new(program), decoded, mem)
+    }
+
+    /// Creates a machine from already-shared immutable state: the program,
+    /// its decoded form, and an initial memory image (typically a clone of a
+    /// prepared snapshot). This is the decode-once path a parallel sweep
+    /// uses — N machines over one `Arc<DecodedProgram>` instead of N
+    /// decodes. `mem` must have been built for `program` with at least
+    /// `config.heap_words` of heap (as [`FlatMemory::for_program`] does).
+    #[must_use]
+    pub fn from_shared(
+        config: MachineConfig,
+        program: Arc<Program>,
+        decoded: Arc<DecodedProgram>,
+        mem: FlatMemory,
+    ) -> Self {
         let hier = MemoryHierarchy::new(&config);
         let cores: Vec<CoreState> = (0..config.cores)
             .map(|_| {
@@ -845,8 +869,11 @@ impl Machine {
                 c
             })
             .collect();
-        let conflicts = ConflictTracker::new(config.cores, config.conflict_detection);
-        let decoded = DecodedProgram::new(&program);
+        let conflicts = ConflictTracker::new(
+            config.cores,
+            config.conflict_detection,
+            config.conflict_granularity_log2,
+        );
         Machine {
             config,
             program,

@@ -84,16 +84,8 @@ impl RefThread {
         }
         let func = program.func(self.func);
         let block = func.block(self.block);
-        let plain = |class: InstClass| ExecInfo {
-            class,
-            mem_addr: None,
-            branch_taken: None,
-        };
-        let branch = |taken: bool| ExecInfo {
-            class: InstClass::Branch,
-            mem_addr: None,
-            branch_taken: Some(taken),
-        };
+        let plain = ExecInfo::plain;
+        let branch = ExecInfo::branch;
         if self.ip < block.insts.len() {
             let inst = &block.insts[self.ip];
             let class = inst.class();
@@ -131,22 +123,14 @@ impl RefThread {
                         Err(t) => return self.trap(t),
                     };
                     self.regs[dst.index()] = v;
-                    StepEvent::Executed(ExecInfo {
-                        class,
-                        mem_addr: Some(a),
-                        branch_taken: None,
-                    })
+                    StepEvent::Executed(ExecInfo::mem(class, a))
                 }
                 Inst::Store { src, addr, offset } => {
                     let a = self.operand(*addr) + offset;
                     if let Err(t) = mem.store(a, self.operand(*src)) {
                         return self.trap(t);
                     }
-                    StepEvent::Executed(ExecInfo {
-                        class,
-                        mem_addr: Some(a),
-                        branch_taken: None,
-                    })
+                    StepEvent::Executed(ExecInfo::mem(class, a))
                 }
                 Inst::Alloc { dst, words } => {
                     let base = match mem.alloc(self.operand(*words)) {
@@ -388,4 +372,37 @@ fn decoded_execution_matches_reference_walker_on_traps() {
     let f = p.add_func(b.finish());
     let decoded = DecodedProgram::new(&p);
     lockstep_run("oob", &p, &decoded, f, &[], &mut mem_a, &mut mem_b, 100);
+}
+
+/// `ExecInfo` is the per-step return value of the dispatch hot path; pin its
+/// packed one-word representation and the accessor round-trips so a future
+/// field addition can't silently regrow it.
+#[test]
+fn exec_info_stays_one_packed_word() {
+    assert_eq!(std::mem::size_of::<ExecInfo>(), 8);
+
+    for class in InstClass::ALL {
+        let info = ExecInfo::plain(class);
+        assert_eq!(info.class(), class);
+        assert_eq!(info.mem_addr(), None);
+        assert_eq!(info.branch_taken(), None);
+    }
+
+    // Address payloads round-trip across the full word-address range the
+    // simulator uses, including negative (pre-base) addresses from traps.
+    for addr in [0i64, 1, -1, 4096, -4096, (1i64 << 53) - 1, -(1i64 << 53)] {
+        for class in [InstClass::Load, InstClass::Store] {
+            let info = ExecInfo::mem(class, addr);
+            assert_eq!(info.class(), class);
+            assert_eq!(info.mem_addr(), Some(addr));
+            assert_eq!(info.branch_taken(), None);
+        }
+    }
+
+    for taken in [false, true] {
+        let info = ExecInfo::branch(taken);
+        assert_eq!(info.class(), InstClass::Branch);
+        assert_eq!(info.mem_addr(), None);
+        assert_eq!(info.branch_taken(), Some(taken));
+    }
 }

@@ -1,0 +1,127 @@
+//! The farm's one non-negotiable property: artifacts and results are a pure
+//! function of the manifest, never of scheduling. A sweep at `--jobs 1`
+//! and the same sweep on a full work-stealing pool must produce
+//! byte-identical streamed artifacts and identical per-job simulation
+//! summaries — conflict-carrying (squash-and-recover) workloads included.
+
+use spice_bench::farm_driver::{run_manifest, Figure, Manifest, OutPaths};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spice-farm-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn farm_artifacts_are_byte_identical_across_worker_counts() {
+    let figures = vec![Figure::Fig7, Figure::Table2, Figure::Harness];
+    let mut artifacts: Vec<(String, String)> = Vec::new();
+    let mut harness_sims: Vec<Vec<(String, String, u64)>> = Vec::new();
+    let mut summaries = Vec::new();
+
+    for jobs in [1usize, 4] {
+        let dir = temp_dir(&format!("j{jobs}"));
+        let outs = OutPaths {
+            fig7: Some(dir.join("BENCH_fig7.json")),
+            table2: Some(dir.join("BENCH_table2.json")),
+            harness: Some(dir.join("BENCH_harness.json")),
+        };
+        let manifest = Manifest {
+            figures: figures.clone(),
+            small: true,
+            jobs,
+        };
+        let report = run_manifest(&manifest, &outs).expect("farm run");
+        assert_eq!(report.stats.failures, 0, "jobs={jobs}");
+        assert_eq!(report.stats.workers, if jobs == 1 { 1 } else { 4 });
+
+        let read = |name: &str| std::fs::read_to_string(dir.join(name)).expect("read artifact");
+        artifacts.push((read("BENCH_fig7.json"), read("BENCH_table2.json")));
+        // The harness artifact carries wall-clock fields (host_nanos,
+        // build_nanos) that legitimately vary with scheduling; its
+        // *simulation* content must still be identical.
+        harness_sims.push(
+            report
+                .harness_rows
+                .iter()
+                .map(|r| (r.benchmark.clone(), r.mode.clone(), r.simulated_cycles))
+                .collect(),
+        );
+        summaries.push(report.sweep_summaries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    let (fig7_serial, table2_serial) = &artifacts[0];
+    let (fig7_farm, table2_farm) = &artifacts[1];
+    assert_eq!(
+        fig7_serial, fig7_farm,
+        "BENCH_fig7.json differs across worker counts"
+    );
+    assert_eq!(
+        table2_serial, table2_farm,
+        "BENCH_table2.json differs across worker counts"
+    );
+    assert_eq!(
+        harness_sims[0], harness_sims[1],
+        "harness simulation content differs across worker counts"
+    );
+
+    // The per-job backend summaries — chunk commits, squashes, dependence
+    // violations, per-thread work — must also match run-for-run, so the
+    // equality is not merely a formatting accident.
+    assert_eq!(
+        summaries[0], summaries[1],
+        "per-job summaries differ across worker counts"
+    );
+    assert!(
+        !summaries[0].is_empty(),
+        "spice sweep jobs must report backend summaries"
+    );
+
+    // Squash-and-recover paths are exercised: the conflict-carrying
+    // workloads must appear with real dependence violations.
+    let violating: Vec<&str> = summaries[0]
+        .iter()
+        .filter(|(_, s)| s.dependence_violations > 0)
+        .map(|(label, _)| label.as_str())
+        .collect();
+    assert!(
+        !violating.is_empty(),
+        "expected at least one conflict-carrying workload with violations"
+    );
+}
+
+#[test]
+fn serial_emitters_and_streamed_artifacts_agree() {
+    // The composed serial documents (what the pre-farm binaries wrote) and
+    // the farm's streamed files must be the same bytes.
+    let dir = temp_dir("serial-vs-stream");
+    let outs = OutPaths {
+        fig7: Some(dir.join("BENCH_fig7.json")),
+        table2: Some(dir.join("BENCH_table2.json")),
+        harness: Some(dir.join("BENCH_harness.json")),
+    };
+    let manifest = Manifest {
+        figures: vec![Figure::Fig7, Figure::Table2, Figure::Harness],
+        small: true,
+        jobs: 2,
+    };
+    let report = run_manifest(&manifest, &outs).expect("farm run");
+
+    let streamed_fig7 = std::fs::read_to_string(dir.join("BENCH_fig7.json")).expect("fig7");
+    let streamed_table2 = std::fs::read_to_string(dir.join("BENCH_table2.json")).expect("table2");
+    let streamed_harness =
+        std::fs::read_to_string(dir.join("BENCH_harness.json")).expect("harness");
+    std::fs::remove_dir_all(&dir).ok();
+
+    use spice_bench::experiments::{fig7_json, harnessperf_json, table2_json};
+    assert_eq!(streamed_fig7, fig7_json(&report.fig7_rows, true));
+    assert_eq!(streamed_table2, table2_json(&report.table2_rows, true));
+    assert_eq!(
+        streamed_harness,
+        harnessperf_json(&report.harness_rows, true)
+    );
+}

@@ -63,7 +63,11 @@ pub struct BuiltKernel {
 /// run the kernel (sequentially or Spice-parallelized) and call
 /// [`next_invocation`](SpiceWorkload::next_invocation) until it returns
 /// `None`.
-pub trait SpiceWorkload {
+///
+/// Workloads are `Send`: a sweep engine hands each boxed workload to
+/// whichever host thread runs its job. (They are built from owned data and
+/// seeded RNGs, so this was already true structurally.)
+pub trait SpiceWorkload: Send {
     /// Benchmark name (Table 2 first column).
     fn name(&self) -> &'static str;
 
@@ -120,7 +124,7 @@ pub trait SpiceWorkload {
 pub const DEFAULT_WORKLOAD_HEAP_WORDS: usize = 256 * 1024;
 
 /// Aggregate result of driving one workload over one backend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendRunSummary {
     /// Backend that executed the workload.
     pub backend: &'static str,
@@ -180,17 +184,55 @@ pub fn run_workload_on(
     workload: &mut dyn SpiceWorkload,
     backend: &mut dyn ExecutionBackend,
 ) -> Result<BackendRunSummary, String> {
+    run_workload_on_with(workload, backend, |o| o)
+}
+
+/// [`run_workload_on`] with a hook adjusting the [`LoadOptions`] the
+/// workload derives before the backend sees them — how a sweep overrides a
+/// single knob (e.g. the conflict-detection granularity) without a parallel
+/// copy of the drive loop.
+///
+/// # Errors
+///
+/// Returns a description of the first backend failure or result mismatch.
+pub fn run_workload_on_with(
+    workload: &mut dyn SpiceWorkload,
+    backend: &mut dyn ExecutionBackend,
+    adjust: impl FnOnce(LoadOptions) -> LoadOptions,
+) -> Result<BackendRunSummary, String> {
     let built = workload.build();
+    let options = adjust(workload_load_options(workload, &built));
+    backend
+        .load(built.program, built.kernel, options)
+        .map_err(|e| format!("{}: load failed: {e}", workload.name()))?;
+    drive_loaded_workload(workload, backend)
+}
+
+/// The [`LoadOptions`] a workload asks for: the default heap reservation,
+/// its expected first-invocation iteration count, its declared conflict
+/// policy and its loop-header hint.
+#[must_use]
+pub fn workload_load_options(workload: &dyn SpiceWorkload, built: &BuiltKernel) -> LoadOptions {
     let mut options = LoadOptions::new(
         DEFAULT_WORKLOAD_HEAP_WORDS,
         Some(workload.expected_iterations()),
     )
     .with_conflict_policy(workload.conflict_policy());
     options.loop_header = built.loop_header_hint;
-    backend
-        .load(built.program, built.kernel, options)
-        .map_err(|e| format!("{}: load failed: {e}", workload.name()))?;
+    options
+}
 
+/// Drives an already-loaded workload over `backend`: `init`, then the
+/// invocation loop with per-invocation expected-result checks — the half of
+/// [`run_workload_on`] after `load`.
+///
+/// # Errors
+///
+/// Returns a description of the first backend failure or result mismatch.
+pub fn drive_loaded_workload(
+    workload: &mut dyn SpiceWorkload,
+    backend: &mut dyn ExecutionBackend,
+) -> Result<BackendRunSummary, String> {
     let mut args = workload.init(backend.mem_mut());
     let mut summary = BackendRunSummary {
         backend: backend.name(),

@@ -13,12 +13,23 @@
 //! | [`profiler`] | loop live-in value profiler (§6 / Figure 8) |
 //! | [`workloads`] | paper benchmark loops and the backend-generic driver |
 //! | [`bench`] | experiment harness for every table and figure |
+//! | [`farm`] | work-stealing parallel job engine under the bench sweep |
+//!
+//! To reproduce the whole evaluation in one parallel run (decoded programs
+//! shared across jobs, artifacts streamed in deterministic order — see
+//! DESIGN.md §3¾):
+//!
+//! ```text
+//! cargo run --release -p spice-bench --bin farm        # all figures
+//! cargo run --release -p spice-bench --bin farm -- --figures fig7,table2 --jobs 4
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use spice_bench as bench;
 pub use spice_core as core;
+pub use spice_farm as farm;
 pub use spice_ir as ir;
 pub use spice_profiler as profiler;
 pub use spice_runtime as runtime;
