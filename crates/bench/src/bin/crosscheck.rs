@@ -8,7 +8,7 @@
 //! (native) implementations of Algorithm 2 drift apart fails the pipeline,
 //! not the next bench run.
 
-use spice_bench::experiments::crosscheck;
+use spice_bench::experiments::{crosscheck, format_crosscheck};
 
 fn main() {
     let threads = 4;
@@ -16,18 +16,9 @@ fn main() {
         eprintln!("crosscheck failed to run: {e}");
         std::process::exit(2);
     });
-    println!("sim ↔ native cross-check ({threads} threads, small configs)");
-    println!("benchmark    invocations  sim raw-squash  native raw-squash  agree");
+    print!("{}", format_crosscheck(&rows));
     let mut ok = true;
     for r in &rows {
-        println!(
-            "{:<12} {:>11}  {:>14}  {:>17}  {}",
-            r.benchmark,
-            r.sim.invocations,
-            r.sim.dependence_violations,
-            r.native.dependence_violations,
-            if r.agree { "yes" } else { "NO" }
-        );
         if !r.agree {
             eprintln!(
                 "{}: sim returned {:?}, native returned {:?}",

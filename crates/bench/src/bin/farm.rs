@@ -7,12 +7,18 @@
 //! cargo run --release -p spice-bench --bin farm -- [flags]
 //!   --small           reduced-size inputs
 //!   --jobs N          worker threads (default 0 = host parallelism)
-//!   --figures LIST    comma-separated subset of fig7,table2,ablation,harness
+//!   --figures LIST    comma-separated subset of
+//!                     fig7,table2,ablation,harness,crosscheck
 //!   --out-dir DIR     where artifacts land (default ".")
+//!   --trace-out PATH  also record simulator traces for every sweep job and
+//!                     stream them to PATH (byte-identical at any --jobs)
 //!   --check           CI perf smoke: run the harness figure only, write
 //!                     nothing, compare ns/simulated-cycle against the
 //!                     committed BENCH_farm.json
 //! ```
+//!
+//! Failed or diverged jobs persist forensics (trace ring-buffer, snapshot
+//! cycles, final machine state) under `<out-dir>/failures/FAILED_<label>.json`.
 //!
 //! Besides the per-figure artifacts, a normal run writes `BENCH_farm.json`:
 //! serial-equivalent vs wall seconds, worker/job counts, host cores, and
@@ -20,7 +26,9 @@
 
 use std::path::PathBuf;
 
-use spice_bench::experiments::{format_ablation, format_fig7, format_harnessperf, format_table2};
+use spice_bench::experiments::{
+    format_ablation, format_crosscheck, format_fig7, format_harnessperf, format_table2,
+};
 use spice_bench::farm_driver::{farm_json, run_manifest, Figure, Manifest, OutPaths};
 
 /// A fresh run must stay within this factor of the committed
@@ -58,6 +66,8 @@ fn main() {
     let outs = if check {
         OutPaths::default()
     } else {
+        std::fs::create_dir_all(&out_dir)
+            .unwrap_or_else(|e| panic!("create {}: {e}", out_dir.display()));
         OutPaths {
             fig7: figures
                 .contains(&Figure::Fig7)
@@ -68,6 +78,11 @@ fn main() {
             harness: figures
                 .contains(&Figure::Harness)
                 .then(|| out_dir.join("BENCH_harness.json")),
+            crosscheck: figures
+                .contains(&Figure::Crosscheck)
+                .then(|| out_dir.join("BENCH_crosscheck.json")),
+            trace: arg_value(&args, "--trace-out").map(PathBuf::from),
+            failures_dir: Some(out_dir.join("failures")),
         }
     };
 
@@ -87,6 +102,10 @@ fn main() {
     }
     if figures.contains(&Figure::Harness) {
         print!("{}", format_harnessperf(&report.harness_rows));
+        println!();
+    }
+    if figures.contains(&Figure::Crosscheck) {
+        print!("{}", format_crosscheck(&report.crosscheck_rows));
     }
     println!(
         "farm: {} jobs on {} workers ({} cores): {:.3} s serial-equivalent in {:.3} s wall \

@@ -12,8 +12,10 @@ use spice_core::prepared::PreparedProgram;
 use spice_core::valuepred::{
     evaluate_predictor, LastValuePredictor, SpiceMemoPredictor, StridePredictor,
 };
+use spice_ir::exec::ExecutionBackend;
 use spice_ir::interp::LocalSys;
-use spice_ir::FuncId;
+use spice_ir::trace::DEFAULT_TRACE_CAPACITY;
+use spice_ir::{FuncId, TraceEvent};
 use spice_profiler::{
     measure_cycle_hotness, measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin,
 };
@@ -448,6 +450,218 @@ pub fn run_prepared_sweep(factory: &WorkloadFactory, prep: &SweepPrep) -> Result
     }
 }
 
+/// Like [`run_prepared_sweep`], but with the backend's event trace enabled;
+/// returns the run plus the recorder's ring-buffer contents. Tracing is
+/// observational — the `SweepRun` numbers are identical to an untraced run
+/// of the same preparation — and the simulator is single-threaded, so the
+/// returned events are deterministic: the farm's `--trace-out` artifact is
+/// byte-identical at any worker count.
+///
+/// # Errors
+///
+/// Returns the first simulation failure or result mismatch.
+pub fn run_prepared_sweep_traced(
+    factory: &WorkloadFactory,
+    prep: &SweepPrep,
+) -> Result<(SweepRun, Vec<TraceEvent>), String> {
+    let mut wl = factory();
+    let _ = wl.build();
+    let started = std::time::Instant::now();
+    if prep.prepared.is_spice() {
+        let mut backend = SimBackend::from_prepared(&prep.prepared);
+        backend.enable_trace(DEFAULT_TRACE_CAPACITY);
+        let summary = drive_loaded_workload(wl.as_mut(), &mut backend)?;
+        let events: Vec<TraceEvent> = backend
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+        Ok((
+            SweepRun {
+                cycles: u64::try_from(summary.total_cost).unwrap_or(u64::MAX),
+                sim_nanos: started.elapsed().as_nanos(),
+                misspeculation_rate: summary.misspeculation_rate(),
+                load_imbalance: summary.load_imbalance(),
+                invocations: summary.invocations,
+                dependence_violations: summary.dependence_violations,
+                summary: Some(summary),
+            },
+            events,
+        ))
+    } else {
+        let mut machine = prep.prepared.machine();
+        machine.enable_trace(DEFAULT_TRACE_CAPACITY);
+        let cycles = drive_sequential_workload(wl.as_mut(), &mut machine, prep.kernel)?;
+        let events: Vec<TraceEvent> = machine
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+        Ok((
+            SweepRun {
+                cycles,
+                sim_nanos: started.elapsed().as_nanos(),
+                misspeculation_rate: 0.0,
+                load_imbalance: 0.0,
+                invocations: 0,
+                dependence_violations: 0,
+                summary: None,
+            },
+            events,
+        ))
+    }
+}
+
+/// Forensics captured from a failed or diverged farm job: what the
+/// deterministic traced re-run observed, rendered to a retryable artifact
+/// by [`failure_capture_json`]. The `error` plus the preparation inputs
+/// (label encodes benchmark, mode, size) are enough to re-run the exact
+/// cell; the trace and machine state say where it went wrong.
+#[derive(Debug, Clone)]
+pub struct FailureCapture {
+    /// The failing job's label.
+    pub label: String,
+    /// The error (or divergence description) that triggered the capture.
+    pub error: String,
+    /// Trace ring-buffer of the re-run's primary (simulator) backend.
+    pub events: Vec<TraceEvent>,
+    /// Native-backend trace, for cross-check divergences (empty otherwise).
+    pub native_events: Vec<TraceEvent>,
+    /// Final machine state dump of the simulator re-run, when one survived.
+    pub state_dump: Option<String>,
+    /// Cycles at which periodic snapshots were taken during the re-run (the
+    /// last one is the resume point a retry would start from).
+    pub snapshot_cycles: Vec<u64>,
+}
+
+/// Interval for the failure-capture re-run's periodic snapshots: coarse
+/// enough to stay cheap, fine enough that the last snapshot is near the
+/// failure point.
+const CAPTURE_SNAPSHOT_INTERVAL: u64 = 10_000;
+
+/// Deterministically re-runs a failed sweep cell with tracing and periodic
+/// snapshots enabled and returns the forensics. The re-run's own outcome is
+/// ignored — for a deterministic simulator failure it fails at the same
+/// point, which is exactly what the trace should show.
+#[must_use]
+pub fn capture_sweep_failure(
+    factory: &WorkloadFactory,
+    prep: &SweepPrep,
+    label: &str,
+    error: &str,
+) -> FailureCapture {
+    let mut wl = factory();
+    let _ = wl.build();
+    let events;
+    let mut state_dump = None;
+    let mut snapshot_cycles = Vec::new();
+    if prep.prepared.is_spice() {
+        let mut backend = SimBackend::from_prepared(&prep.prepared);
+        backend.enable_trace(DEFAULT_TRACE_CAPACITY);
+        if let Some(machine) = backend.machine_mut() {
+            machine.enable_snapshots(CAPTURE_SNAPSHOT_INTERVAL);
+        }
+        let _ = drive_loaded_workload(wl.as_mut(), &mut backend);
+        events = backend
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+        if let Some(machine) = backend.machine() {
+            state_dump = Some(machine.state_dump());
+            snapshot_cycles = machine
+                .snapshots_taken()
+                .iter()
+                .map(spice_sim::MachineSnapshot::cycle)
+                .collect();
+        }
+    } else {
+        let mut machine = prep.prepared.machine();
+        machine.enable_trace(DEFAULT_TRACE_CAPACITY);
+        machine.enable_snapshots(CAPTURE_SNAPSHOT_INTERVAL);
+        let _ = drive_sequential_workload(wl.as_mut(), &mut machine, prep.kernel);
+        events = machine
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+        state_dump = Some(machine.state_dump());
+        snapshot_cycles = machine
+            .snapshots_taken()
+            .iter()
+            .map(spice_sim::MachineSnapshot::cycle)
+            .collect();
+    }
+    FailureCapture {
+        label: label.to_string(),
+        error: error.to_string(),
+        events,
+        native_events: Vec::new(),
+        state_dump,
+        snapshot_cycles,
+    }
+}
+
+/// Re-runs a diverged cross-check workload on both backends with tracing
+/// enabled and captures both traces, so the artifact shows the two chunk
+/// lifecycles side by side.
+#[must_use]
+pub fn capture_crosscheck_divergence(
+    factory: &WorkloadFactory,
+    threads: usize,
+    label: &str,
+    error: &str,
+) -> FailureCapture {
+    let mut capture = FailureCapture {
+        label: label.to_string(),
+        error: error.to_string(),
+        events: Vec::new(),
+        native_events: Vec::new(),
+        state_dump: None,
+        snapshot_cycles: Vec::new(),
+    };
+    {
+        let mut backend = SimBackend::tiny(threads);
+        backend.enable_trace(DEFAULT_TRACE_CAPACITY);
+        let mut wl = factory();
+        let _ = run_workload_on(wl.as_mut(), &mut backend);
+        capture.events = backend
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+        if let Some(machine) = backend.machine() {
+            capture.state_dump = Some(machine.state_dump());
+        }
+    }
+    {
+        let mut backend =
+            make_backend_with(BackendChoice::Native, threads, PredictorOptions::default());
+        backend.enable_trace(DEFAULT_TRACE_CAPACITY);
+        let mut wl = factory();
+        let _ = run_workload_on(wl.as_mut(), backend.as_mut());
+        capture.native_events = backend
+            .trace()
+            .map(|t| t.events().cloned().collect())
+            .unwrap_or_default();
+    }
+    capture
+}
+
+/// Renders a [`FailureCapture`] as a validated JSON artifact.
+#[must_use]
+pub fn failure_capture_json(c: &FailureCapture) -> String {
+    let snapshot_cycles: Vec<String> = c.snapshot_cycles.iter().map(u64::to_string).collect();
+    format!(
+        "{{\n  \"artifact\": \"failure\",\n  \"label\": {},\n  \"error\": {},\n  \
+         \"snapshot_cycles\": [{}],\n  \"state\": {},\n  \"events\": {},\n  \
+         \"native_events\": {}\n}}\n",
+        crate::json::string(&c.label),
+        crate::json::string(&c.error),
+        snapshot_cycles.join(", "),
+        c.state_dump
+            .as_deref()
+            .map_or_else(|| "null".to_string(), crate::json::string),
+        crate::trace_json::trace_events_json(c.events.iter(), 2),
+        crate::trace_json::trace_events_json(c.native_events.iter(), 2),
+    )
+}
+
 /// Assembles a [`Fig7Row`] from a benchmark's sequential cycles and one of
 /// its Spice sweep runs — the one row constructor both the serial `fig7`
 /// path and the farm sink use.
@@ -517,30 +731,126 @@ pub struct CrosscheckRow {
 pub fn crosscheck(threads: usize) -> Result<Vec<CrosscheckRow>, String> {
     let mut rows = Vec::new();
     for (name, factory) in all_workload_factories(true) {
-        let mut sim_wl = factory();
-        let sim = run_workload_backend(
-            sim_wl.as_mut(),
-            BackendChoice::SimTiny,
-            threads,
-            PredictorOptions::default(),
-        )?;
-        let mut native_wl = factory();
-        let native = run_workload_backend(
-            native_wl.as_mut(),
-            BackendChoice::Native,
-            threads,
-            PredictorOptions::default(),
-        )?;
-        let agree = sim.return_values == native.return_values;
-        rows.push(CrosscheckRow {
-            benchmark: name.to_string(),
-            threads,
-            sim,
-            native,
-            agree,
-        });
+        rows.push(crosscheck_workload(name, &factory, threads)?);
     }
     Ok(rows)
+}
+
+/// Cross-checks one workload between the tiny-machine simulator and the
+/// native-thread backend — the per-benchmark unit the farm schedules as a
+/// first-class job ([`crate::farm_driver::Figure::Crosscheck`]).
+///
+/// # Errors
+///
+/// Returns the first execution failure on either backend. A *divergence*
+/// (both backends ran, results differ) is not an error here; it is reported
+/// through [`CrosscheckRow::agree`] so the caller can capture forensics
+/// before failing.
+pub fn crosscheck_workload(
+    name: &str,
+    factory: &WorkloadFactory,
+    threads: usize,
+) -> Result<CrosscheckRow, String> {
+    let mut sim_wl = factory();
+    let sim = run_workload_backend(
+        sim_wl.as_mut(),
+        BackendChoice::SimTiny,
+        threads,
+        PredictorOptions::default(),
+    )?;
+    let mut native_wl = factory();
+    let native = run_workload_backend(
+        native_wl.as_mut(),
+        BackendChoice::Native,
+        threads,
+        PredictorOptions::default(),
+    )?;
+    let agree = sim.return_values == native.return_values;
+    Ok(CrosscheckRow {
+        benchmark: name.to_string(),
+        threads,
+        sim,
+        native,
+        agree,
+    })
+}
+
+/// Renders the cross-check result table (the `crosscheck` binary's stdout
+/// body, shared with the farm's figure printout).
+#[must_use]
+pub fn format_crosscheck(rows: &[CrosscheckRow]) -> String {
+    let mut s = String::new();
+    let threads = rows.first().map_or(4, |r| r.threads);
+    s.push_str(&format!(
+        "sim ↔ native cross-check ({threads} threads, small configs)\n"
+    ));
+    s.push_str("benchmark    invocations  sim raw-squash  native raw-squash  agree\n");
+    for r in rows {
+        s.push_str(&format!(
+            "{:<12} {:>11}  {:>14}  {:>17}  {}\n",
+            r.benchmark,
+            r.sim.invocations,
+            r.sim.dependence_violations,
+            r.native.dependence_violations,
+            if r.agree { "yes" } else { "NO" }
+        ));
+    }
+    s
+}
+
+/// Opening of the `BENCH_crosscheck.json` document, up to `"rows": [`.
+#[must_use]
+pub fn crosscheck_json_header(threads: usize) -> String {
+    format!("{{\n  \"figure\": \"crosscheck\",\n  \"threads\": {threads},\n  \"rows\": [\n")
+}
+
+/// One row of the cross-check artifact (no separator, no trailing newline).
+#[must_use]
+pub fn crosscheck_json_row(r: &CrosscheckRow) -> String {
+    format!(
+        "    {{\"benchmark\": {}, \"threads\": {}, \"agree\": {}, \
+         \"invocations_sim\": {}, \"invocations_native\": {}, \
+         \"sim_committed\": {}, \"native_committed\": {}, \
+         \"sim_squashed\": {}, \"native_squashed\": {}, \
+         \"sim_violations\": {}, \"native_violations\": {}}}",
+        crate::json::string(&r.benchmark),
+        r.threads,
+        r.agree,
+        r.sim.invocations,
+        r.native.invocations,
+        r.sim.committed_chunks,
+        r.native.committed_chunks,
+        r.sim.squashed_chunks,
+        r.native.squashed_chunks,
+        r.sim.dependence_violations,
+        r.native.dependence_violations
+    )
+}
+
+/// Closing of the cross-check artifact, including the aggregate verdict.
+#[must_use]
+pub fn crosscheck_json_footer(rows: &[CrosscheckRow]) -> String {
+    format!(
+        "\n  ],\n  \"all_agree\": {}\n}}\n",
+        rows.iter().all(|r| r.agree)
+    )
+}
+
+/// Renders cross-check rows as the full `BENCH_crosscheck.json` document —
+/// the serial composition of header, rows and footer, byte-identical to
+/// what the farm streams.
+#[must_use]
+pub fn crosscheck_json(rows: &[CrosscheckRow]) -> String {
+    let threads = rows.first().map_or(4, |r| r.threads);
+    let mut s = crosscheck_json_header(threads);
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&crosscheck_json_row(r));
+    }
+    s.push_str(&crosscheck_json_footer(rows));
+    s
 }
 
 /// One row of the Figure 7 reproduction.

@@ -33,15 +33,23 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use spice_farm::{CacheStats, FarmStats, Job, PreparedCache};
+use spice_ir::TraceEvent;
 use spice_workloads::BackendRunSummary;
 
 use crate::experiments::{
-    ablation_variants, all_workload_factories, fig7_json_footer, fig7_json_header, fig7_json_row,
+    ablation_variants, all_workload_factories, capture_crosscheck_divergence,
+    capture_sweep_failure, crosscheck_json_footer, crosscheck_json_header, crosscheck_json_row,
+    crosscheck_workload, failure_capture_json, fig7_json_footer, fig7_json_header, fig7_json_row,
     fig7_row_from_sweep, harness_row_from_sweep, harnessperf_json_footer, harnessperf_json_header,
-    harnessperf_json_row, prepare_sweep, run_prepared_sweep, sweep_prep_key, table2_hotness_row,
-    table2_json_footer, table2_json_header, table2_json_row, AblationRow, Fig7Row, HarnessPerfRow,
-    SweepMode, SweepPrep, SweepRun, Table2Row, WorkloadFactory, LINE_GRANULARITY_LOG2,
+    harnessperf_json_row, prepare_sweep, run_prepared_sweep, run_prepared_sweep_traced,
+    sweep_prep_key, table2_hotness_row, table2_json_footer, table2_json_header, table2_json_row,
+    AblationRow, CrosscheckRow, FailureCapture, Fig7Row, HarnessPerfRow, SweepMode, SweepPrep,
+    SweepRun, Table2Row, WorkloadFactory, LINE_GRANULARITY_LOG2,
 };
+use crate::trace_json::{trace_job_json, trace_json_footer, trace_json_header};
+
+/// Thread count of the cross-check jobs (matches the `crosscheck` binary).
+const CROSSCHECK_THREADS: usize = 4;
 
 /// One figure of the evaluation, as selectable in an experiment manifest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,15 +63,20 @@ pub enum Figure {
     Ablation,
     /// Harness performance (`BENCH_harness.json`).
     Harness,
+    /// Sim ↔ native backend cross-check (`BENCH_crosscheck.json`) — one job
+    /// per workload, always on the small/tiny configurations; a divergence
+    /// fails the job and routes forensics through the failed-job capture.
+    Crosscheck,
 }
 
 impl Figure {
     /// Every figure, in canonical order.
-    pub const ALL: [Figure; 4] = [
+    pub const ALL: [Figure; 5] = [
         Figure::Fig7,
         Figure::Table2,
         Figure::Ablation,
         Figure::Harness,
+        Figure::Crosscheck,
     ];
 
     /// The manifest name of this figure.
@@ -74,6 +87,7 @@ impl Figure {
             Figure::Table2 => "table2",
             Figure::Ablation => "ablation",
             Figure::Harness => "harness",
+            Figure::Crosscheck => "crosscheck",
         }
     }
 
@@ -91,7 +105,10 @@ impl Figure {
                     .into_iter()
                     .find(|f| f.name() == p)
                     .ok_or_else(|| {
-                        format!("unknown figure {p:?} (expected fig7, table2, ablation, harness)")
+                        format!(
+                            "unknown figure {p:?} \
+                             (expected fig7, table2, ablation, harness, crosscheck)"
+                        )
                     })
             })
             .collect()
@@ -125,6 +142,16 @@ pub struct OutPaths {
     pub table2: Option<PathBuf>,
     /// `BENCH_harness.json` destination.
     pub harness: Option<PathBuf>,
+    /// `BENCH_crosscheck.json` destination.
+    pub crosscheck: Option<PathBuf>,
+    /// `--trace-out` destination. Setting this turns tracing on for every
+    /// sweep job (simulator-side only — native traces are not reproducible
+    /// for racy workloads, so they never enter this artifact) and streams
+    /// one trace row per job, byte-identical at any `--jobs` width.
+    pub trace: Option<PathBuf>,
+    /// Directory for failed-job forensics (`FAILED_<label>.json`): the
+    /// re-run's trace ring-buffer, snapshot cycles and final state dump.
+    pub failures_dir: Option<PathBuf>,
 }
 
 /// Everything a farm run produced: the per-figure rows (exactly what the
@@ -140,6 +167,9 @@ pub struct FarmReport {
     pub table2_rows: Vec<Table2Row>,
     /// Ablation rows (empty unless requested).
     pub ablation_rows: Vec<AblationRow>,
+    /// Cross-check rows (empty unless requested). Present rows always
+    /// agree — a divergence fails its job instead of producing a row.
+    pub crosscheck_rows: Vec<CrosscheckRow>,
     /// Per-Spice-job backend summaries `(job label, summary)` — the
     /// determinism test compares these across worker counts.
     pub sweep_summaries: Vec<(String, BackendRunSummary)>,
@@ -197,13 +227,35 @@ impl FarmReport {
 /// dispatch rate the perf smoke gates on.
 #[must_use]
 pub fn farm_json(report: &FarmReport) -> String {
+    let metric_rows: Vec<String> = report
+        .stats
+        .details
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"label\": {}, \"host_nanos\": {}, \"ok\": {}, \
+                 \"events\": {}, \"squashes\": {}}}",
+                crate::json::string(&m.label),
+                m.host_nanos,
+                m.ok,
+                m.events,
+                m.squashes
+            )
+        })
+        .collect();
+    let job_metrics = if metric_rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", metric_rows.join(",\n"))
+    };
     format!(
         "{{\n  \"figure\": \"farm\",\n  \"small\": {},\n  \"host_cores\": {},\n  \
          \"requested_jobs\": {},\n  \"workers\": {},\n  \"jobs\": {},\n  \
          \"failures\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"prepare_seconds\": {},\n  \"serial_equivalent_seconds\": {},\n  \
          \"farm_wall_seconds\": {},\n  \"parallel_speedup\": {},\n  \
-         \"simulated_cycles\": {},\n  \"ns_per_simulated_cycle\": {}\n}}\n",
+         \"simulated_cycles\": {},\n  \"ns_per_simulated_cycle\": {},\n  \
+         \"job_metrics\": {job_metrics}\n}}\n",
         report.small,
         report.host_cores,
         report.requested_jobs,
@@ -228,6 +280,8 @@ enum Payload {
         mode: SweepMode,
         build_nanos: u128,
         run: Box<SweepRun>,
+        /// Recorded trace events (empty unless `--trace-out` was requested).
+        trace: Vec<TraceEvent>,
     },
     Hotness(Box<Table2Row>),
     Probe {
@@ -236,6 +290,53 @@ enum Payload {
         violations: usize,
     },
     Ablation(Box<AblationRow>),
+    Crosscheck(Box<CrosscheckRow>),
+}
+
+/// A file-system-safe rendering of a job label (`sweep/ks/spice4` →
+/// `sweep_ks_spice4`).
+fn sanitize_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes a failure-capture artifact as `<dir>/FAILED_<label>.json` and
+/// returns its path. Artifacts are per-job files, so concurrent failing
+/// jobs never interleave writes.
+fn write_failure_artifact(dir: &Path, capture: &FailureCapture) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("FAILED_{}.json", sanitize_label(&capture.label)));
+    let doc = failure_capture_json(capture);
+    crate::json::validate(&doc).map_err(|e| format!("failure artifact invalid: {e}"))?;
+    std::fs::write(&path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Annotates a sweep-job error with a forensic re-run: a traced,
+/// snapshotted deterministic replay persisted as a retryable artifact.
+fn sweep_failed(
+    failures_dir: Option<&Path>,
+    factory: &WorkloadFactory,
+    prep: &SweepPrep,
+    label: &str,
+    error: String,
+) -> String {
+    let Some(dir) = failures_dir else {
+        return error;
+    };
+    let capture = capture_sweep_failure(factory, prep, label, &error);
+    match write_failure_artifact(dir, &capture) {
+        Ok(path) => format!("{error} (forensics: {})", path.display()),
+        Err(e) => format!("{error} (forensics capture failed: {e})"),
+    }
 }
 
 /// A JSON artifact written row-by-row as jobs retire. The file on disk and
@@ -316,6 +417,7 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
     // relies on this: a benchmark's sequential result always precedes its
     // Spice results, a hotness row always precedes its probes.
     let sweep_wanted = manifest.wants(Figure::Fig7) || manifest.wants(Figure::Harness);
+    let tracing = outs.trace.is_some();
     let mut jobs: Vec<Job<Payload>> = Vec::new();
 
     if sweep_wanted {
@@ -326,15 +428,24 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
                 let cache = Arc::clone(&cache);
                 let bench = (*bench).to_string();
                 let label = format!("sweep/{bench}/{}", mode.label());
-                jobs.push(Job::new(jobs.len() as u64, label, move || {
+                let failures_dir = outs.failures_dir.clone();
+                jobs.push(Job::new(jobs.len() as u64, label.clone(), move || {
                     let prep =
                         cache.try_get_or_build(&key, || prepare_sweep(&factory, mode, small, 0))?;
-                    let run = run_prepared_sweep(&factory, &prep)?;
+                    let traced = if tracing {
+                        run_prepared_sweep_traced(&factory, &prep)
+                    } else {
+                        run_prepared_sweep(&factory, &prep).map(|run| (run, Vec::new()))
+                    };
+                    let (run, trace) = traced.map_err(|e| {
+                        sweep_failed(failures_dir.as_deref(), &factory, &prep, &label, e)
+                    })?;
                     Ok(Payload::Sweep {
                         bench,
                         mode,
                         build_nanos: prep.build_nanos,
                         run: Box::new(run),
+                        trace,
                     })
                 }));
             }
@@ -371,30 +482,30 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
                         granularity_log2,
                     );
                     let bench = (*bench).to_string();
-                    jobs.push(Job::new(
-                        jobs.len() as u64,
-                        format!("table2/{bench}/probe-g{granularity_log2}"),
-                        move || {
-                            // Same computation as `table2_probe`, but the
-                            // preparation comes from the shared cache — at
-                            // full size the g=0 probe reuses the Figure 7
-                            // four-thread decode.
-                            let prep = cache.try_get_or_build(&key, || {
-                                prepare_sweep(
-                                    &factory,
-                                    SweepMode::Spice { threads: 4 },
-                                    small,
-                                    granularity_log2,
-                                )
-                            })?;
-                            let run = run_prepared_sweep(&factory, &prep)?;
-                            Ok(Payload::Probe {
-                                bench,
+                    let label = format!("table2/{bench}/probe-g{granularity_log2}");
+                    let failures_dir = outs.failures_dir.clone();
+                    jobs.push(Job::new(jobs.len() as u64, label.clone(), move || {
+                        // Same computation as `table2_probe`, but the
+                        // preparation comes from the shared cache — at
+                        // full size the g=0 probe reuses the Figure 7
+                        // four-thread decode.
+                        let prep = cache.try_get_or_build(&key, || {
+                            prepare_sweep(
+                                &factory,
+                                SweepMode::Spice { threads: 4 },
+                                small,
                                 granularity_log2,
-                                violations: run.dependence_violations,
-                            })
-                        },
-                    ));
+                            )
+                        })?;
+                        let run = run_prepared_sweep(&factory, &prep).map_err(|e| {
+                            sweep_failed(failures_dir.as_deref(), &factory, &prep, &label, e)
+                        })?;
+                        Ok(Payload::Probe {
+                            bench,
+                            granularity_log2,
+                            violations: run.dependence_violations,
+                        })
+                    }));
                 }
             }
         }
@@ -414,6 +525,42 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
         }
     }
 
+    if manifest.wants(Figure::Crosscheck) {
+        // Cross-check always runs the small/tiny configurations regardless
+        // of `manifest.small` — the comparison is about backend agreement,
+        // not workload scale, and this keeps the 7-row pin of the
+        // standalone `crosscheck` binary.
+        for (bench, factory) in all_workload_factories(true) {
+            let factory = Arc::new(factory);
+            let bench = bench.to_string();
+            let label = format!("crosscheck/{bench}");
+            let failures_dir = outs.failures_dir.clone();
+            jobs.push(Job::new(jobs.len() as u64, label.clone(), move || {
+                let row = crosscheck_workload(&bench, &factory, CROSSCHECK_THREADS)?;
+                if row.agree && row.sim.invocations == row.native.invocations {
+                    return Ok(Payload::Crosscheck(Box::new(row)));
+                }
+                let error = format!(
+                    "backend divergence: sim returned {:?} over {} invocations, \
+                     native returned {:?} over {} invocations",
+                    row.sim.return_values,
+                    row.sim.invocations,
+                    row.native.return_values,
+                    row.native.invocations
+                );
+                let Some(dir) = failures_dir else {
+                    return Err(error);
+                };
+                let capture =
+                    capture_crosscheck_divergence(&factory, CROSSCHECK_THREADS, &label, &error);
+                Err(match write_failure_artifact(&dir, &capture) {
+                    Ok(path) => format!("{error} (forensics: {})", path.display()),
+                    Err(e) => format!("{error} (forensics capture failed: {e})"),
+                })
+            }));
+        }
+    }
+
     // --- Streaming sinks --------------------------------------------------
     let mut fig7_stream = match (&outs.fig7, manifest.wants(Figure::Fig7)) {
         (Some(path), true) => Some(RowStream::create(path, &fig7_json_header(small))?),
@@ -427,12 +574,30 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
         (Some(path), true) => Some(RowStream::create(path, &table2_json_header(small))?),
         _ => None,
     };
+    let mut crosscheck_stream = match (&outs.crosscheck, manifest.wants(Figure::Crosscheck)) {
+        (Some(path), true) => Some(RowStream::create(
+            path,
+            &crosscheck_json_header(CROSSCHECK_THREADS),
+        )?),
+        _ => None,
+    };
+    // Only sweep jobs contribute trace rows: the simulator is
+    // single-threaded and deterministic, so the artifact byte-diffs across
+    // `--jobs` widths. Native (cross-check) traces are deterministic in
+    // validate/commit order but not in content for racy workloads, so they
+    // stay out of this artifact and are only persisted by failure capture.
+    let mut trace_stream = match (&outs.trace, sweep_wanted) {
+        (Some(path), true) => Some(RowStream::create(path, &trace_json_header(small))?),
+        _ => None,
+    };
 
     let mut fig7_rows: Vec<Fig7Row> = Vec::new();
     let mut harness_rows: Vec<HarnessPerfRow> = Vec::new();
     let mut table2_rows: Vec<Table2Row> = Vec::new();
     let mut ablation_rows: Vec<AblationRow> = Vec::new();
+    let mut crosscheck_rows: Vec<CrosscheckRow> = Vec::new();
     let mut sweep_summaries: Vec<(String, BackendRunSummary)> = Vec::new();
+    let mut job_observability: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut seq_cycles: HashMap<String, u64> = HashMap::new();
     let mut pending_table2: HashMap<String, (Table2Row, usize)> = HashMap::new();
     let mut simulated_cycles = 0u64;
@@ -442,7 +607,7 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
     let fig7_wanted = manifest.wants(Figure::Fig7);
     let harness_wanted = manifest.wants(Figure::Harness);
 
-    let stats = spice_farm::run_jobs(jobs, manifest.jobs, |result| {
+    let mut stats = spice_farm::run_jobs(jobs, manifest.jobs, |result| {
         if first_error.is_some() {
             return;
         }
@@ -460,9 +625,15 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
                     mode,
                     build_nanos,
                     run,
+                    trace,
                 } => {
                     simulated_cycles = simulated_cycles.saturating_add(run.cycles);
                     sim_nanos += run.sim_nanos;
+                    let squashes = run.summary.as_ref().map_or(0, |s| s.squashed_chunks as u64);
+                    job_observability.insert(result.id, (trace.len() as u64, squashes));
+                    if let Some(s) = &mut trace_stream {
+                        s.push_row(&trace_job_json(&result.label, &trace))?;
+                    }
                     if let Some(summary) = &run.summary {
                         sweep_summaries.push((result.label.clone(), summary.clone()));
                     }
@@ -526,6 +697,14 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
                     }
                 }
                 Payload::Ablation(row) => ablation_rows.push(*row),
+                Payload::Crosscheck(row) => {
+                    let squashes = (row.sim.squashed_chunks + row.native.squashed_chunks) as u64;
+                    job_observability.insert(result.id, (0, squashes));
+                    if let Some(s) = &mut crosscheck_stream {
+                        s.push_row(&crosscheck_json_row(&row))?;
+                    }
+                    crosscheck_rows.push(*row);
+                }
             }
             Ok(())
         })();
@@ -533,6 +712,10 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
             first_error = Some(e);
         }
     });
+
+    for (id, (events, squashes)) in &job_observability {
+        stats.annotate(*id, *events, *squashes);
+    }
 
     if let Some(e) = first_error {
         return Err(e);
@@ -546,12 +729,19 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
     if let Some(s) = table2_stream {
         s.finish(&table2_json_footer())?;
     }
+    if let Some(s) = crosscheck_stream {
+        s.finish(&crosscheck_json_footer(&crosscheck_rows))?;
+    }
+    if let Some(s) = trace_stream {
+        s.finish(&trace_json_footer())?;
+    }
 
     Ok(FarmReport {
         fig7_rows,
         harness_rows,
         table2_rows,
         ablation_rows,
+        crosscheck_rows,
         sweep_summaries,
         stats,
         cache: cache.stats(),
@@ -573,6 +763,10 @@ mod tests {
             Figure::parse_list("fig7, table2").unwrap(),
             vec![Figure::Fig7, Figure::Table2]
         );
+        assert_eq!(
+            Figure::parse_list("crosscheck").unwrap(),
+            vec![Figure::Crosscheck]
+        );
         assert_eq!(Figure::parse_list("").unwrap(), Vec::<Figure>::new());
         assert!(Figure::parse_list("fig9").is_err());
     }
@@ -584,6 +778,7 @@ mod tests {
             harness_rows: Vec::new(),
             table2_rows: Vec::new(),
             ablation_rows: Vec::new(),
+            crosscheck_rows: Vec::new(),
             sweep_summaries: Vec::new(),
             stats: FarmStats {
                 jobs: 21,
@@ -591,6 +786,14 @@ mod tests {
                 failures: 0,
                 total_job_nanos: 8_000_000_000,
                 wall_nanos: 2_000_000_000,
+                details: vec![spice_farm::JobMetric {
+                    id: 0,
+                    label: "sweep/ks/spice4".to_string(),
+                    host_nanos: 1_000_000,
+                    ok: true,
+                    events: 42,
+                    squashes: 3,
+                }],
             },
             cache: CacheStats {
                 hits: 3,
@@ -614,5 +817,16 @@ mod tests {
             crate::json::extract_number(&doc, "ns_per_simulated_cycle"),
             Some(50.0)
         );
+        assert!(doc.contains("\"job_metrics\": [\n"), "{doc}");
+        assert!(
+            doc.contains("{\"label\": \"sweep/ks/spice4\", \"host_nanos\": 1000000, \"ok\": true, \"events\": 42, \"squashes\": 3}"),
+            "{doc}"
+        );
+    }
+
+    #[test]
+    fn labels_sanitize_to_filesystem_safe_names() {
+        assert_eq!(sanitize_label("sweep/ks/spice4"), "sweep_ks_spice4");
+        assert_eq!(sanitize_label("table2/bh/probe-g3"), "table2_bh_probe-g3");
     }
 }

@@ -24,6 +24,7 @@
 pub mod experiments;
 pub mod farm_driver;
 pub mod json;
+pub mod trace_json;
 
 /// Returns the `--jobs N` argument (worker threads), or 0 meaning "size to
 /// the host's parallelism".

@@ -131,6 +131,29 @@ impl SimBackend {
     pub fn last_plan(&self) -> Option<&[crate::predictor::Assignment]> {
         self.loaded.as_ref().map(|l| l.runner.last_plan())
     }
+
+    /// The loaded machine, for observability drivers (tracing, snapshots,
+    /// `run_until`). `None` before `load`.
+    #[must_use]
+    pub fn machine(&self) -> Option<&Machine> {
+        self.loaded.as_ref().map(|l| &l.machine)
+    }
+
+    /// Mutable access to the loaded machine (enable tracing/snapshots,
+    /// watch addresses). `None` before `load`.
+    pub fn machine_mut(&mut self) -> Option<&mut Machine> {
+        self.loaded.as_mut().map(|l| &mut l.machine)
+    }
+
+    /// Splits the loaded backend into its runner and machine for manual
+    /// invocation driving ([`SpiceRunner::start_invocation`] /
+    /// [`Machine::run_until`] / [`SpiceRunner::finish_invocation`]).
+    /// `None` before `load`.
+    pub fn parts_mut(&mut self) -> Option<(&mut SpiceRunner, &mut Machine)> {
+        self.loaded
+            .as_mut()
+            .map(|l| (&mut l.runner, &mut l.machine))
+    }
 }
 
 impl ExecutionBackend for SimBackend {
@@ -194,6 +217,16 @@ impl ExecutionBackend for SimBackend {
             .map(|w| w.core)
             .collect();
         Ok(report.to_execution_report(&worker_cores))
+    }
+
+    fn enable_trace(&mut self, capacity: usize) {
+        if let Some(l) = self.loaded.as_mut() {
+            l.machine.enable_trace(capacity);
+        }
+    }
+
+    fn trace(&self) -> Option<&spice_ir::TraceRecorder> {
+        self.loaded.as_ref().and_then(|l| l.machine.trace())
     }
 }
 

@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use spice_ir::exec::{ExecutionCost, ExecutionReport, MisspeculationCause, WorkerReport};
-use spice_ir::{FuncId, TrapKind};
+use spice_ir::{FuncId, TraceEvent, TrapKind};
 use spice_sim::machine::RunSummary;
 use spice_sim::{InvocationStats, Machine, SimError};
 
@@ -128,6 +128,7 @@ pub struct SpiceRunner {
     spice: SpiceParallelLoop,
     stats: InvocationStats,
     last_plan: Vec<Assignment>,
+    invocations: u64,
 }
 
 impl SpiceRunner {
@@ -140,6 +141,7 @@ impl SpiceRunner {
             spice,
             stats: InvocationStats::new(),
             last_plan: Vec::new(),
+            invocations: 0,
         }
     }
 
@@ -179,6 +181,25 @@ impl SpiceRunner {
         machine: &mut Machine,
         args: &[i64],
     ) -> Result<InvocationReport, PipelineError> {
+        self.start_invocation(machine, args)?;
+        self.finish_invocation(machine)
+    }
+
+    /// First half of [`SpiceRunner::run_invocation`]: clears threads, resets
+    /// the clock, exempts the predictor arrays from conflict detection, and
+    /// spawns the main thread and every worker — but does not simulate.
+    /// Time-travel drivers use this with [`Machine::run_until`] to pause an
+    /// invocation mid-flight, snapshot it, and finish it (possibly on a
+    /// resumed machine) with [`SpiceRunner::finish_invocation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if a thread cannot be spawned.
+    pub fn start_invocation(
+        &mut self,
+        machine: &mut Machine,
+        args: &[i64],
+    ) -> Result<(), PipelineError> {
         machine.clear_threads();
         machine.reset_cycle_counter();
         // The predictor arrays are runtime metadata ordered by the
@@ -187,15 +208,44 @@ impl SpiceRunner {
         // program-data conflict detector (idempotent, cheap).
         let (lo, hi) = self.spice.layout.address_range();
         machine.set_conflict_exempt(lo, hi);
+        machine.trace_emit(TraceEvent::InvocationBegin {
+            index: self.invocations,
+        });
+        self.invocations += 1;
 
         machine.spawn(0, self.spice.main, args)?;
         for w in &self.spice.workers {
             machine.spawn(w.core, w.func, &[])?;
         }
+        Ok(())
+    }
+
+    /// Second half of [`SpiceRunner::run_invocation`]: simulates the spawned
+    /// threads to completion and reads the plan/feedback back. May be called
+    /// on a machine resumed from a snapshot of the started invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if the simulation fails or the predictor
+    /// arrays cannot be read back.
+    pub fn finish_invocation(
+        &mut self,
+        machine: &mut Machine,
+    ) -> Result<InvocationReport, PipelineError> {
         let summary = machine.run()?;
         self.last_plan = read_plan(&self.spice.layout, machine.mem())?;
         let feedback = read_feedback(&self.spice.layout, machine.mem())?;
         self.stats.record(&summary, feedback.misspeculated);
+        let workers = self.spice.workers.len() as u64;
+        machine.trace_emit(TraceEvent::PredictorPlan {
+            at: summary.cycles,
+            chunks: self.last_plan.len() as u64,
+        });
+        machine.trace_emit(TraceEvent::PredictorFeedback {
+            at: summary.cycles,
+            committed: feedback.valid_workers.min(workers),
+            squashed: workers.saturating_sub(feedback.valid_workers),
+        });
 
         Ok(InvocationReport {
             cycles: summary.cycles,

@@ -82,8 +82,30 @@ pub struct JobResult<T> {
     pub outcome: Result<T, String>,
 }
 
+/// Per-job accounting row of a [`FarmStats`]: engine-measured compute time
+/// plus domain counters (trace events observed, chunks squashed) the caller
+/// fills in after the run — the engine itself does not know what a job
+/// computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobMetric {
+    /// The job's caller-assigned id.
+    pub id: u64,
+    /// The job's label.
+    pub label: String,
+    /// Wall nanoseconds the job's work closure ran for.
+    pub host_nanos: u128,
+    /// Whether the job's outcome was `Ok`.
+    pub ok: bool,
+    /// Trace events the job's backend emitted (0 when tracing was off or
+    /// the caller does not track events).
+    pub events: u64,
+    /// Speculative chunks the job observed being squashed (0 when not
+    /// applicable).
+    pub squashes: u64,
+}
+
 /// Aggregate accounting for one [`run_jobs`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FarmStats {
     /// Jobs submitted (and delivered — every job yields exactly one result).
     pub jobs: usize,
@@ -95,6 +117,19 @@ pub struct FarmStats {
     pub total_job_nanos: u128,
     /// Wall nanoseconds from first spawn to last delivery.
     pub wall_nanos: u128,
+    /// One row per job, in delivery (id) order. `events` / `squashes` are
+    /// zero until the caller annotates them ([`FarmStats::annotate`]).
+    pub details: Vec<JobMetric>,
+}
+
+impl FarmStats {
+    /// Fills a job's domain counters by id (no-op for unknown ids).
+    pub fn annotate(&mut self, id: u64, events: u64, squashes: u64) {
+        if let Some(row) = self.details.iter_mut().find(|r| r.id == id) {
+            row.events = events;
+            row.squashes = squashes;
+        }
+    }
 }
 
 /// Resolves a requested worker count: `0` means "size to the host".
@@ -163,6 +198,7 @@ pub fn run_jobs<T: Send + 'static>(
     let pool = TaskPool::seeded(workers, tasks);
     let mut failures = 0usize;
     let mut total_job_nanos = 0u128;
+    let mut details: Vec<JobMetric> = Vec::with_capacity(total);
 
     std::thread::scope(|scope| {
         for w in 0..pool.workers() {
@@ -188,6 +224,14 @@ pub fn run_jobs<T: Send + 'static>(
                 let Some(ready) = pending.remove(&order[next]) else {
                     break;
                 };
+                details.push(JobMetric {
+                    id: ready.id,
+                    label: ready.label.clone(),
+                    host_nanos: ready.host_nanos,
+                    ok: ready.outcome.is_ok(),
+                    events: 0,
+                    squashes: 0,
+                });
                 sink(ready);
                 next += 1;
             }
@@ -201,6 +245,7 @@ pub fn run_jobs<T: Send + 'static>(
         failures,
         total_job_nanos,
         wall_nanos: started.elapsed().as_nanos(),
+        details,
     }
 }
 

@@ -1,0 +1,97 @@
+//! The `inspect` binary: a thin argument layer over
+//! [`spice_inspect`]'s commands.
+//!
+//! ```text
+//! cargo run -p spice-inspect --bin inspect -- <bench> <command> [args]
+//!   <bench> trace <from> <to>      events with `at` in [from, to]
+//!   <bench> break <cycle>          snapshot-resume to cycle, dump state
+//!   <bench> watch <addr>           record every access of addr
+//!   <bench> why-squash [chunk]     explain dependence-violation squashes
+//! flags: --threads N   speculative worker cores (default 4)
+//! ```
+
+use spice_inspect::{cmd_break, cmd_trace, cmd_watch, cmd_why_squash, run_traced, Observers};
+
+const USAGE: &str = "usage: inspect <bench> <command> [args]
+commands:
+  trace <from> <to>    print events with `at` in [from, to]
+  break <cycle>        resume from the nearest snapshot, pause at cycle,
+                       dump per-core machine state
+  watch <addr>         print every load/store of addr
+  why-squash [chunk]   explain dependence-violation squashes (optionally
+                       a single chunk id)
+flags:
+  --threads N          speculative worker cores (default 4)";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("inspect: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> T {
+    let Some(raw) = arg else {
+        fail(&format!("missing {what}"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| fail(&format!("bad {what}: {raw:?}")))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            let v: usize = parse(args.get(i + 1), "--threads value");
+            args.drain(i..=i + 1);
+            v
+        }
+        None => 4,
+    };
+    let (Some(bench), Some(command)) = (args.first().cloned(), args.get(1).cloned()) else {
+        fail("need a benchmark and a command");
+    };
+
+    let no_observers = Observers {
+        watch: None,
+        snapshot_interval: None,
+    };
+    let report = match command.as_str() {
+        "trace" => {
+            let from: u64 = parse(args.get(2), "trace <from>");
+            let to: u64 = parse(args.get(3), "trace <to>");
+            run_traced(&bench, threads, no_observers).map(|run| cmd_trace(&run, from, to))
+        }
+        "break" => {
+            let cycle: u64 = parse(args.get(2), "break <cycle>");
+            cmd_break(&bench, threads, cycle)
+        }
+        "watch" => {
+            let addr: i64 = parse(args.get(2), "watch <addr>");
+            run_traced(
+                &bench,
+                threads,
+                Observers {
+                    watch: Some(addr),
+                    snapshot_interval: None,
+                },
+            )
+            .map(|run| cmd_watch(&run, addr))
+        }
+        "why-squash" => {
+            let chunk: Option<u64> = args.get(2).map(|raw| {
+                raw.parse()
+                    .unwrap_or_else(|_| fail(&format!("bad chunk id: {raw:?}")))
+            });
+            run_traced(&bench, threads, no_observers).map(|run| cmd_why_squash(&run, chunk))
+        }
+        other => fail(&format!("unknown command {other:?}")),
+    };
+
+    match report {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("inspect: {e}");
+            std::process::exit(1);
+        }
+    }
+}

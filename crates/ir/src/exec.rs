@@ -443,6 +443,17 @@ pub trait ExecutionBackend {
     /// fails. Mis-speculation is *not* an error — it is reported in the
     /// [`ExecutionReport`].
     fn run_invocation(&mut self, args: &[i64]) -> Result<ExecutionReport, BackendError>;
+
+    /// Turns on structured event tracing with a ring buffer of `capacity`
+    /// events. Backends that do not support tracing ignore the call; tracing
+    /// is observational only and must never change execution outcomes (for
+    /// the simulator: never change simulated cycles).
+    fn enable_trace(&mut self, _capacity: usize) {}
+
+    /// The trace recorded so far, if tracing is supported and enabled.
+    fn trace(&self) -> Option<&crate::trace::TraceRecorder> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -205,6 +205,37 @@ impl AccessSet {
         best.map(|grain| grain << self.granularity_log2)
     }
 
+    /// Number of grains present in both sets — the size of the
+    /// intersection at this set's granularity. Diagnostics only (squash
+    /// forensics count real vs coarsening-invented conflicts with it); the
+    /// hot conflict check stays [`AccessSet::first_overlap`].
+    #[must_use]
+    pub fn overlap_count(&self, other: &AccessSet) -> usize {
+        debug_assert_eq!(
+            self.granularity_log2, other.granularity_log2,
+            "intersecting sets of different granularity is meaningless"
+        );
+        let (Some(a), Some(b)) = (self.span, other.span) else {
+            return 0;
+        };
+        if a.1 < b.0 || b.1 < a.0 {
+            return 0;
+        }
+        let (small, large) = if self.pages.len() <= other.pages.len() {
+            (&self.pages, &other.pages)
+        } else {
+            (&other.pages, &self.pages)
+        };
+        small
+            .entries()
+            .iter()
+            .map(|&(page, bits)| match large.get(page) {
+                Some(other_bits) => (bits & other_bits).count_ones() as usize,
+                None => 0,
+            })
+            .sum()
+    }
+
     /// Removes every address, recycling the set (and its page-table storage)
     /// for a new epoch.
     pub fn clear(&mut self) {
@@ -380,6 +411,24 @@ mod tests {
         assert!(!lo_half.intersects(&hi_half));
         hi_half.insert(31);
         assert_eq!(lo_half.first_overlap(&hi_half), Some(31));
+    }
+
+    #[test]
+    fn overlap_count_matches_intersection_size() {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        assert_eq!(a.overlap_count(&b), 0);
+        a.extend([10, 200, 3000, 3001]);
+        b.extend([200, 3000, 9999]);
+        assert_eq!(a.overlap_count(&b), 2);
+        assert_eq!(b.overlap_count(&a), 2);
+        // Coarsened sets count grains, so two words in one line are one
+        // overlap — the word-vs-line delta is the false-conflict count.
+        let mut ga = AccessSet::with_granularity(3);
+        let mut gb = AccessSet::with_granularity(3);
+        ga.extend([16, 17]);
+        gb.insert(23); // same 8-word grain as both
+        assert_eq!(ga.overlap_count(&gb), 1);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod liveness;
 pub mod loops;
 pub mod pretty;
 pub mod reduction;
+pub mod trace;
 mod types;
 pub mod verify;
 
@@ -91,6 +92,7 @@ pub use exec::{
 };
 pub use function::{Block, Function, Global, Program, GLOBAL_BASE};
 pub use inst::{Inst, InstClass, Successors, Terminator};
+pub use trace::{SquashForensics, TraceEvent, TraceRecorder, TraceSink};
 pub use types::{BinOp, BlockId, FuncId, Operand, Reg, TrapKind};
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! that a "chunk" here is a slice of the *source loop's* iteration space
 //! rather than of a hand-written [`ChunkKernel`](crate::chunks::ChunkKernel).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
@@ -45,7 +46,10 @@ use spice_ir::exec::{
 };
 use spice_ir::interp::{FlatMemory, MemPort, StepEvent, SysPort, ThreadState};
 use spice_ir::reduction::ReductionKind;
-use spice_ir::{BlockId, DecodedProgram, FuncId, InstClass, Program, Reg, TrapKind};
+use spice_ir::{
+    BlockId, DecodedProgram, FuncId, InstClass, Program, Reg, SquashForensics, TraceEvent,
+    TraceRecorder, TraceSink, TrapKind,
+};
 
 use crate::chunks::chunk_memo_plan;
 use crate::heap::{SharedHeap, SpecView};
@@ -70,6 +74,44 @@ pub struct NativeLoopBackend {
     step_budget: u64,
     loaded: Option<Loaded>,
     pool: Option<WorkerPool>,
+    tracing: NativeTracing,
+}
+
+/// Trace mirror state for the native backend. The simulator's chunk
+/// lifecycle subset (`ChunkBegin`/`ChunkValidate`/`ChunkCommit`/
+/// `ChunkSquash`, plus invocation and predictor markers) is re-emitted
+/// here — exclusively from the ordered main-thread sections of
+/// `run_invocation`, so the trace is deterministic regardless of how the
+/// host schedules the worker threads. `at` carries a monotone sequence
+/// number in place of a simulated cycle.
+#[derive(Debug, Default)]
+struct NativeTracing {
+    rec: Option<TraceRecorder>,
+    /// Monotone event sequence number (the native `at` coordinate).
+    seq: u64,
+    /// Monotone chunk id allocator; never reset, so ids are unique across
+    /// invocations like the simulator's forensic chunk ids.
+    chunk_next: u64,
+    /// Zero-based invocation counter for `InvocationBegin`.
+    invocations: u64,
+}
+
+impl NativeTracing {
+    fn on(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    fn next_at(&mut self) -> u64 {
+        let at = self.seq;
+        self.seq += 1;
+        at
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(rec) = self.rec.as_mut() {
+            rec.emit(event);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -313,6 +355,7 @@ impl NativeLoopBackend {
             step_budget: DEFAULT_STEP_BUDGET,
             loaded: None,
             pool: None,
+            tracing: NativeTracing::default(),
         }
     }
 
@@ -376,6 +419,16 @@ impl ExecutionBackend for NativeLoopBackend {
         self.threads
     }
 
+    fn enable_trace(&mut self, capacity: usize) {
+        if self.tracing.rec.is_none() {
+            self.tracing.rec = Some(TraceRecorder::new(capacity));
+        }
+    }
+
+    fn trace(&self) -> Option<&TraceRecorder> {
+        self.tracing.rec.as_ref()
+    }
+
     fn load(
         &mut self,
         program: Program,
@@ -426,6 +479,10 @@ impl ExecutionBackend for NativeLoopBackend {
         let workers = threads - 1;
         let loaded = self.loaded.as_mut().ok_or(BackendError::NotLoaded)?;
         let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(threads));
+        let tracing = &mut self.tracing;
+        let invocation = tracing.invocations;
+        tracing.invocations += 1;
+        tracing.emit(TraceEvent::InvocationBegin { index: invocation });
 
         // Mirror the canonical memory into the persistent shared heap only
         // when a driver actually touched the image since the last commit —
@@ -464,6 +521,7 @@ impl ExecutionBackend for NativeLoopBackend {
         // new_invocation: hand every predicted worker its task token; the
         // pre-spawned threads wake from their channel recv.
         let mut tasked = vec![false; workers];
+        let mut chunk_ids: Vec<Option<u64>> = vec![None; workers];
         for wi in 0..workers {
             let start = predictions[wi].clone();
             if start.iter().all(|&v| v == 0) {
@@ -491,6 +549,22 @@ impl ExecutionBackend for NativeLoopBackend {
                 return Err(e);
             }
             tasked[wi] = true;
+            if tracing.on() {
+                let id = tracing.chunk_next;
+                tracing.chunk_next += 1;
+                chunk_ids[wi] = Some(id);
+                let at = tracing.next_at();
+                tracing.emit(TraceEvent::ChunkBegin {
+                    at,
+                    core: (wi + 1) as u32,
+                    chunk: id,
+                });
+            }
+        }
+        if tracing.on() {
+            let chunks = tasked.iter().filter(|&&t| t).count() as u64;
+            let at = tracing.next_at();
+            tracing.emit(TraceEvent::PredictorPlan { at, chunks });
         }
 
         // Main (non-speculative) chunk on the calling thread, stopping at
@@ -531,6 +605,14 @@ impl ExecutionBackend for NativeLoopBackend {
         // so recording stops here (the post-squash resume writes are
         // never checked against anything).
         let mut earlier_writes = port.write_log.take().unwrap_or_default();
+        // Word-exact writer attribution for squash forensics: committed
+        // worker chunks publish exact (addr, value) write lists, so a
+        // violating address can be traced back to the chunk that wrote it.
+        // The main chunk's stores are only logged at grain granularity; an
+        // address with no recorded worker writer is therefore attributed to
+        // the main chunk (core 0, no speculative chunk id).
+        let mut writer_by_word: Option<HashMap<i64, (u32, Option<u64>)>> =
+            (detect && tracing.on()).then(HashMap::new);
         let mut committed = 0usize;
         let mut still_valid = main.matched;
         let mut end_reached = false;
@@ -584,6 +666,15 @@ impl ExecutionBackend for NativeLoopBackend {
             } else {
                 None
             };
+            if tracing.on() {
+                let at = tracing.next_at();
+                tracing.emit(TraceEvent::ChunkValidate {
+                    at,
+                    core: (wi + 1) as u32,
+                    chunk: chunk_ids[wi],
+                    conflict,
+                });
+            }
             let valid = still_valid
                 && !end_reached
                 && result.fault.is_none()
@@ -598,6 +689,20 @@ impl ExecutionBackend for NativeLoopBackend {
                 }
                 if detect {
                     earlier_writes.extend(result.writes.iter().map(|(a, _)| *a));
+                }
+                if let Some(map) = writer_by_word.as_mut() {
+                    for &(addr, _) in &result.writes {
+                        map.insert(addr, ((wi + 1) as u32, chunk_ids[wi]));
+                    }
+                }
+                if tracing.on() {
+                    let at = tracing.next_at();
+                    tracing.emit(TraceEvent::ChunkCommit {
+                        at,
+                        core: (wi + 1) as u32,
+                        chunk: chunk_ids[wi],
+                        writes: result.writes.len() as u64,
+                    });
                 }
                 combine_reductions(&spec, &mut main.state, &result.finals);
                 memos.extend(result.memos.iter().cloned());
@@ -621,6 +726,47 @@ impl ExecutionBackend for NativeLoopBackend {
                 } else {
                     MisspeculationCause::StalePrediction
                 };
+                if tracing.on() {
+                    // RAW-chain forensics: the violating grain base address,
+                    // plus writer attribution from the word-exact commit
+                    // log. Native read sets are only kept at the configured
+                    // granularity, so the shared word is certain only with
+                    // exact (word) grains, and the word-vs-grain
+                    // false-conflict count is not measurable here — the
+                    // simulator's word shadow sets cover that side.
+                    let forensics = match cause {
+                        MisspeculationCause::DependenceViolation { addr } => {
+                            let span = 1i64 << granularity_log2;
+                            let writer = writer_by_word.as_ref().and_then(|map| {
+                                (addr..addr + span).find_map(|w| map.get(&w).copied())
+                            });
+                            let (writer_core, writer_chunk) = match writer {
+                                Some((core, chunk)) => (Some(core), chunk),
+                                None => (Some(0), None),
+                            };
+                            Some(SquashForensics {
+                                addr,
+                                word_addr: (granularity_log2 == 0).then_some(addr),
+                                writer_core,
+                                writer_chunk,
+                                writer_site: None,
+                                writer_at: None,
+                                reader_site: None,
+                                false_conflicts: 0,
+                                granularity_log2,
+                            })
+                        }
+                        _ => None,
+                    };
+                    let at = tracing.next_at();
+                    tracing.emit(TraceEvent::ChunkSquash {
+                        at,
+                        core: (wi + 1) as u32,
+                        chunk: chunk_ids[wi],
+                        cause,
+                        forensics,
+                    });
+                }
                 still_valid = false;
                 work.push(0);
                 reports.push(WorkerReport {
@@ -670,6 +816,15 @@ impl ExecutionBackend for NativeLoopBackend {
             }
         }
         loaded.last_work = work.clone();
+
+        if tracing.on() {
+            let at = tracing.next_at();
+            tracing.emit(TraceEvent::PredictorFeedback {
+                at,
+                committed: committed as u64,
+                squashed: (workers - committed) as u64,
+            });
+        }
 
         Ok(ExecutionReport {
             backend: "native",
@@ -1457,6 +1612,125 @@ mod tests {
             saw_violation,
             "speculative chunks never tripped the conflict detector"
         );
+    }
+
+    /// The native backend mirrors the simulator's chunk-lifecycle trace:
+    /// every tasked chunk opens with `ChunkBegin` and resolves through
+    /// `ChunkValidate` into exactly one `ChunkCommit` or `ChunkSquash`, and a
+    /// dependence-violation squash carries RAW forensics naming the
+    /// violating address and a writer.
+    #[test]
+    fn native_trace_mirrors_chunk_lifecycle_with_forensics() {
+        let n: i64 = 200;
+        let v0: i64 = 50;
+        let (program, kernel, nodes) = chained_increment_program(n + 4);
+        let mut backend = NativeLoopBackend::new(4);
+        backend
+            .load(program, kernel, LoadOptions::new(4096, Some(n as u64)))
+            .unwrap();
+        {
+            let mem = backend.mem_mut();
+            for i in 0..n {
+                let addr = nodes + 2 * i;
+                let next = if i + 1 < n { addr + 2 } else { 0 };
+                mem.write(addr, if i == 0 { v0 } else { 0 }).unwrap();
+                mem.write(addr + 1, next).unwrap();
+            }
+        }
+        backend.enable_trace(1 << 12);
+        for _ in 0..5 {
+            backend.run_invocation(&[nodes]).unwrap();
+        }
+
+        let trace = backend.trace().expect("trace enabled");
+        let events: Vec<&TraceEvent> = trace.events().collect();
+
+        // Five invocation markers, indexed in issue order.
+        let indices: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::InvocationBegin { index } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4]);
+
+        // The native `at` coordinate is a strictly monotone sequence.
+        let ats: Vec<u64> = events
+            .iter()
+            .filter(|e| !matches!(e, TraceEvent::InvocationBegin { .. }))
+            .map(|e| e.at())
+            .collect();
+        assert!(ats.windows(2).all(|w| w[0] < w[1]), "ats not monotone");
+
+        // Chunk ids are unique across invocations and every begun chunk is
+        // resolved by exactly one commit or squash.
+        let begun: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ChunkBegin { chunk, .. } => Some(*chunk),
+                _ => None,
+            })
+            .collect();
+        assert!(!begun.is_empty(), "no chunks were tasked");
+        assert!(begun.windows(2).all(|w| w[0] < w[1]), "ids not monotone");
+        let mut resolved: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::ChunkCommit { chunk, .. } | TraceEvent::ChunkSquash { chunk, .. } => {
+                    *chunk
+                }
+                _ => None,
+            })
+            .collect();
+        resolved.sort_unstable();
+        assert_eq!(resolved, begun);
+        let validated = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ChunkValidate { .. }))
+            .count();
+        assert_eq!(validated, begun.len());
+
+        // One plan and one feedback marker per invocation.
+        let plans = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PredictorPlan { .. }))
+            .count();
+        let feedbacks = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PredictorFeedback { .. }))
+            .count();
+        assert_eq!(plans, 5);
+        assert_eq!(feedbacks, 5);
+
+        // The workload's genuine RAW violation is mirrored with forensics:
+        // the violating address lies in the node array, and at the default
+        // exact granularity the shared word is certain.
+        let squash = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::ChunkSquash {
+                    cause: MisspeculationCause::DependenceViolation { addr },
+                    forensics,
+                    ..
+                } => Some((*addr, forensics.as_ref())),
+                _ => None,
+            })
+            .expect("no dependence-violation squash in trace");
+        let (addr, fx) = squash;
+        let fx = fx.expect("dependence violations carry forensics");
+        assert_eq!(fx.addr, addr);
+        assert!(addr >= nodes && addr < nodes + 2 * (n + 4), "addr {addr}");
+        assert_eq!(fx.granularity_log2, 0);
+        assert_eq!(fx.word_addr, Some(addr));
+        assert!(fx.writer_core.is_some());
+
+        // The recorder's lifetime squash counter agrees with the events.
+        let squashes = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ChunkSquash { .. }))
+            .count() as u64;
+        assert_eq!(trace.squashes(), squashes);
     }
 
     /// Regression: the loop's *entry code* loads a global that the loop body

@@ -60,6 +60,8 @@ pub mod specbuf;
 pub mod stats;
 
 pub use config::{CacheConfig, CoreConfig, MachineConfig, WritePolicy};
-pub use machine::{ActivityTrace, CoreReport, CycleAttribution, Machine, RunSummary, SimError};
+pub use machine::{
+    ActivityTrace, CoreReport, CycleAttribution, Machine, MachineSnapshot, RunSummary, SimError,
+};
 pub use specbuf::SpecBuffer;
 pub use stats::{geomean, speedup, InvocationStats};

@@ -26,7 +26,7 @@
 //! architecture", for the invariant and its boundary conditions.
 
 use std::cell::{Cell, RefCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -35,9 +35,12 @@ use spice_ir::exec::AccessSet;
 use spice_ir::interp::{
     ChannelTable, FlatMemory, MemPort, StepEvent, SysPort, ThreadState, ThreadStatus,
 };
-use spice_ir::{BlockId, DecodedProgram, FuncId, InstClass, Program, TrapKind};
+use spice_ir::{
+    BlockId, DecodedProgram, FuncId, InstClass, MisspeculationCause, Program, SquashForensics,
+    TraceEvent, TraceRecorder, TraceSink, TrapKind,
+};
 
-use crate::cache::{MemAccessStats, MemoryHierarchy};
+use crate::cache::{HitLevel, MemAccessStats, MemoryHierarchy};
 use crate::config::MachineConfig;
 use crate::specbuf::SpecBuffer;
 
@@ -125,9 +128,59 @@ impl ChannelNet {
 /// see [`SpecBuffer::load`] for the rule and keep the two in sync. (The
 /// machine turns the buffer-local recording *off* — this tracker is the one
 /// copy it consults.)
-#[derive(Debug)]
+/// Origin of the most recent architectural write to one word this epoch —
+/// forensic metadata only, consulted when a squash needs explaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WriteOrigin {
+    core: u32,
+    /// Chunk id the writer was inside when the word became architectural
+    /// (`None` for the non-speculative main chunk).
+    chunk: Option<u64>,
+    func: FuncId,
+    block: BlockId,
+    at: u64,
+}
+
+/// Optional per-address attribution kept alongside the conflict sets while
+/// tracing is on: which site last wrote each word this epoch, where each
+/// core's speculative reads came from, and *word-granular* shadows of the
+/// (possibly coarser-grained) detection sets so a squash can be classified
+/// as a true RAW or a false conflict the coarsening invented. Forensics are
+/// an observer — they never feed back into verdicts.
+#[derive(Debug, Clone)]
+struct Forensics {
+    /// Monotone chunk-id allocator (never reset, so ids are unique within a
+    /// traced machine's lifetime).
+    next_chunk: u64,
+    /// Chunk id currently active per core, if any.
+    cur_chunk: Vec<Option<u64>>,
+    /// Last architectural writer per word address this epoch.
+    writers: HashMap<i64, WriteOrigin>,
+    /// Per core: site and cycle of the first speculative read of each word.
+    read_sites: Vec<HashMap<i64, (FuncId, BlockId, u64)>>,
+    /// Word-granular shadow of `epoch_writes`.
+    epoch_writes_words: AccessSet,
+    /// Word-granular shadows of `read_sets`.
+    read_sets_words: Vec<AccessSet>,
+}
+
+impl Forensics {
+    fn new(cores: usize) -> Self {
+        Forensics {
+            next_chunk: 0,
+            cur_chunk: vec![None; cores],
+            writers: HashMap::new(),
+            read_sites: vec![HashMap::new(); cores],
+            epoch_writes_words: AccessSet::new(),
+            read_sets_words: vec![AccessSet::new(); cores],
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
 struct ConflictTracker {
     enabled: bool,
+    granularity_log2: u8,
     /// Half-open address range `[lo, hi)` excluded from tracking: the value
     /// predictor's shared arrays (`sva`/`svat`/`svai`/`work`/…). They are
     /// runtime metadata whose accesses are ordered by the `new_invocation`
@@ -150,17 +203,30 @@ struct ConflictTracker {
     read_sets: RefCell<Vec<AccessSet>>,
     /// First conflicting word address found per core this epoch, if any.
     verdicts: RefCell<Vec<Option<i64>>>,
+    /// Squash-forensics attribution, present only while tracing is on.
+    forensics: RefCell<Option<Box<Forensics>>>,
 }
 
 impl ConflictTracker {
     fn new(cores: usize, enabled: bool, granularity_log2: u8) -> Self {
         ConflictTracker {
             enabled,
+            granularity_log2,
             exempt: None,
             active_chunks: Cell::new(0),
             epoch_writes: RefCell::new(AccessSet::with_granularity(granularity_log2)),
             read_sets: RefCell::new(vec![AccessSet::with_granularity(granularity_log2); cores]),
             verdicts: RefCell::new(vec![None; cores]),
+            forensics: RefCell::new(None),
+        }
+    }
+
+    /// Turns on squash forensics (idempotent; chunk ids keep counting).
+    fn enable_forensics(&self) {
+        let mut guard = self.forensics.borrow_mut();
+        if guard.is_none() {
+            let cores = self.read_sets.borrow().len();
+            *guard = Some(Box::new(Forensics::new(cores)));
         }
     }
 
@@ -185,11 +251,95 @@ impl ConflictTracker {
         }
     }
 
-    /// Starts a core's speculative chunk (`spec.begin` retired).
-    fn start_chunk(&self) {
+    /// Forensic twin of [`ConflictTracker::record_read`], called by the port
+    /// on the same gating path when tracing is on: remembers the word-exact
+    /// read and its first site.
+    fn note_read(&self, core: usize, addr: i64, func: FuncId, block: BlockId, at: u64) {
+        if !self.enabled || self.is_exempt(addr) {
+            return;
+        }
+        if let Some(f) = self.forensics.borrow_mut().as_mut() {
+            f.read_sets_words[core].insert(addr);
+            f.read_sites[core].entry(addr).or_insert((func, block, at));
+        }
+    }
+
+    /// Forensic twin of [`ConflictTracker::record_write`]: remembers the
+    /// word-exact write and its origin (core, active chunk, site, cycle).
+    fn note_write(&self, core: usize, addr: i64, func: FuncId, block: BlockId, at: u64) {
+        if !self.enabled || self.active_chunks.get() == 0 || self.is_exempt(addr) {
+            return;
+        }
+        if let Some(f) = self.forensics.borrow_mut().as_mut() {
+            f.epoch_writes_words.insert(addr);
+            let chunk = f.cur_chunk[core];
+            f.writers.insert(
+                addr,
+                WriteOrigin {
+                    core: core as u32,
+                    chunk,
+                    func,
+                    block,
+                    at,
+                },
+            );
+        }
+    }
+
+    /// Starts a core's speculative chunk (`spec.begin` retired). Returns the
+    /// forensic chunk id, if forensics are on.
+    fn start_chunk(&self, core: usize) -> Option<u64> {
         if self.enabled {
             self.active_chunks.set(self.active_chunks.get() + 1);
         }
+        self.forensics.borrow_mut().as_mut().map(|f| {
+            let id = f.next_chunk;
+            f.next_chunk += 1;
+            f.cur_chunk[core] = Some(id);
+            id
+        })
+    }
+
+    /// The forensic chunk id currently active on `core`, if any.
+    fn current_chunk(&self, core: usize) -> Option<u64> {
+        self.forensics
+            .borrow()
+            .as_ref()
+            .and_then(|f| f.cur_chunk[core])
+    }
+
+    /// Reconstructs the RAW chain behind `core`'s pending conflict verdict.
+    /// Must run *before* [`ConflictTracker::end_chunk`] consumes the read
+    /// set. Returns `None` when forensics are off or no overlap exists.
+    fn squash_forensics(&self, core: usize) -> Option<SquashForensics> {
+        let guard = self.forensics.borrow();
+        let f = guard.as_ref()?;
+        let grain_reads = self.read_sets.borrow();
+        let grain_writes = self.epoch_writes.borrow();
+        let addr = grain_reads.get(core)?.first_overlap(&grain_writes)?;
+        let word_addr = f.read_sets_words[core].first_overlap(&f.epoch_writes_words);
+        let grain_overlaps = grain_reads[core].overlap_count(&grain_writes) as u64;
+        let word_overlaps = f.read_sets_words[core].overlap_count(&f.epoch_writes_words) as u64;
+        let span = 1i64 << self.granularity_log2;
+        // Word-exact overlap first; for a pure false conflict, fall back to
+        // whichever word of the guilty grain each side actually touched.
+        let writer = word_addr
+            .and_then(|w| f.writers.get(&w))
+            .or_else(|| (addr..addr + span).find_map(|w| f.writers.get(&w)));
+        let reader = word_addr
+            .and_then(|w| f.read_sites[core].get(&w))
+            .or_else(|| (addr..addr + span).find_map(|w| f.read_sites[core].get(&w)));
+        Some(SquashForensics {
+            addr,
+            word_addr,
+            writer_core: writer.map(|w| w.core),
+            writer_chunk: writer.and_then(|w| w.chunk),
+            writer_site: writer.map(|w| (w.func, w.block)),
+            writer_at: writer.map(|w| w.at),
+            reader_site: reader.map(|&(func, block, _)| (func, block)),
+            false_conflicts: grain_overlaps.saturating_sub(word_overlaps),
+            granularity_log2: self.granularity_log2,
+        })
     }
 
     /// Ends a core's speculative chunk (commit or abort): its read set is
@@ -199,6 +349,11 @@ impl ConflictTracker {
             self.read_sets.borrow_mut()[core].clear();
             self.active_chunks
                 .set(self.active_chunks.get().saturating_sub(1));
+        }
+        if let Some(f) = self.forensics.borrow_mut().as_mut() {
+            f.read_sets_words[core].clear();
+            f.read_sites[core].clear();
+            f.cur_chunk[core] = None;
         }
     }
 
@@ -227,6 +382,7 @@ impl ConflictTracker {
     }
 
     /// Starts a new epoch (loop invocation): all sets and verdicts reset.
+    /// Forensic chunk ids stay monotone across epochs.
     fn clear_epoch(&self) {
         self.active_chunks.set(0);
         self.epoch_writes.borrow_mut().clear();
@@ -235,6 +391,19 @@ impl ConflictTracker {
         }
         for v in self.verdicts.borrow_mut().iter_mut() {
             *v = None;
+        }
+        if let Some(f) = self.forensics.borrow_mut().as_mut() {
+            f.writers.clear();
+            f.epoch_writes_words.clear();
+            for s in f.read_sets_words.iter_mut() {
+                s.clear();
+            }
+            for m in f.read_sites.iter_mut() {
+                m.clear();
+            }
+            for c in f.cur_chunk.iter_mut() {
+                *c = None;
+            }
         }
     }
 }
@@ -364,6 +533,17 @@ enum CoreCycleEnd {
     Trapped,
 }
 
+/// One memory access observed by the tracing layer (recorded, not replayed:
+/// purely an event payload).
+#[derive(Debug, Clone, Copy)]
+struct MemAccess {
+    addr: i64,
+    value: i64,
+    is_store: bool,
+    /// Whether the access missed every cache level.
+    missed: bool,
+}
+
 struct CoreMemPort<'a> {
     mem: &'a mut FlatMemory,
     hier: &'a mut MemoryHierarchy,
@@ -371,26 +551,54 @@ struct CoreMemPort<'a> {
     conflicts: &'a ConflictTracker,
     core: usize,
     latency: u64,
+    /// Tracing support, all inert unless `record` is set: the issuing
+    /// instruction's site and cycle, and the access the current step made.
+    record: bool,
+    site: (FuncId, BlockId),
+    now: u64,
+    accessed: Option<MemAccess>,
 }
 
 impl MemPort for CoreMemPort<'_> {
     fn load(&mut self, addr: i64) -> Result<i64, TrapKind> {
-        let (lat, _) = self.hier.load(self.core, addr);
+        let (lat, level) = self.hier.load(self.core, addr);
         self.latency += lat;
-        if let Some(v) = self.spec.load(addr) {
-            return Ok(v);
+        let value = if let Some(v) = self.spec.load(addr) {
+            v
+        } else {
+            if self.spec.is_active() {
+                // A speculative load that missed the store buffer may observe
+                // a stale word: it joins the conflict detector's read set.
+                self.conflicts.record_read(self.core, addr);
+                if self.record {
+                    self.conflicts
+                        .note_read(self.core, addr, self.site.0, self.site.1, self.now);
+                }
+            }
+            self.mem.read(addr)?
+        };
+        if self.record {
+            self.accessed = Some(MemAccess {
+                addr,
+                value,
+                is_store: false,
+                missed: level == HitLevel::Memory,
+            });
         }
-        if self.spec.is_active() {
-            // A speculative load that missed the store buffer may observe a
-            // stale word: it joins the conflict detector's read set.
-            self.conflicts.record_read(self.core, addr);
-        }
-        self.mem.read(addr)
+        Ok(value)
     }
 
     fn store(&mut self, addr: i64, value: i64) -> Result<(), TrapKind> {
-        let (lat, _) = self.hier.store(self.core, addr);
+        let (lat, level) = self.hier.store(self.core, addr);
         self.latency += lat;
+        if self.record {
+            self.accessed = Some(MemAccess {
+                addr,
+                value,
+                is_store: true,
+                missed: level == HitLevel::Memory,
+            });
+        }
         if self.spec.is_active() {
             // Validate the address eagerly so that wild speculative stores
             // trap like real ones would (the squash path recovers them).
@@ -404,6 +612,10 @@ impl MemPort for CoreMemPort<'_> {
             // the epoch's committed-write set as far as later chunks are
             // concerned (the main thread's chunk 0 in a Spice loop).
             self.conflicts.record_write(addr);
+            if self.record {
+                self.conflicts
+                    .note_write(self.core, addr, self.site.0, self.site.1, self.now);
+            }
             self.mem.write(addr, value)
         }
     }
@@ -424,18 +636,30 @@ struct CoreSysPort<'a> {
     /// a blocking receive advertises which arrival would wake it (the
     /// event-driven scheduler's wake-up condition for blocked cores).
     recv_failed_chan: Option<i64>,
+    /// Tracing support, inert unless `record` is set: what the current step
+    /// sent, received, or conflict-checked.
+    record: bool,
+    sent: Option<(i64, i64)>,
+    received: Option<(i64, i64)>,
+    /// `(queried core, verdict)` of a `spec.check` this step.
+    checked: Option<(i64, i64)>,
 }
 
 impl SysPort for CoreSysPort<'_> {
     fn send(&mut self, chan: i64, value: i64) {
+        if self.record {
+            self.sent = Some((chan, value));
+        }
         self.channels
             .send(chan, value, self.now + self.comm_latency);
     }
 
     fn try_recv(&mut self, chan: i64) -> Option<i64> {
         let got = self.channels.try_recv(chan, self.now);
-        if got.is_none() {
-            self.recv_failed_chan = Some(chan);
+        match got {
+            None => self.recv_failed_chan = Some(chan),
+            Some(v) if self.record => self.received = Some((chan, v)),
+            Some(_) => {}
         }
         got
     }
@@ -453,7 +677,11 @@ impl SysPort for CoreSysPort<'_> {
     }
 
     fn spec_conflict(&mut self, core: i64) -> i64 {
-        self.conflicts.query(core)
+        let verdict = self.conflicts.query(core);
+        if self.record {
+            self.checked = Some((core, verdict));
+        }
+        verdict
     }
 
     fn resteer(&mut self, core: i64, target: BlockId) {
@@ -461,7 +689,7 @@ impl SysPort for CoreSysPort<'_> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CoreState {
     thread: Option<ThreadState>,
     spec: SpecBuffer,
@@ -505,6 +733,7 @@ struct CoreRun<'a> {
     decoded: &'a DecodedProgram,
     activity: &'a mut Option<ActivityTrace>,
     attribution: &'a mut Option<CycleAttribution>,
+    trace: &'a mut Option<TraceRecorder>,
     conflicts: &'a ConflictTracker,
     cycle: &'a mut u64,
     thread: &'a mut ThreadState,
@@ -533,6 +762,7 @@ impl<'a> CoreRun<'a> {
             cycle,
             activity,
             attribution,
+            trace,
             ..
         } = m;
         let CoreState {
@@ -547,6 +777,7 @@ impl<'a> CoreRun<'a> {
             done,
         } = &mut cores[i];
         let thread = thread.as_mut().expect("core has a runnable thread");
+        let record = trace.is_some();
         CoreRun {
             i,
             issue_width: config.core.issue_width.max(1),
@@ -554,6 +785,7 @@ impl<'a> CoreRun<'a> {
             decoded,
             activity,
             attribution,
+            trace,
             conflicts,
             cycle,
             thread,
@@ -564,6 +796,10 @@ impl<'a> CoreRun<'a> {
                 conflicts,
                 core: i,
                 latency: 0,
+                record,
+                site: (FuncId(0), BlockId(0)),
+                now: 0,
+                accessed: None,
             },
             sys_port: CoreSysPort {
                 channels,
@@ -573,6 +809,10 @@ impl<'a> CoreRun<'a> {
                 comm_latency: config.inter_core_latency,
                 spec_action: None,
                 recv_failed_chan: None,
+                record,
+                sent: None,
+                received: None,
+                checked: None,
             },
             busy_until,
             stall,
@@ -589,16 +829,28 @@ impl<'a> CoreRun<'a> {
         self.sys_port.now = now;
         let mut issued_this_cycle = 0u64;
         // Source location of the instruction about to retire, captured only
-        // when attribution is on: the group's whole busy interval is charged
-        // to the location of the instruction that *ends* the group.
+        // when an observer (attribution or tracing) is on: the group's whole
+        // busy interval is charged to the location of the instruction that
+        // *ends* the group.
         let attributing = self.attribution.is_some();
+        let tracing = self.trace.is_some();
+        let observing = attributing || tracing;
         let mut src = (FuncId(0), BlockId(0));
+        let mut group_retired = 0u32;
         loop {
             self.mem_port.latency = 0;
             self.sys_port.spec_action = None;
             self.sys_port.recv_failed_chan = None;
-            if attributing {
+            if tracing {
+                self.mem_port.accessed = None;
+                self.sys_port.sent = None;
+                self.sys_port.received = None;
+                self.sys_port.checked = None;
+            }
+            if observing {
                 src = (self.thread.current_func(), self.thread.current_block());
+                self.mem_port.site = src;
+                self.mem_port.now = now;
             }
             let result = self
                 .thread
@@ -607,6 +859,7 @@ impl<'a> CoreRun<'a> {
             match result {
                 Ok(StepEvent::Executed(info)) => {
                     self.report.retired += 1;
+                    group_retired += 1;
                     self.class_counts[info.class().index()] += 1;
                     if let Some(a) = self.activity {
                         a.record(self.i, now);
@@ -621,6 +874,9 @@ impl<'a> CoreRun<'a> {
                             // horizon/stall writes are deferred to the
                             // instruction that ends the group — they would
                             // only be overwritten.)
+                            if tracing {
+                                self.emit_port_events(now, src);
+                            }
                             continue;
                         }
                         *self.busy_until = now + 1;
@@ -629,6 +885,10 @@ impl<'a> CoreRun<'a> {
                         *self.waiting_chan = None;
                         if let Some(a) = self.attribution.as_mut() {
                             a.add(src.0, src.1, 1);
+                        }
+                        if tracing {
+                            self.emit_port_events(now, src);
+                            self.emit_retire(now, src, group_retired);
                         }
                         return CoreCycleEnd::Ran;
                     }
@@ -645,11 +905,20 @@ impl<'a> CoreRun<'a> {
                     match self.sys_port.spec_action {
                         Some(SpecAction::Begin) => {
                             self.mem_port.spec.begin();
-                            self.conflicts.start_chunk();
+                            let chunk = self.conflicts.start_chunk(self.i);
+                            if let (Some(t), Some(chunk)) = (self.trace.as_mut(), chunk) {
+                                t.emit(TraceEvent::ChunkBegin {
+                                    at: now,
+                                    core: self.i as u32,
+                                    chunk,
+                                });
+                            }
                         }
                         Some(SpecAction::Commit) => {
                             let writes = self.mem_port.spec.take_commit();
                             self.report.spec_commits += 1;
+                            let chunk = self.conflicts.current_chunk(self.i);
+                            let drained = writes.len() as u64;
                             let mut extra = 0;
                             for (addr, value) in writes {
                                 // Committed writes drain through the
@@ -659,20 +928,56 @@ impl<'a> CoreRun<'a> {
                                 let (lat, _) = self.mem_port.hier.store(self.i, addr);
                                 extra += lat.min(self.config.l2.hit_latency);
                                 self.conflicts.record_write(addr);
+                                if self.mem_port.record {
+                                    self.conflicts.note_write(self.i, addr, src.0, src.1, now);
+                                }
                                 let _ = self.mem_port.mem.write(addr, value);
                             }
                             self.conflicts.end_chunk(self.i);
                             *self.busy_until += extra;
+                            if let Some(t) = self.trace.as_mut() {
+                                t.emit(TraceEvent::ChunkCommit {
+                                    at: now,
+                                    core: self.i as u32,
+                                    chunk,
+                                    writes: drained,
+                                });
+                            }
                         }
                         Some(SpecAction::Abort) => {
+                            // Forensics must be read out before `end_chunk`
+                            // consumes the read set they explain.
+                            let chunk = self.conflicts.current_chunk(self.i);
+                            let forensics = if tracing {
+                                self.conflicts.squash_forensics(self.i)
+                            } else {
+                                None
+                            };
                             self.mem_port.spec.abort();
                             self.report.spec_aborts += 1;
                             self.conflicts.end_chunk(self.i);
+                            if let Some(t) = self.trace.as_mut() {
+                                let cause = match self.conflicts.verdict(self.i) {
+                                    Some(addr) => MisspeculationCause::DependenceViolation { addr },
+                                    None => MisspeculationCause::StalePrediction,
+                                };
+                                t.emit(TraceEvent::ChunkSquash {
+                                    at: now,
+                                    core: self.i as u32,
+                                    chunk,
+                                    cause,
+                                    forensics,
+                                });
+                            }
                         }
                         None => {}
                     }
                     if let Some(a) = self.attribution.as_mut() {
                         a.add(src.0, src.1, *self.busy_until - now);
+                    }
+                    if tracing {
+                        self.emit_port_events(now, src);
+                        self.emit_retire(now, src, group_retired);
                     }
                     return CoreCycleEnd::Ran;
                 }
@@ -703,6 +1008,85 @@ impl<'a> CoreRun<'a> {
                     return CoreCycleEnd::Trapped;
                 }
             }
+        }
+    }
+
+    /// Drains the ports' per-step recordings into trace events. Only called
+    /// while tracing; purely observational.
+    fn emit_port_events(&mut self, now: u64, src: (FuncId, BlockId)) {
+        let core = self.i as u32;
+        if let Some((chan, value)) = self.sys_port.sent.take() {
+            if let Some(t) = self.trace.as_mut() {
+                t.emit(TraceEvent::ChannelSend {
+                    at: now,
+                    core,
+                    chan,
+                    value,
+                });
+            }
+        }
+        if let Some((chan, value)) = self.sys_port.received.take() {
+            if let Some(t) = self.trace.as_mut() {
+                t.emit(TraceEvent::ChannelRecv {
+                    at: now,
+                    core,
+                    chan,
+                    value,
+                });
+            }
+        }
+        if let Some((queried, verdict)) = self.sys_port.checked.take() {
+            let idx = usize::try_from(queried).ok();
+            let chunk = idx.and_then(|q| self.conflicts.current_chunk(q));
+            let conflict = if verdict != 0 {
+                idx.and_then(|q| self.conflicts.verdict(q))
+            } else {
+                None
+            };
+            if let Some(t) = self.trace.as_mut() {
+                t.emit(TraceEvent::ChunkValidate {
+                    at: now,
+                    core: u32::try_from(queried).unwrap_or(u32::MAX),
+                    chunk,
+                    conflict,
+                });
+            }
+        }
+        if let Some(a) = self.mem_port.accessed.take() {
+            let Some(t) = self.trace.as_mut() else { return };
+            if a.missed {
+                t.emit(TraceEvent::CacheMiss {
+                    at: now,
+                    core,
+                    addr: a.addr,
+                    is_store: a.is_store,
+                });
+            }
+            if t.is_watched(a.addr) {
+                t.emit(TraceEvent::Watch {
+                    at: now,
+                    core,
+                    func: src.0,
+                    block: src.1,
+                    addr: a.addr,
+                    value: a.value,
+                    is_store: a.is_store,
+                });
+            }
+        }
+    }
+
+    /// Emits the group-end retire marker. Only called while tracing.
+    fn emit_retire(&mut self, now: u64, src: (FuncId, BlockId), retired: u32) {
+        let core = self.i as u32;
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(TraceEvent::Retire {
+                at: now,
+                core,
+                func: src.0,
+                block: src.1,
+                retired,
+            });
         }
     }
 }
@@ -832,6 +1216,58 @@ pub struct Machine {
     cycle: u64,
     activity: Option<ActivityTrace>,
     attribution: Option<CycleAttribution>,
+    trace: Option<TraceRecorder>,
+    snapshots: Option<SnapshotRecorder>,
+}
+
+/// Periodic checkpointing state: the baseline memory image snapshots are
+/// diffed against, the configured interval, and every snapshot taken so far.
+#[derive(Debug, Clone)]
+struct SnapshotRecorder {
+    interval: u64,
+    next_at: u64,
+    baseline: Arc<FlatMemory>,
+    taken: Vec<MachineSnapshot>,
+}
+
+/// A complete machine checkpoint: every piece of mutable simulation state —
+/// cores (threads, spec buffers, reports), channels, resteer queue, conflict
+/// tracker, cache hierarchy, cycle — plus the memory image as a delta
+/// against a shared baseline. [`Machine::resume_from`] reconstructs a
+/// machine whose continuation is bit-identical to the run the snapshot was
+/// taken from: same future [`RunSummary`]s, same memory, same trace tail.
+/// (The replay observers `ActivityTrace`/`CycleAttribution` are *not*
+/// captured; the [`TraceRecorder`] is, so a resumed trace continues exactly.)
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    config: MachineConfig,
+    program: Arc<Program>,
+    decoded: Arc<DecodedProgram>,
+    cycle: u64,
+    cores: Vec<CoreState>,
+    channels: ChannelNet,
+    resteer_requests: Vec<(i64, BlockId)>,
+    conflicts: ConflictTracker,
+    hier: MemoryHierarchy,
+    trace: Option<TraceRecorder>,
+    baseline: Arc<FlatMemory>,
+    /// `(word index, value)` for every word differing from the baseline.
+    delta: Vec<(usize, i64)>,
+    heap_next: i64,
+}
+
+impl MachineSnapshot {
+    /// Simulated cycle the snapshot was taken at.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of memory words that differ from the baseline image.
+    #[must_use]
+    pub fn delta_words(&self) -> usize {
+        self.delta.len()
+    }
 }
 
 impl Machine {
@@ -887,6 +1323,8 @@ impl Machine {
             cycle: 0,
             activity: None,
             attribution: None,
+            trace: None,
+            snapshots: None,
         }
     }
 
@@ -953,6 +1391,189 @@ impl Machine {
         self.activity.as_ref()
     }
 
+    /// Enables structured event tracing into a ring buffer of `capacity`
+    /// events, and turns on squash forensics in the conflict tracker.
+    /// Observational only: an enabled trace never changes simulated time or
+    /// any architectural outcome, and it accumulates across invocations.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if self.trace.is_none() {
+            self.trace = Some(TraceRecorder::new(capacity));
+        }
+        self.conflicts.enable_forensics();
+    }
+
+    /// Adds `addr` to the watch list: every load/store of it becomes a
+    /// [`TraceEvent::Watch`]. Requires [`Machine::enable_trace`] first
+    /// (no-op otherwise).
+    pub fn watch_address(&mut self, addr: i64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.watch(addr);
+        }
+    }
+
+    /// The recorded event trace, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_ref()
+    }
+
+    /// Emits one event into the machine's trace (used by drivers to mark
+    /// invocation boundaries and predictor decisions). No-op when tracing is
+    /// off.
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(event);
+        }
+    }
+
+    /// Enables periodic checkpointing: [`Machine::run`] takes a
+    /// [`MachineSnapshot`] at the first scheduling round at or after every
+    /// multiple of `interval` cycles. The current memory image becomes the
+    /// baseline that snapshots are diffed against.
+    pub fn enable_snapshots(&mut self, interval: u64) {
+        let interval = interval.max(1);
+        self.snapshots = Some(SnapshotRecorder {
+            interval,
+            next_at: self.cycle + interval,
+            baseline: Arc::new(self.mem.clone()),
+            taken: Vec::new(),
+        });
+    }
+
+    /// Takes a snapshot of the machine right now. Uses the periodic
+    /// recorder's baseline when one exists; otherwise the snapshot carries a
+    /// full copy of memory as its own baseline (empty delta).
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        match self.snapshots.as_ref() {
+            Some(s) => self.snapshot_against(Arc::clone(&s.baseline)),
+            None => {
+                let mut snap = self.snapshot_against(Arc::new(self.mem.clone()));
+                snap.delta.clear();
+                snap
+            }
+        }
+    }
+
+    fn snapshot_against(&self, baseline: Arc<FlatMemory>) -> MachineSnapshot {
+        debug_assert_eq!(baseline.words().len(), self.mem.words().len());
+        let delta: Vec<(usize, i64)> = self
+            .mem
+            .words()
+            .iter()
+            .zip(baseline.words())
+            .enumerate()
+            .filter(|(_, (cur, base))| cur != base)
+            .map(|(i, (cur, _))| (i, *cur))
+            .collect();
+        MachineSnapshot {
+            config: self.config.clone(),
+            program: Arc::clone(&self.program),
+            decoded: Arc::clone(&self.decoded),
+            cycle: self.cycle,
+            cores: self.cores.clone(),
+            channels: self.channels.clone(),
+            resteer_requests: self.resteer_requests.clone(),
+            conflicts: self.conflicts.clone(),
+            hier: self.hier.clone(),
+            trace: self.trace.clone(),
+            baseline,
+            delta,
+            heap_next: self.mem.heap_next(),
+        }
+    }
+
+    /// Snapshots taken by the periodic recorder so far, oldest first.
+    #[must_use]
+    pub fn snapshots_taken(&self) -> &[MachineSnapshot] {
+        self.snapshots.as_ref().map_or(&[], |s| &s.taken)
+    }
+
+    /// Reconstructs a machine from a snapshot. The continuation is
+    /// bit-identical to the original run from the snapshot point: identical
+    /// future summaries, memory words, and trace tail (the snapshot's trace
+    /// state is restored; activity/attribution observers start disabled).
+    #[must_use]
+    pub fn resume_from(snapshot: &MachineSnapshot) -> Machine {
+        let mut mem = (*snapshot.baseline).clone();
+        for &(i, v) in &snapshot.delta {
+            mem.words_mut()[i] = v;
+        }
+        mem.set_heap_next(snapshot.heap_next);
+        Machine {
+            config: snapshot.config.clone(),
+            program: Arc::clone(&snapshot.program),
+            decoded: Arc::clone(&snapshot.decoded),
+            mem,
+            hier: snapshot.hier.clone(),
+            cores: snapshot.cores.clone(),
+            channels: snapshot.channels.clone(),
+            resteer_requests: snapshot.resteer_requests.clone(),
+            conflicts: snapshot.conflicts.clone(),
+            cycle: snapshot.cycle,
+            activity: None,
+            attribution: None,
+            trace: snapshot.trace.clone(),
+            snapshots: None,
+        }
+    }
+
+    /// Runs until completion or until the clock reaches `target`, whichever
+    /// comes first. `Ok(Some(summary))` means the run finished before
+    /// `target`; `Ok(None)` means it paused at `target` with all state
+    /// intact — calling [`Machine::run`] (or `run_until` again) continues
+    /// bit-identically, because the scheduler only ever pauses on cycle
+    /// boundaries where stall/idle credit is linear in elapsed time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] other than the pause itself (the
+    /// configured `max_cycles` budget still applies and still reports
+    /// [`SimError::MaxCyclesExceeded`]).
+    pub fn run_until(&mut self, target: u64) -> Result<Option<RunSummary>, SimError> {
+        let saved = self.config.max_cycles;
+        let effective = target.min(saved);
+        self.config.max_cycles = effective;
+        let out = self.run();
+        self.config.max_cycles = saved;
+        match out {
+            Ok(summary) => Ok(Some(summary)),
+            Err(SimError::MaxCyclesExceeded { limit })
+                if limit == effective && effective < saved =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Human-readable dump of per-core scheduler state at the current cycle
+    /// (the `inspect` CLI's `break` view).
+    #[must_use]
+    pub fn state_dump(&self) -> String {
+        let mut out = format!("cycle {}\n", self.cycle);
+        for (i, c) in self.cores.iter().enumerate() {
+            let status = match &c.thread {
+                None => "idle (no thread)".to_string(),
+                Some(t) => match t.status() {
+                    ThreadStatus::Trapped(k) => format!("trapped: {k}"),
+                    _ if c.done => "done".to_string(),
+                    _ if c.blocked => {
+                        format!("blocked on chan {:?}", c.waiting_chan)
+                    }
+                    _ => format!("runnable at {:?}:{:?}", t.current_func(), t.current_block()),
+                },
+            };
+            out.push_str(&format!(
+                "core {i}: {status}; busy_until {}, retired {}, spec {}\n",
+                c.busy_until,
+                c.report.retired,
+                if c.spec.is_active() { "active" } else { "off" },
+            ));
+        }
+        out
+    }
+
     /// Places a new thread on `core`, starting at `func` with `args`.
     ///
     /// # Errors
@@ -996,6 +1617,14 @@ impl Machine {
         self.cycle = 0;
         for c in &mut self.cores {
             c.busy_until = 0;
+        }
+        // Re-arm the periodic snapshot recorder onto the new clock: one
+        // checkpoint at the invocation's first scheduling round (cycle 0),
+        // then every `interval` cycles. Without this the mark would drift
+        // past every later invocation's per-invocation clock and recording
+        // would stop after the first invocation.
+        if let Some(s) = self.snapshots.as_mut() {
+            s.next_at = 0;
         }
     }
 
@@ -1191,6 +1820,23 @@ impl Machine {
     pub fn run(&mut self) -> Result<RunSummary, SimError> {
         let limit = self.config.max_cycles;
         loop {
+            // Periodic checkpoint: taken at the first scheduling round at or
+            // after the recorder's next mark. Observational — snapshotting
+            // reads state but never advances or perturbs it.
+            let snapshot_due = self
+                .snapshots
+                .as_ref()
+                .is_some_and(|s| self.cycle >= s.next_at);
+            if snapshot_due {
+                let baseline = {
+                    let s = self.snapshots.as_ref().expect("checked above");
+                    Arc::clone(&s.baseline)
+                };
+                let snap = self.snapshot_against(baseline);
+                let s = self.snapshots.as_mut().expect("checked above");
+                s.taken.push(snap);
+                s.next_at = self.cycle + s.interval;
+            }
             // One pass over the cores gives the scheduler everything it
             // needs: completion, runnability, and the earliest wake-up. A
             // busy core wakes at `busy_until`; a core blocked on a receive
@@ -1770,5 +2416,213 @@ mod tests {
             assert!(guard < 100_000, "tick twin diverged");
         }
         assert_eq!(event_summary, tick_m.summary());
+    }
+
+    /// Tracing is an observer: a traced run must produce exactly the same
+    /// summary and memory as an untraced twin, while actually recording
+    /// events.
+    #[test]
+    fn tracing_never_changes_simulated_time() {
+        let (p, g, _, rf, cf) = conflict_check_program();
+        let mut plain = Machine::new(tiny(2), p.clone());
+        plain.spawn(0, cf, &[]).unwrap();
+        plain.spawn(1, rf, &[]).unwrap();
+        let plain_summary = plain.run().unwrap();
+
+        let mut traced = Machine::new(tiny(2), p);
+        traced.enable_trace(1024);
+        traced.watch_address(g);
+        traced.spawn(0, cf, &[]).unwrap();
+        traced.spawn(1, rf, &[]).unwrap();
+        let traced_summary = traced.run().unwrap();
+
+        assert_eq!(plain_summary, traced_summary);
+        assert_eq!(plain.mem().words(), traced.mem().words());
+        let t = traced.trace().unwrap();
+        assert!(t.total() > 0, "events were recorded");
+        assert_eq!(t.squashes(), 1, "the abort became a squash event");
+        let kinds: Vec<&str> = t.events().map(TraceEvent::kind).collect();
+        for needed in [
+            "retire",
+            "send",
+            "recv",
+            "chunk_begin",
+            "chunk_validate",
+            "chunk_squash",
+            "watch",
+        ] {
+            assert!(kinds.contains(&needed), "missing {needed} in {kinds:?}");
+        }
+    }
+
+    /// The squash event on the conflict program carries full forensics: the
+    /// violating address, the writer's core/site, the reader's site, and no
+    /// false conflicts at word granularity.
+    #[test]
+    fn squash_forensics_reconstruct_the_raw_chain() {
+        let (p, g, _, rf, cf) = conflict_check_program();
+        let mut m = Machine::new(tiny(2), p);
+        m.enable_trace(1024);
+        m.spawn(0, cf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(summary.cores[1].spec_conflict_addr, Some(g));
+
+        let squash = m
+            .trace()
+            .unwrap()
+            .events()
+            .find_map(|e| match e {
+                TraceEvent::ChunkSquash {
+                    core,
+                    chunk,
+                    cause,
+                    forensics,
+                    ..
+                } => Some((*core, *chunk, *cause, *forensics)),
+                _ => None,
+            })
+            .expect("a squash event");
+        let (core, chunk, cause, forensics) = squash;
+        assert_eq!(core, 1, "the reader's chunk squashed");
+        assert!(chunk.is_some(), "forensic chunk id tracked");
+        assert_eq!(cause, MisspeculationCause::DependenceViolation { addr: g });
+        let f = forensics.expect("forensics attached");
+        assert_eq!(f.addr, g);
+        assert_eq!(f.word_addr, Some(g), "true conflict, word-exact");
+        assert_eq!(f.writer_core, Some(0), "the checker wrote g");
+        assert_eq!(f.writer_chunk, None, "writer was non-speculative");
+        assert!(f.writer_site.is_some() && f.reader_site.is_some());
+        assert_eq!(f.false_conflicts, 0);
+        assert_eq!(f.granularity_log2, 0);
+    }
+
+    /// At a coarse detection granularity, a reader and writer touching
+    /// *different* words of the same grain squash with `word_addr: None` and
+    /// a positive false-conflict count — the satellite's word-vs-grain
+    /// classification.
+    #[test]
+    fn squash_forensics_classify_false_conflicts() {
+        // Like conflict_check_program, but reader loads g+1 while the
+        // checker stores g — same 8-word grain, different words.
+        let mut p = Program::new();
+        let g = p.add_global("g", 8);
+        let mut reader = FunctionBuilder::new("reader");
+        reader.push(Inst::SpecBegin);
+        let v = reader.load(g + 1, 0);
+        reader.send(0i64, v);
+        let _ = reader.recv(1i64);
+        reader.push(Inst::SpecAbort);
+        reader.ret(None);
+        let rf = p.add_func(reader.finish());
+        let mut checker = FunctionBuilder::new("checker");
+        let _ = checker.recv(0i64);
+        checker.store(7i64, g, 0);
+        let c = checker.spec_check(1i64);
+        checker.send(1i64, c);
+        checker.ret(None);
+        let cf = p.add_func(checker.finish());
+
+        let mut cfg = tiny(2);
+        cfg.conflict_granularity_log2 = 3;
+        let mut m = Machine::new(cfg, p);
+        m.enable_trace(1024);
+        m.spawn(0, cf, &[]).unwrap();
+        m.spawn(1, rf, &[]).unwrap();
+        let summary = m.run().unwrap();
+        assert_eq!(summary.cores[1].spec_conflicts, 1, "grain aliasing fired");
+
+        let f = m
+            .trace()
+            .unwrap()
+            .events()
+            .find_map(|e| match e {
+                TraceEvent::ChunkSquash { forensics, .. } => *forensics,
+                _ => None,
+            })
+            .expect("squash with forensics");
+        assert_eq!(f.word_addr, None, "no word-level overlap");
+        assert_eq!(f.false_conflicts, 1);
+        assert_eq!(f.granularity_log2, 3);
+        assert_eq!(f.writer_core, Some(0), "grain-scan still finds the writer");
+        assert!(f.reader_site.is_some(), "and the reader's site");
+    }
+
+    /// Snapshot at a mid-run cycle, resume, and finish: summary, memory and
+    /// trace tail must be bit-identical to the uninterrupted run — on the
+    /// multi-core event path (this program keeps both cores live).
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let (p, _, _, rf, cf) = conflict_check_program();
+        let mut full = Machine::new(tiny(2), p.clone());
+        full.enable_trace(1024);
+        full.spawn(0, cf, &[]).unwrap();
+        full.spawn(1, rf, &[]).unwrap();
+        let full_summary = full.run().unwrap();
+        assert!(full_summary.cycles > 40, "enough room to pause mid-run");
+
+        for pause_at in [1u64, 17, full_summary.cycles / 2, full_summary.cycles - 1] {
+            let mut m = Machine::new(tiny(2), p.clone());
+            m.enable_trace(1024);
+            m.spawn(0, cf, &[]).unwrap();
+            m.spawn(1, rf, &[]).unwrap();
+            let paused = m.run_until(pause_at).unwrap();
+            assert!(paused.is_none(), "run must pause at {pause_at}");
+            let snap = m.snapshot();
+            assert_eq!(snap.cycle(), pause_at);
+            let mut resumed = Machine::resume_from(&snap);
+            let resumed_summary = resumed.run().unwrap();
+            assert_eq!(resumed_summary, full_summary, "paused at {pause_at}");
+            assert_eq!(resumed.mem().words(), full.mem().words());
+            assert_eq!(
+                resumed.trace().unwrap(),
+                full.trace().unwrap(),
+                "trace tail diverged after pausing at {pause_at}"
+            );
+        }
+    }
+
+    /// Same bit-identity through the single-active-core fast path, and via
+    /// the periodic recorder instead of a manual snapshot.
+    #[test]
+    fn periodic_snapshots_resume_single_core_runs() {
+        let mut b = FunctionBuilder::new("chase");
+        let data = 64i64;
+        let mut acc = b.copy(0i64);
+        for k in 0..12 {
+            let w = b.load(data + k, 0);
+            let t = b.binop(BinOp::Add, acc, w);
+            acc = b.binop(BinOp::Add, t, 1i64);
+        }
+        b.ret(Some(Operand::Reg(acc)));
+        let mut p = Program::new();
+        let _g = p.add_global("data", 64);
+        let f = p.add_func(b.finish());
+
+        let mut full = Machine::new(tiny(1), p.clone());
+        full.spawn(0, f, &[]).unwrap();
+        let full_summary = full.run().unwrap();
+
+        let mut m = Machine::new(tiny(1), p.clone());
+        m.enable_snapshots(25);
+        m.spawn(0, f, &[]).unwrap();
+        let _ = m.run().unwrap();
+        let taken = m.snapshots_taken();
+        assert!(!taken.is_empty(), "periodic snapshots were taken");
+        for snap in taken {
+            let mut resumed = Machine::resume_from(snap);
+            let resumed_summary = resumed.run().unwrap();
+            assert_eq!(resumed_summary, full_summary, "from cycle {}", snap.cycle());
+        }
+
+        // And a pause landing *inside* the single-active fast loop: the
+        // break-at-limit path must leave resumable state mid-stall.
+        assert!(full_summary.cycles > 30);
+        let mut m = Machine::new(tiny(1), p);
+        m.spawn(0, f, &[]).unwrap();
+        let paused = m.run_until(30).unwrap();
+        assert!(paused.is_none(), "paused mid single-active episode");
+        let mut resumed = Machine::resume_from(&m.snapshot());
+        assert_eq!(resumed.run().unwrap(), full_summary);
     }
 }

@@ -17,8 +17,13 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn farm_artifacts_are_byte_identical_across_worker_counts() {
-    let figures = vec![Figure::Fig7, Figure::Table2, Figure::Harness];
-    let mut artifacts: Vec<(String, String)> = Vec::new();
+    let figures = vec![
+        Figure::Fig7,
+        Figure::Table2,
+        Figure::Harness,
+        Figure::Crosscheck,
+    ];
+    let mut artifacts: Vec<(String, String, String, String)> = Vec::new();
     let mut harness_sims: Vec<Vec<(String, String, u64)>> = Vec::new();
     let mut summaries = Vec::new();
 
@@ -28,6 +33,9 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
             fig7: Some(dir.join("BENCH_fig7.json")),
             table2: Some(dir.join("BENCH_table2.json")),
             harness: Some(dir.join("BENCH_harness.json")),
+            crosscheck: Some(dir.join("BENCH_crosscheck.json")),
+            trace: Some(dir.join("BENCH_trace.json")),
+            failures_dir: Some(dir.join("failures")),
         };
         let manifest = Manifest {
             figures: figures.clone(),
@@ -37,9 +45,29 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
         let report = run_manifest(&manifest, &outs).expect("farm run");
         assert_eq!(report.stats.failures, 0, "jobs={jobs}");
         assert_eq!(report.stats.workers, if jobs == 1 { 1 } else { 4 });
+        assert_eq!(report.crosscheck_rows.len(), 7, "jobs={jobs}");
+        assert!(report.crosscheck_rows.iter().all(|r| r.agree));
+        // Per-job observability metrics are annotated for every sweep and
+        // cross-check job, and tracing is on, so sweep jobs carry events.
+        assert!(report
+            .stats
+            .details
+            .iter()
+            .filter(|m| m.label.starts_with("sweep/"))
+            .all(|m| m.ok && m.events > 0));
+        assert!(report
+            .stats
+            .details
+            .iter()
+            .any(|m| m.label.starts_with("crosscheck/") && m.squashes > 0));
 
         let read = |name: &str| std::fs::read_to_string(dir.join(name)).expect("read artifact");
-        artifacts.push((read("BENCH_fig7.json"), read("BENCH_table2.json")));
+        artifacts.push((
+            read("BENCH_fig7.json"),
+            read("BENCH_table2.json"),
+            read("BENCH_crosscheck.json"),
+            read("BENCH_trace.json"),
+        ));
         // The harness artifact carries wall-clock fields (host_nanos,
         // build_nanos) that legitimately vary with scheduling; its
         // *simulation* content must still be identical.
@@ -54,8 +82,8 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    let (fig7_serial, table2_serial) = &artifacts[0];
-    let (fig7_farm, table2_farm) = &artifacts[1];
+    let (fig7_serial, table2_serial, crosscheck_serial, trace_serial) = &artifacts[0];
+    let (fig7_farm, table2_farm, crosscheck_farm, trace_farm) = &artifacts[1];
     assert_eq!(
         fig7_serial, fig7_farm,
         "BENCH_fig7.json differs across worker counts"
@@ -63,6 +91,18 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
     assert_eq!(
         table2_serial, table2_farm,
         "BENCH_table2.json differs across worker counts"
+    );
+    assert_eq!(
+        crosscheck_serial, crosscheck_farm,
+        "BENCH_crosscheck.json differs across worker counts"
+    );
+    assert_eq!(
+        trace_serial, trace_farm,
+        "trace artifact differs across worker counts"
+    );
+    assert!(
+        trace_serial.contains("\"kind\": \"chunk_squash\""),
+        "conflict workloads must leave squash events in the trace artifact"
     );
     assert_eq!(
         harness_sims[0], harness_sims[1],
@@ -103,9 +143,16 @@ fn serial_emitters_and_streamed_artifacts_agree() {
         fig7: Some(dir.join("BENCH_fig7.json")),
         table2: Some(dir.join("BENCH_table2.json")),
         harness: Some(dir.join("BENCH_harness.json")),
+        crosscheck: Some(dir.join("BENCH_crosscheck.json")),
+        ..OutPaths::default()
     };
     let manifest = Manifest {
-        figures: vec![Figure::Fig7, Figure::Table2, Figure::Harness],
+        figures: vec![
+            Figure::Fig7,
+            Figure::Table2,
+            Figure::Harness,
+            Figure::Crosscheck,
+        ],
         small: true,
         jobs: 2,
     };
@@ -115,13 +162,19 @@ fn serial_emitters_and_streamed_artifacts_agree() {
     let streamed_table2 = std::fs::read_to_string(dir.join("BENCH_table2.json")).expect("table2");
     let streamed_harness =
         std::fs::read_to_string(dir.join("BENCH_harness.json")).expect("harness");
+    let streamed_crosscheck =
+        std::fs::read_to_string(dir.join("BENCH_crosscheck.json")).expect("crosscheck");
     std::fs::remove_dir_all(&dir).ok();
 
-    use spice_bench::experiments::{fig7_json, harnessperf_json, table2_json};
+    use spice_bench::experiments::{crosscheck_json, fig7_json, harnessperf_json, table2_json};
     assert_eq!(streamed_fig7, fig7_json(&report.fig7_rows, true));
     assert_eq!(streamed_table2, table2_json(&report.table2_rows, true));
     assert_eq!(
         streamed_harness,
         harnessperf_json(&report.harness_rows, true)
+    );
+    assert_eq!(
+        streamed_crosscheck,
+        crosscheck_json(&report.crosscheck_rows)
     );
 }

@@ -1,0 +1,148 @@
+//! Snapshot / time-travel property over the whole small suite, violation
+//! workloads included: a machine resumed from any periodic checkpoint
+//! continues bit-identically — same cycles, same memory, same trace tail —
+//! and enabling the observers (trace ring, snapshot recorder) never changes
+//! what the run computes. Covers both scheduler paths: the sequential
+//! one-core machine (single-active-core fast loop) and the 4-thread Spice
+//! configuration (event-driven, multi-core).
+
+use spice_bench::experiments::{all_workload_factories, prepare_sweep, SweepMode};
+use spice_core::{run_sequential, SimBackend};
+use spice_ir::exec::ExecutionBackend;
+use spice_ir::TraceEvent;
+use spice_sim::Machine;
+use spice_workloads::drive_loaded_workload;
+
+/// Large enough that no suite member evicts events (the prefix comparison
+/// below needs the complete stream).
+const TRACE_CAP: usize = 1 << 17;
+
+#[test]
+fn sequential_snapshots_resume_bit_identically() {
+    for (bench, factory) in all_workload_factories(true) {
+        let prep = prepare_sweep(&factory, SweepMode::Sequential, true, 0).expect(bench);
+
+        // Reference: invocation 0, traced, no snapshots.
+        let mut wl = factory();
+        let _ = wl.build();
+        let mut full = prep.prepared.machine();
+        full.enable_trace(TRACE_CAP);
+        let args = wl.init(full.mem_mut());
+        let (full_cycles, full_ret) = run_sequential(&mut full, prep.kernel, &args)
+            .unwrap_or_else(|e| panic!("{bench}: {e:?}"));
+
+        // Same invocation with the periodic recorder on: the observers must
+        // not change the outcome, and every checkpoint must resume to the
+        // identical end state.
+        let mut wl2 = factory();
+        let _ = wl2.build();
+        let mut observed = prep.prepared.machine();
+        observed.enable_trace(TRACE_CAP);
+        observed.enable_snapshots((full_cycles / 5).max(1));
+        let args2 = wl2.init(observed.mem_mut());
+        assert_eq!(args, args2, "{bench}: workload init must be deterministic");
+        let (cycles, ret) = run_sequential(&mut observed, prep.kernel, &args2)
+            .unwrap_or_else(|e| panic!("{bench}: {e:?}"));
+        assert_eq!((cycles, ret), (full_cycles, full_ret), "{bench}");
+        assert_eq!(observed.trace(), full.trace(), "{bench}: trace diverged");
+
+        let snaps = observed.snapshots_taken();
+        assert!(!snaps.is_empty(), "{bench}: no snapshots taken");
+        for snap in snaps {
+            let mut resumed = Machine::resume_from(snap);
+            let summary = resumed
+                .run()
+                .unwrap_or_else(|e| panic!("{bench}: resume from {}: {e:?}", snap.cycle()));
+            assert_eq!(
+                summary.cycles,
+                full_cycles,
+                "{bench}: cycles diverged resuming from {}",
+                snap.cycle()
+            );
+            assert_eq!(resumed.return_value(0), full_ret, "{bench}");
+            assert_eq!(
+                resumed.mem().words(),
+                full.mem().words(),
+                "{bench}: memory diverged resuming from {}",
+                snap.cycle()
+            );
+            assert_eq!(
+                resumed.trace(),
+                full.trace(),
+                "{bench}: trace tail diverged resuming from {}",
+                snap.cycle()
+            );
+        }
+    }
+}
+
+#[test]
+fn spice_snapshots_resume_bit_identically_mid_invocation() {
+    for (bench, factory) in all_workload_factories(true) {
+        let prep = prepare_sweep(&factory, SweepMode::Spice { threads: 4 }, true, 0).expect(bench);
+
+        // Full traced drive with periodic checkpoints across every
+        // invocation (the per-invocation clock re-arms the recorder).
+        let mut wl = factory();
+        let _ = wl.build();
+        let mut backend = SimBackend::from_prepared(&prep.prepared);
+        backend.enable_trace(TRACE_CAP);
+        backend
+            .machine_mut()
+            .expect("loaded")
+            .enable_snapshots(4_000);
+        let summary = drive_loaded_workload(wl.as_mut(), &mut backend)
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
+
+        // Observer invariant at the workload level: a bare drive of the
+        // same preparation computes the identical summary (results,
+        // cycles, squashes, per-thread work).
+        let mut wl2 = factory();
+        let _ = wl2.build();
+        let mut bare = SimBackend::from_prepared(&prep.prepared);
+        let bare_summary = drive_loaded_workload(wl2.as_mut(), &mut bare)
+            .unwrap_or_else(|e| panic!("{bench}: {e}"));
+        assert_eq!(summary, bare_summary, "{bench}: observers changed the run");
+
+        let machine = backend.machine().expect("loaded");
+        let trace = machine.trace().expect("tracing enabled");
+        assert_eq!(trace.dropped(), 0, "{bench}: TRACE_CAP too small");
+        let full_events: Vec<TraceEvent> = trace.events().cloned().collect();
+        let snaps = machine.snapshots_taken();
+        assert!(!snaps.is_empty(), "{bench}: no snapshots taken");
+
+        // Resume from a spread of checkpoints — first, middle, last. The
+        // continuation runs its invocation to completion, and its trace
+        // must be an exact prefix of the full run's event stream: the
+        // machine replays the identical future event-for-event.
+        for i in [0, snaps.len() / 2, snaps.len() - 1] {
+            let snap = &snaps[i];
+            let mut resumed = Machine::resume_from(snap);
+            resumed
+                .run()
+                .unwrap_or_else(|e| panic!("{bench}: resume from {}: {e:?}", snap.cycle()));
+            let resumed_events: Vec<TraceEvent> = resumed
+                .trace()
+                .expect("trace restored from snapshot")
+                .events()
+                .cloned()
+                .collect();
+            assert!(
+                resumed_events.len() <= full_events.len(),
+                "{bench}: resumed run traced past the full run"
+            );
+            assert_eq!(
+                resumed_events[..],
+                full_events[..resumed_events.len()],
+                "{bench}: continuation diverged resuming from cycle {} (snapshot {i})",
+                snap.cycle()
+            );
+        }
+
+        // Violation workloads must exercise this property across actual
+        // squash-and-recover traffic, not just clean runs.
+        if bench == "list_splice" {
+            assert!(summary.dependence_violations > 0, "{bench}");
+        }
+    }
+}
