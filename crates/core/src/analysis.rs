@@ -6,7 +6,9 @@
 //! transformations, and the remainder that must be value-speculated.
 
 use spice_ir::cfg::Cfg;
+use spice_ir::dataflow::{classify_loop_dependences, DependenceClass, LoopDependence};
 use spice_ir::dom::DomTree;
+use spice_ir::exec::ConflictPolicy;
 use spice_ir::liveness::{loop_live_ins, Liveness, LoopLiveIns};
 use spice_ir::loops::{Loop, LoopForest, LoopId};
 use spice_ir::reduction::{detect_reductions, ReductionSet};
@@ -71,6 +73,11 @@ pub struct LoopAnalysis {
     /// (`carried − reductions`), in ascending register order. This is the
     /// set `S` of Algorithm 1.
     pub speculated: Vec<Reg>,
+    /// The static dependence pre-screen: the loop's store/load pairs
+    /// classified from base-pointer/offset chains. Advisory input to
+    /// [`ConflictPolicy`] selection — strictly observational, never changes
+    /// the transform's output.
+    pub dependence: LoopDependence,
 }
 
 impl LoopAnalysis {
@@ -115,16 +122,20 @@ impl LoopAnalysis {
             return Err(Applicability::NothingToSpeculate);
         }
 
+        let blocks = l.blocks_sorted();
+        let dependence = classify_loop_dependences(f, &cfg, &blocks);
+
         Ok(LoopAnalysis {
             func,
             header,
-            blocks: l.blocks_sorted(),
+            blocks,
             latches: l.latches.clone(),
             exit_edge,
             preheader,
             live,
             reductions,
             speculated,
+            dependence,
         })
     }
 
@@ -159,6 +170,19 @@ impl LoopAnalysis {
     #[must_use]
     pub fn spec_width(&self) -> usize {
         self.speculated.len()
+    }
+
+    /// The [`ConflictPolicy`] the static dependence pre-screen recommends:
+    /// detection can be skipped only when every cross-chunk store/load pair
+    /// is provably disjoint. Callers that want to *weaken* a declared
+    /// `Detect` policy should consult this; the pre-screen itself never
+    /// overrides what a workload declares.
+    #[must_use]
+    pub fn recommended_policy(&self) -> ConflictPolicy {
+        match self.dependence.class {
+            DependenceClass::ProvablyDisjoint => ConflictPolicy::AssumeIndependent,
+            DependenceClass::Unknown | DependenceClass::ProvablyDependent => ConflictPolicy::Detect,
+        }
     }
 }
 
@@ -216,6 +240,53 @@ mod tests {
         assert_eq!(a.header, BlockId(2));
         assert_eq!(a.exit_edge.1, BlockId(4));
         assert_eq!(a.latches, vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn otter_loop_prescreen_is_provably_disjoint() {
+        // The loop body only loads (the result store sits in the exit block,
+        // outside the loop), so the pre-screen proves there is no
+        // cross-chunk RAW dependence and recommends skipping detection.
+        let (p, f) = otter_program();
+        let a = LoopAnalysis::analyze_outermost(&p, f).unwrap();
+        assert_eq!(a.dependence.class, DependenceClass::ProvablyDisjoint);
+        assert_eq!(a.dependence.stores, 0);
+        assert!(a.dependence.loads > 0);
+        assert_eq!(a.recommended_policy(), ConflictPolicy::AssumeIndependent);
+    }
+
+    #[test]
+    fn store_to_chased_pointer_is_unknown() {
+        // Same loop shape, but the body also writes through the chased
+        // pointer: the base is a load result, so the pre-screen must stay
+        // conservative and keep detection on.
+        let mut b = FunctionBuilder::new("chase_store");
+        let c = b.param();
+        let pre = b.new_block();
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(pre);
+        b.switch_to(pre);
+        b.br(header);
+        b.switch_to(header);
+        let done = b.binop(BinOp::Eq, c, 0i64);
+        b.cond_br(done, exit, body);
+        b.switch_to(body);
+        let w = b.load(c, 0);
+        let w2 = b.binop(BinOp::Add, w, 1i64);
+        b.store(w2, c, 0);
+        let next = b.load(c, 1);
+        b.copy_into(c, next);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(c)));
+        let mut p = Program::new();
+        let f = p.add_func(b.finish());
+        let a = LoopAnalysis::analyze(&p, f, header).unwrap();
+        assert_eq!(a.dependence.class, DependenceClass::Unknown);
+        assert!(a.dependence.stores > 0);
+        assert_eq!(a.recommended_policy(), ConflictPolicy::Detect);
     }
 
     #[test]

@@ -137,6 +137,20 @@ impl SpiceRunner {
     /// fixed at transform time via [`crate::transform::SpiceOptions`].
     #[must_use]
     pub fn new(spice: SpiceParallelLoop) -> Self {
+        // The runner never sees the transformed `Program` (it lives in the
+        // machine), so it cannot re-run the full lint stack — but the
+        // program-free protocol-metadata checks (channel collisions,
+        // duplicate worker cores) still guard against a corrupted or
+        // hand-built loop description.
+        if cfg!(debug_assertions) {
+            if let Err(errs) = spice_ir::lint::check_protocol_metadata(&spice.protocol()) {
+                let msgs: Vec<String> = errs.iter().map(ToString::to_string).collect();
+                panic!(
+                    "SpiceRunner::new given an inconsistent loop description: {}",
+                    msgs.join("; ")
+                );
+            }
+        }
         SpiceRunner {
             spice,
             stats: InvocationStats::new(),

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use spice_ir::exec::{BackendError, LoadOptions};
 use spice_ir::interp::FlatMemory;
+use spice_ir::lint::lint_spice;
 use spice_ir::{DecodedProgram, FuncId, Program};
 use spice_sim::{Machine, MachineConfig};
 
@@ -123,6 +124,20 @@ impl PreparedProgram {
         // independence (the checks are not emitted either).
         config.conflict_detection = options.conflict_policy.detects();
         config.conflict_granularity_log2 = options.conflict_granularity_log2;
+        // Redundant with the gate inside `SpiceTransform::apply`, but it
+        // re-checks the program *here*, immediately before decode — so any
+        // future post-transform rewrite that corrupts the protocol is caught
+        // at preparation time in debug builds.
+        if cfg!(debug_assertions) {
+            if let Err(errs) = lint_spice(&program, &spice.protocol()) {
+                let rendered: Vec<String> = errs.iter().map(|e| e.render(&program)).collect();
+                panic!(
+                    "PreparedProgram::spice produced a program that fails \
+                     speculation-safety lints:\n{}",
+                    rendered.join("\n")
+                );
+            }
+        }
         let image = FlatMemory::for_program(&program, config.heap_words);
         let decoded = Arc::new(DecodedProgram::new(&program));
         Ok(PreparedProgram {

@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use spice_ir::builder::FunctionBuilder;
 use spice_ir::exec::ConflictPolicy;
+use spice_ir::lint::{lint_spice, LintError, MainShape, SpiceProtocol, WorkerProtocol};
 use spice_ir::reduction::ReductionKind;
 use spice_ir::verify::{verify_program, VerifyError};
 use spice_ir::{BinOp, BlockId, FuncId, Inst, Operand, Program, Reg};
@@ -93,6 +94,10 @@ pub enum TransformError {
     /// The transformed program failed structural verification — a bug in the
     /// transformation, reported rather than silently mis-executed.
     Verification(Vec<VerifyError>),
+    /// The transformed program verified but broke the Spice protocol
+    /// contract (channel framing, spec.check placement, exemption coverage
+    /// or boundary shape) — likewise a transformation bug.
+    Lint(Vec<LintError>),
 }
 
 impl std::fmt::Display for TransformError {
@@ -103,6 +108,13 @@ impl std::fmt::Display for TransformError {
                 write!(
                     f,
                     "transformed program failed verification: {} errors",
+                    errs.len()
+                )
+            }
+            TransformError::Lint(errs) => {
+                write!(
+                    f,
+                    "transformed program failed speculation-safety lints: {} errors",
                     errs.len()
                 )
             }
@@ -212,6 +224,17 @@ pub struct SpiceParallelLoop {
     pub invariants_sent: Vec<Reg>,
     /// Live-out groups, in the order they travel over the live-out channels.
     pub liveouts: Vec<LiveOutGroup>,
+    /// The main function's protocol skeleton blocks, recorded at rewrite
+    /// time so the speculation-safety lints check structure instead of
+    /// guessing from labels.
+    pub shape: MainShape,
+    /// Blocks `0..main_program_blocks` of the main function are original
+    /// program code; everything from there on was generated.
+    pub main_program_blocks: usize,
+    /// Cloned loop-body blocks per worker (ids `1..=worker_body_blocks`).
+    pub worker_body_blocks: usize,
+    /// Whether the merge chain was generated with conflict detection.
+    pub conflict_detection: bool,
 }
 
 impl SpiceParallelLoop {
@@ -219,6 +242,36 @@ impl SpiceParallelLoop {
     #[must_use]
     pub fn liveout_width(&self) -> usize {
         self.liveouts.iter().map(|g| g.regs.len()).sum()
+    }
+
+    /// The protocol contract this transformed loop was generated under, in
+    /// the IR-level terms [`spice_ir::lint::lint_spice`] checks.
+    #[must_use]
+    pub fn protocol(&self) -> SpiceProtocol {
+        SpiceProtocol {
+            main: self.main,
+            main_program_blocks: self.main_program_blocks,
+            shape: self.shape,
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerProtocol {
+                    func: w.func,
+                    core: w.core as i64,
+                    recovery_block: w.recovery_block,
+                    invariant: w.channels.invariant,
+                    status: w.channels.status,
+                    command: w.channels.command,
+                    liveout: w.channels.liveout,
+                    ack: w.channels.ack,
+                    body_blocks: self.worker_body_blocks,
+                })
+                .collect(),
+            invariant_payload: self.invariants_sent.len(),
+            liveout_width: self.liveout_width(),
+            detect: self.conflict_detection,
+            exempt_range: self.layout.address_range(),
+        }
     }
 }
 
@@ -320,8 +373,10 @@ impl SpiceTransform {
             });
         }
 
-        // Rewrite the main function in place.
-        rewrite_main(
+        // Rewrite the main function in place. Blocks below the pre-rewrite
+        // count stay original program code; the rewrite only appends.
+        let main_program_blocks = src.blocks.len();
+        let shape = rewrite_main(
             program,
             analysis,
             &layout,
@@ -336,7 +391,7 @@ impl SpiceTransform {
             return Err(TransformError::Verification(errs));
         }
 
-        Ok(SpiceParallelLoop {
+        let spice = SpiceParallelLoop {
             main: analysis.func,
             workers,
             layout,
@@ -344,7 +399,19 @@ impl SpiceTransform {
             speculated: analysis.speculated.clone(),
             invariants_sent,
             liveouts,
-        })
+            shape,
+            main_program_blocks,
+            worker_body_blocks: analysis.blocks.len(),
+            conflict_detection: self.options.conflict_policy.detects(),
+        };
+
+        // Every transform output must honor the protocol contract it was
+        // generated under; a lint failure here is a transformation bug.
+        if let Err(errs) = lint_spice(program, &spice.protocol()) {
+            return Err(TransformError::Lint(errs));
+        }
+
+        Ok(spice)
     }
 }
 
@@ -770,7 +837,7 @@ fn rewrite_main(
     workers: &[WorkerInfo],
     conflict_policy: ConflictPolicy,
     predictor: &PredictorOptions,
-) {
+) -> MainShape {
     let func = analysis.func;
     let exit_from = analysis.exit_edge.0;
     let exit_target = analysis.exit_edge.1;
@@ -1009,6 +1076,21 @@ fn rewrite_main(
     }
 
     *program.func_mut(func) = b.finish();
+
+    MainShape {
+        central: central_bb,
+        dispatch: dispatch_bb,
+        check: check_bb,
+        bump: bump_bb,
+        compare: compare_bb,
+        memo: memo_bb,
+        hit: hit_bb,
+        merge: merge_bb,
+        chain: chain_bb,
+        tail: tail_bb,
+        resume: resume_bb,
+        finish: finish_bb,
+    }
 }
 
 #[cfg(test)]

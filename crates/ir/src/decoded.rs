@@ -31,6 +31,63 @@ use crate::function::Program;
 use crate::inst::{Inst, InstClass, Terminator};
 use crate::types::{BinOp, BlockId, FuncId, Operand, Reg};
 
+/// A malformed input rejected while decoding, with enough context to point
+/// at the offending instruction: the function (name and id), the block, and
+/// the intra-block instruction index (`ip` equals the block's instruction
+/// count when the terminator itself is at fault).
+///
+/// The lint/verify gate runs before any decode in the pipeline, so in
+/// practice this error is reachable only from hand-built IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Name of the function that failed to decode.
+    pub func: String,
+    /// Id of the function that failed to decode.
+    pub func_id: FuncId,
+    /// Block holding the offending instruction.
+    pub block: BlockId,
+    /// Intra-block instruction index (the terminator slot is
+    /// `insts.len()`).
+    pub ip: usize,
+    /// What went wrong.
+    pub kind: DecodeErrorKind,
+}
+
+/// The ways decoding can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// A terminator targets a block the function does not have, so no entry
+    /// pc exists for it.
+    DanglingTarget {
+        /// The missing target block.
+        target: BlockId,
+    },
+    /// The function's entry block id is out of range.
+    DanglingEntry {
+        /// The missing entry block.
+        entry: BlockId,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            DecodeErrorKind::DanglingTarget { target } => write!(
+                f,
+                "decode of @{} ({}): {}[{}] targets missing block {target}",
+                self.func, self.func_id, self.block, self.ip
+            ),
+            DecodeErrorKind::DanglingEntry { entry } => write!(
+                f,
+                "decode of @{} ({}): entry block {entry} does not exist",
+                self.func, self.func_id
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// A decoded instruction: one element of a function's flat instruction
 /// array. Non-terminator variants mirror [`Inst`]; terminators appear as
 /// [`DInst::Br`]/[`DInst::CondBr`]/[`DInst::Ret`]/[`DInst::Unreachable`]
@@ -138,7 +195,7 @@ pub struct DecodedFunction {
 }
 
 impl DecodedFunction {
-    fn decode(f: &crate::function::Function) -> Self {
+    fn try_decode(f: &crate::function::Function, func_id: FuncId) -> Result<Self, DecodeError> {
         let mut block_entry = Vec::with_capacity(f.blocks.len());
         let mut next_pc = 0u32;
         for b in &f.blocks {
@@ -157,10 +214,28 @@ impl DecodedFunction {
             }
             classes.push(InstClass::Branch);
             src.push((block, b.insts.len() as u32));
-            insts.push(Self::decode_terminator(&b.terminator, &block_entry));
+            let decoded =
+                Self::decode_terminator(&b.terminator, &block_entry).map_err(|target| {
+                    DecodeError {
+                        func: f.name.clone(),
+                        func_id,
+                        block,
+                        ip: b.insts.len(),
+                        kind: DecodeErrorKind::DanglingTarget { target },
+                    }
+                })?;
+            insts.push(decoded);
         }
-        let entry_pc = block_entry[f.entry.index()];
-        DecodedFunction {
+        let Some(&entry_pc) = block_entry.get(f.entry.index()) else {
+            return Err(DecodeError {
+                func: f.name.clone(),
+                func_id,
+                block: f.entry,
+                ip: 0,
+                kind: DecodeErrorKind::DanglingEntry { entry: f.entry },
+            });
+        };
+        Ok(DecodedFunction {
             insts,
             classes,
             block_entry,
@@ -170,7 +245,7 @@ impl DecodedFunction {
             name: f.name.clone(),
             entry_block: f.entry,
             entry_pc,
-        }
+        })
     }
 
     fn decode_inst(inst: &Inst) -> DInst {
@@ -243,10 +318,13 @@ impl DecodedFunction {
         }
     }
 
-    fn decode_terminator(t: &Terminator, block_entry: &[u32]) -> DInst {
-        match t {
+    /// Resolves a terminator's targets to instruction indices; a target
+    /// with no entry pc is reported back as `Err(target)`.
+    fn decode_terminator(t: &Terminator, block_entry: &[u32]) -> Result<DInst, BlockId> {
+        let entry_of = |b: &BlockId| block_entry.get(b.index()).copied().ok_or(*b);
+        Ok(match t {
             Terminator::Br(b) => DInst::Br {
-                pc: block_entry[b.index()],
+                pc: entry_of(b)?,
                 block: *b,
             },
             Terminator::CondBr {
@@ -255,14 +333,14 @@ impl DecodedFunction {
                 else_bb,
             } => DInst::CondBr {
                 cond: *cond,
-                then_pc: block_entry[then_bb.index()],
+                then_pc: entry_of(then_bb)?,
                 then_block: *then_bb,
-                else_pc: block_entry[else_bb.index()],
+                else_pc: entry_of(else_bb)?,
                 else_block: *else_bb,
             },
             Terminator::Ret { value } => DInst::Ret { value: *value },
             Terminator::Unreachable => DInst::Unreachable,
-        }
+        })
     }
 
     /// The function's entry block.
@@ -326,11 +404,36 @@ pub struct DecodedProgram {
 
 impl DecodedProgram {
     /// Decodes every function of `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed input (a dangling block target). The pipeline
+    /// verifies and lints programs before decoding, so this is the
+    /// convenient entry point for known-good programs; use
+    /// [`DecodedProgram::try_new`] to handle malformed IR gracefully.
     #[must_use]
     pub fn new(program: &Program) -> Self {
-        DecodedProgram {
-            funcs: program.funcs.iter().map(DecodedFunction::decode).collect(),
+        match Self::try_new(program) {
+            Ok(dp) => dp,
+            Err(e) => panic!("decoding a malformed program: {e}"),
         }
+    }
+
+    /// Decodes every function of `program`, reporting malformed input as a
+    /// typed [`DecodeError`] with `(function, block, ip)` context instead of
+    /// panicking mid-flatten.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DecodeError`] encountered, in function order.
+    pub fn try_new(program: &Program) -> Result<Self, DecodeError> {
+        let funcs = program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| DecodedFunction::try_decode(f, FuncId(i as u32)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DecodedProgram { funcs })
     }
 
     /// The decoded form of one function.
@@ -396,5 +499,27 @@ mod tests {
         assert_eq!(df.reg_count(), 3);
         assert!(!df.is_empty());
         assert_eq!(dp.func_count(), 1);
+    }
+
+    #[test]
+    fn dangling_target_reports_typed_context_instead_of_panicking() {
+        let mut b = FunctionBuilder::new("broken");
+        let bad = BlockId(99);
+        let x = b.copy(1i64);
+        b.push(Inst::Nop);
+        b.br(bad);
+        let mut f = b.finish();
+        f.block_mut(BlockId(0)).terminator = Terminator::Br(bad);
+        let mut p = Program::new();
+        p.add_func(f);
+        let _ = x;
+
+        let err = DecodedProgram::try_new(&p).unwrap_err();
+        assert_eq!(err.func, "broken");
+        assert_eq!(err.func_id, FuncId(0));
+        assert_eq!(err.block, BlockId(0));
+        assert_eq!(err.ip, 2, "terminator slot is insts.len()");
+        assert_eq!(err.kind, DecodeErrorKind::DanglingTarget { target: bad });
+        assert!(err.to_string().contains("missing block bb99"));
     }
 }

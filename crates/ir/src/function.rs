@@ -265,6 +265,12 @@ impl Program {
         &mut self.funcs[id.index()]
     }
 
+    /// The ids of every function, in definition order.
+    #[must_use]
+    pub fn func_ids(&self) -> Vec<FuncId> {
+        (0..self.funcs.len()).map(|i| FuncId(i as u32)).collect()
+    }
+
     /// Finds a function by name.
     #[must_use]
     pub fn func_by_name(&self, name: &str) -> Option<FuncId> {

@@ -30,6 +30,11 @@
 //!   with the backend-neutral [`exec::ExecutionReport`] and
 //!   [`exec::SpiceLoopSpec`].
 //! * [`verify`] — structural verification, run after every transformation.
+//! * [`dataflow`] — a reusable forward/backward dataflow framework over
+//!   [`cfg::Cfg`] (reaching definitions, available memory-base expressions,
+//!   loop-carried definition chains) and the static dependence pre-screen.
+//! * [`lint`] — speculation-safety lints checking every transformed program
+//!   against the Spice protocol contract it was generated under.
 //!
 //! ## Quick example
 //!
@@ -71,12 +76,14 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod dataflow;
 pub mod decoded;
 pub mod dom;
 pub mod exec;
 mod function;
 mod inst;
 pub mod interp;
+pub mod lint;
 pub mod liveness;
 pub mod loops;
 pub mod pretty;
@@ -85,13 +92,15 @@ pub mod trace;
 mod types;
 pub mod verify;
 
-pub use decoded::{DecodedFunction, DecodedProgram};
+pub use dataflow::{classify_loop_dependences, DependenceClass, LoopDependence};
+pub use decoded::{DecodeError, DecodeErrorKind, DecodedFunction, DecodedProgram};
 pub use exec::{
     derive_loop_spec, BackendError, ExecutionBackend, ExecutionCost, ExecutionReport, LoadOptions,
     MisspeculationCause, SpecError, SpiceLoopSpec, WorkerReport,
 };
 pub use function::{Block, Function, Global, Program, GLOBAL_BASE};
 pub use inst::{Inst, InstClass, Successors, Terminator};
+pub use lint::{lint_spice, LintError, SpiceProtocol};
 pub use trace::{SquashForensics, TraceEvent, TraceRecorder, TraceSink};
 pub use types::{BinOp, BlockId, FuncId, Operand, Reg, TrapKind};
 

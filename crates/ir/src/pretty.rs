@@ -130,6 +130,45 @@ impl fmt::Display for Program {
     }
 }
 
+/// Renders one block of `func` as an indented diagnostic listing, pointing
+/// an arrow at instruction `highlight` when given (the terminator counts as
+/// instruction index `insts.len()`). Used by `VerifyError::render` and
+/// `LintError::render` to produce compiler-style context.
+///
+/// ```text
+///   --> @find_lightest, bb2 (body)
+///    |     r5 = load [r0 + 0]
+///    |---> store r6, [r1 + 0]
+///    |     br bb1
+/// ```
+#[must_use]
+pub fn block_listing(func: &Function, block: BlockId, highlight: Option<usize>) -> String {
+    if block.index() >= func.blocks.len() {
+        return format!("  --> @{}, {block} (block does not exist)\n", func.name);
+    }
+    let b = func.block(block);
+    let mut out = match &b.label {
+        Some(l) => format!("  --> @{}, {block} ({l})\n", func.name),
+        None => format!("  --> @{}, {block}\n", func.name),
+    };
+    let prefix = |ip: usize| {
+        if highlight == Some(ip) {
+            "   |---> "
+        } else {
+            "   |     "
+        }
+    };
+    for (ip, inst) in b.insts.iter().enumerate() {
+        out.push_str(prefix(ip));
+        out.push_str(&inst.to_string());
+        out.push('\n');
+    }
+    out.push_str(prefix(b.insts.len()));
+    out.push_str(&b.terminator.to_string());
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

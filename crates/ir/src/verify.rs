@@ -106,6 +106,59 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+impl VerifyError {
+    /// The name of the function the error points into.
+    #[must_use]
+    pub fn func_name(&self) -> &str {
+        match self {
+            VerifyError::DanglingBlockTarget { func, .. }
+            | VerifyError::UnfinishedBlock { func, .. }
+            | VerifyError::RegisterOutOfRange { func, .. }
+            | VerifyError::UseBeforeDef { func, .. }
+            | VerifyError::UnknownCallee { func, .. }
+            | VerifyError::CallArityMismatch { func, .. } => func,
+        }
+    }
+
+    /// The block the error points at, if any.
+    #[must_use]
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            VerifyError::DanglingBlockTarget { block, .. }
+            | VerifyError::UnfinishedBlock { block, .. }
+            | VerifyError::UseBeforeDef { block, .. } => Some(*block),
+            _ => None,
+        }
+    }
+
+    /// Renders the error as a compiler-style diagnostic, quoting the
+    /// offending block and pointing at the first implicated instruction
+    /// (the questionable use for [`VerifyError::UseBeforeDef`], the
+    /// terminator for [`VerifyError::DanglingBlockTarget`]).
+    #[must_use]
+    pub fn render(&self, program: &Program) -> String {
+        let mut out = format!("error[verify]: {self}\n");
+        let Some(fid) = program.func_by_name(self.func_name()) else {
+            return out;
+        };
+        let func = program.func(fid);
+        if let Some(block) = self.block() {
+            let highlight = match self {
+                VerifyError::DanglingBlockTarget { .. } => Some(func.block(block).insts.len()),
+                VerifyError::UseBeforeDef { reg, .. } => func
+                    .block(block)
+                    .insts
+                    .iter()
+                    .position(|i| i.uses().contains(reg))
+                    .or(Some(func.block(block).insts.len())),
+                _ => None,
+            };
+            out.push_str(&crate::pretty::block_listing(func, block, highlight));
+        }
+        out
+    }
+}
+
 /// Verifies a single function (ignoring inter-function properties).
 ///
 /// # Errors
