@@ -13,6 +13,7 @@ fn main() {
         figures: vec![Figure::Ablation],
         small,
         jobs: spice_bench::jobs_requested(),
+        ..Manifest::default()
     };
     let report = run_manifest(&manifest, &OutPaths::default()).expect("ablation");
     print!("{}", format_ablation(&report.ablation_rows));

@@ -8,10 +8,12 @@
 //!   --small           reduced-size inputs
 //!   --jobs N          worker threads (default 0 = host parallelism)
 //!   --figures LIST    comma-separated subset of
-//!                     fig7,table2,ablation,harness,crosscheck
+//!                     fig7,table2,ablation,harness,crosscheck,fig8,fuzz
 //!   --out-dir DIR     where artifacts land (default ".")
 //!   --trace-out PATH  also record simulator traces for every sweep job and
 //!                     stream them to PATH (byte-identical at any --jobs)
+//!   --fuzz-seeds N    width of the fuzz figure's mutation-seed sweep
+//!                     (default 8; one differential-replay job per seed)
 //!   --check           CI perf smoke: run the harness figure only, write
 //!                     nothing, compare ns/simulated-cycle against the
 //!                     committed BENCH_farm.json
@@ -27,9 +29,11 @@
 use std::path::PathBuf;
 
 use spice_bench::experiments::{
-    format_ablation, format_crosscheck, format_fig7, format_harnessperf, format_table2,
+    format_ablation, format_crosscheck, format_fig7, format_fig8, format_harnessperf, format_table2,
 };
-use spice_bench::farm_driver::{farm_json, run_manifest, Figure, Manifest, OutPaths};
+use spice_bench::farm_driver::{
+    farm_json, run_manifest, Figure, Manifest, OutPaths, DEFAULT_FUZZ_SEEDS,
+};
 
 /// A fresh run must stay within this factor of the committed
 /// ns-per-simulated-cycle. Generous on purpose: CI machines differ from the
@@ -58,10 +62,17 @@ fn main() {
         }
     };
 
+    let fuzz_seeds = arg_value(&args, "--fuzz-seeds")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("--fuzz-seeds {v}: {e}"))
+        })
+        .unwrap_or(DEFAULT_FUZZ_SEEDS);
     let manifest = Manifest {
         figures: figures.clone(),
         small,
         jobs,
+        fuzz_seeds: 0..fuzz_seeds,
     };
     let outs = if check {
         OutPaths::default()
@@ -81,6 +92,9 @@ fn main() {
             crosscheck: figures
                 .contains(&Figure::Crosscheck)
                 .then(|| out_dir.join("BENCH_crosscheck.json")),
+            fig8: figures
+                .contains(&Figure::Fig8)
+                .then(|| out_dir.join("BENCH_fig8.json")),
             trace: arg_value(&args, "--trace-out").map(PathBuf::from),
             failures_dir: Some(out_dir.join("failures")),
         }
@@ -106,6 +120,19 @@ fn main() {
     }
     if figures.contains(&Figure::Crosscheck) {
         print!("{}", format_crosscheck(&report.crosscheck_rows));
+    }
+    if figures.contains(&Figure::Fig8) {
+        print!("{}", format_fig8(&report.fig8_bars));
+        println!();
+    }
+    if figures.contains(&Figure::Fuzz) {
+        let with_writes = report.fuzz_rows.iter().filter(|r| r.has_writes).count();
+        println!(
+            "fuzz: {} mutants replayed bit-identically on sim, native and sequential \
+             execution ({} carrying dependence-inducing writes)",
+            report.fuzz_rows.len(),
+            with_writes
+        );
     }
     println!(
         "farm: {} jobs on {} workers ({} cores): {:.3} s serial-equivalent in {:.3} s wall \

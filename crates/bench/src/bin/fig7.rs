@@ -25,6 +25,7 @@ fn main() {
         figures: vec![Figure::Fig7],
         small,
         jobs: spice_bench::jobs_requested(),
+        ..Manifest::default()
     };
     let outs = OutPaths {
         fig7: Some(out_path.into()),

@@ -40,6 +40,7 @@ fn main() {
         figures: vec![Figure::Harness],
         small,
         jobs: spice_bench::jobs_requested(),
+        ..Manifest::default()
     };
     let outs = if check {
         OutPaths::default()

@@ -22,6 +22,7 @@ fn main() {
         figures: vec![Figure::Table2],
         small,
         jobs: spice_bench::jobs_requested(),
+        ..Manifest::default()
     };
     let outs = OutPaths {
         table2: Some(out_path.into()),

@@ -17,13 +17,15 @@ use spice_ir::interp::LocalSys;
 use spice_ir::trace::DEFAULT_TRACE_CAPACITY;
 use spice_ir::{FuncId, TraceEvent};
 use spice_profiler::{
-    measure_cycle_hotness, measure_hotness, profile_workload, AnalyzerConfig, PredictabilityBin,
+    analyze_trace, measure_cycle_hotness, measure_hotness, record_workload_trace, AnalyzerConfig,
+    PredictabilityBin,
 };
 use spice_sim::{Machine, MachineConfig};
+use spice_workloads::trace::{FuzzConfig, TraceReplayWorkload, WorkloadTrace};
 use spice_workloads::{
     drive_loaded_workload, fig8_corpus, run_workload_on, workload_load_options, BackendRunSummary,
     KsConfig, KsWorkload, McfConfig, McfWorkload, OtterConfig, OtterWorkload, SjengConfig,
-    SjengWorkload, SpiceWorkload, Suite,
+    SjengWorkload, SpiceWorkload, Suite, SuiteBenchmark,
 };
 
 /// Factory for a fresh instance of one of the paper's four benchmark loops.
@@ -1446,7 +1448,11 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     s
 }
 
-/// One benchmark's bar of the Figure 8 reproduction.
+/// One benchmark's bar of the Figure 8 reproduction. Since the trace layer
+/// landed, the bins are **measured**: each loop's behaviour is recorded as a
+/// [`spice_workloads::trace::WorkloadTrace`] and the bin comes from
+/// re-analyzing the recording offline ([`analyze_trace`]) — the dialed-in
+/// corpus targets are reported alongside for comparison, not used.
 #[derive(Debug, Clone)]
 pub struct Fig8Bar {
     /// Benchmark name.
@@ -1459,48 +1465,185 @@ pub struct Fig8Bar {
     pub percent: (f64, f64, f64, f64),
     /// Number of loops profiled.
     pub loops: usize,
+    /// Per-loop predictability targets the corpus was constructed with.
+    pub targets: Vec<f64>,
+    /// Per-loop predictability *measured* from the recorded traces, same
+    /// order as [`Fig8Bar::targets`].
+    pub measured: Vec<f64>,
 }
 
-/// Reproduces Figure 8 over the synthetic corpus.
+impl Fig8Bar {
+    /// Mean absolute measured-vs-target error over this benchmark's loops.
+    #[must_use]
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.targets.is_empty() {
+            return 0.0;
+        }
+        self.targets
+            .iter()
+            .zip(&self.measured)
+            .map(|(t, m)| (t - m).abs())
+            .sum::<f64>()
+            / self.targets.len() as f64
+    }
+}
+
+/// Workload sizing of the Figure 8 corpus runs.
+#[must_use]
+pub fn fig8_workload_shape(small: bool) -> (usize, usize) {
+    let invocations = if small { 8 } else { 16 };
+    let list_len = if small { 24 } else { 64 };
+    (invocations, list_len)
+}
+
+/// Computes one benchmark's Figure 8 bar by **recording** each loop's trace
+/// and re-analyzing the recording — the per-benchmark unit the farm
+/// schedules as a job ([`crate::farm_driver::Figure::Fig8`]).
 ///
 /// # Errors
 ///
-/// Returns the first profiling failure encountered.
-pub fn fig8(small: bool) -> Result<Vec<Fig8Bar>, String> {
-    let invocations = if small { 8 } else { 16 };
-    let list_len = if small { 24 } else { 64 };
-    let mut bars = Vec::new();
-    for bench in fig8_corpus() {
-        let mut counts = [0usize; 4]; // low, average, good, high
-        let mut loops = 0usize;
-        for mut wl in bench.workloads(invocations, list_len) {
-            let verdicts = profile_workload(&mut wl, AnalyzerConfig::default(), None)
-                .map_err(|e| format!("{}: {e}", bench.name))?;
-            for v in verdicts {
-                loops += 1;
-                match v.bin {
-                    PredictabilityBin::Low => counts[0] += 1,
-                    PredictabilityBin::Average => counts[1] += 1,
-                    PredictabilityBin::Good => counts[2] += 1,
-                    PredictabilityBin::High => counts[3] += 1,
-                    PredictabilityBin::None => {}
-                }
-            }
+/// Returns the first recording failure encountered.
+pub fn fig8_bar(bench: &SuiteBenchmark, small: bool) -> Result<Fig8Bar, String> {
+    let (invocations, list_len) = fig8_workload_shape(small);
+    let mut counts = [0usize; 4]; // low, average, good, high
+    let mut loops = 0usize;
+    let mut measured = Vec::new();
+    for mut wl in bench.workloads(invocations, list_len) {
+        let trace = record_workload_trace(&mut wl, None)
+            .map_err(|e| format!("{}: recording failed: {e}", bench.name))?;
+        trace
+            .validate()
+            .map_err(|e| format!("{}: recorded an invalid trace: {e}", bench.name))?;
+        let Some(verdict) = analyze_trace(&trace, AnalyzerConfig::default()) else {
+            return Err(format!("{}: recorded trace has no events", bench.name));
+        };
+        loops += 1;
+        measured.push(verdict.predictable_fraction);
+        match verdict.bin {
+            PredictabilityBin::Low => counts[0] += 1,
+            PredictabilityBin::Average => counts[1] += 1,
+            PredictabilityBin::Good => counts[2] += 1,
+            PredictabilityBin::High => counts[3] += 1,
+            PredictabilityBin::None => {}
         }
-        let denom = loops.max(1) as f64;
-        bars.push(Fig8Bar {
-            benchmark: bench.name.to_string(),
-            suite: bench.suite,
-            percent: (
-                100.0 * counts[0] as f64 / denom,
-                100.0 * counts[1] as f64 / denom,
-                100.0 * counts[2] as f64 / denom,
-                100.0 * counts[3] as f64 / denom,
-            ),
-            loops,
-        });
     }
-    Ok(bars)
+    let denom = loops.max(1) as f64;
+    Ok(Fig8Bar {
+        benchmark: bench.name.to_string(),
+        suite: bench.suite,
+        percent: (
+            100.0 * counts[0] as f64 / denom,
+            100.0 * counts[1] as f64 / denom,
+            100.0 * counts[2] as f64 / denom,
+            100.0 * counts[3] as f64 / denom,
+        ),
+        loops,
+        targets: bench.loop_predictability.clone(),
+        measured,
+    })
+}
+
+/// Reproduces Figure 8 over the corpus, bins derived from recorded traces.
+///
+/// # Errors
+///
+/// Returns the first recording failure encountered.
+pub fn fig8(small: bool) -> Result<Vec<Fig8Bar>, String> {
+    fig8_corpus()
+        .iter()
+        .map(|bench| fig8_bar(bench, small))
+        .collect()
+}
+
+/// Mean absolute measured-vs-target error over every loop of every bar —
+/// the number the agreement-band test pins.
+#[must_use]
+pub fn fig8_mean_abs_error(bars: &[Fig8Bar]) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for b in bars {
+        for (t, m) in b.targets.iter().zip(&b.measured) {
+            total += (t - m).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// The artifact label of a Figure 8 panel.
+#[must_use]
+pub fn suite_label(suite: Suite) -> &'static str {
+    match suite {
+        Suite::SpecInt => "spec_int",
+        Suite::MediabenchAndOthers => "mediabench_others",
+    }
+}
+
+/// Opening of the `BENCH_fig8.json` document, up to `"rows": [`.
+#[must_use]
+pub fn fig8_json_header(small: bool) -> String {
+    format!(
+        "{{\n  \"figure\": \"fig8\",\n  \"small\": {small},\n  \"measured\": true,\n  \
+         \"rows\": [\n"
+    )
+}
+
+/// One row of the Figure 8 artifact (no separator, no trailing newline):
+/// the bin percentages plus the per-loop measured fractions next to the
+/// targets the corpus dialed in.
+#[must_use]
+pub fn fig8_json_row(b: &Fig8Bar) -> String {
+    let join = |v: &[f64]| {
+        v.iter()
+            .map(|x| crate::json::float(*x))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "    {{\"benchmark\": {}, \"suite\": {}, \"loops\": {}, \
+         \"low\": {}, \"average\": {}, \"good\": {}, \"high\": {}, \
+         \"target\": [{}], \"measured\": [{}]}}",
+        crate::json::string(&b.benchmark),
+        crate::json::string(suite_label(b.suite)),
+        b.loops,
+        crate::json::float(b.percent.0),
+        crate::json::float(b.percent.1),
+        crate::json::float(b.percent.2),
+        crate::json::float(b.percent.3),
+        join(&b.targets),
+        join(&b.measured)
+    )
+}
+
+/// Closing of the Figure 8 artifact: total loops and the aggregate
+/// measured-vs-target error.
+#[must_use]
+pub fn fig8_json_footer(bars: &[Fig8Bar]) -> String {
+    format!(
+        "\n  ],\n  \"total_loops\": {},\n  \"mean_abs_error\": {}\n}}\n",
+        bars.iter().map(|b| b.loops).sum::<usize>(),
+        crate::json::float(fig8_mean_abs_error(bars))
+    )
+}
+
+/// Renders Figure 8 bars as the `BENCH_fig8.json` document — the serial
+/// composition of header, rows and footer, byte-identical to what the farm
+/// streams.
+#[must_use]
+pub fn fig8_json(bars: &[Fig8Bar], small: bool) -> String {
+    let mut s = fig8_json_header(small);
+    for (i, b) in bars.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&fig8_json_row(b));
+    }
+    s.push_str(&fig8_json_footer(bars));
+    s
 }
 
 /// Renders the Figure 8 bars as two text panels.
@@ -1516,15 +1659,27 @@ pub fn format_fig8(bars: &[Fig8Bar]) -> String {
     ] {
         s.push_str(title);
         s.push('\n');
-        s.push_str("benchmark        loops   low%  avg%  good%  high%\n");
+        s.push_str("benchmark        loops   low%  avg%  good%  high%   |m-t|\n");
         for b in bars.iter().filter(|b| b.suite == suite) {
             s.push_str(&format!(
-                "{:<16} {:>5}  {:>5.0} {:>5.0} {:>6.0} {:>6.0}\n",
-                b.benchmark, b.loops, b.percent.0, b.percent.1, b.percent.2, b.percent.3
+                "{:<16} {:>5}  {:>5.0} {:>5.0} {:>6.0} {:>6.0}  {:>6.3}\n",
+                b.benchmark,
+                b.loops,
+                b.percent.0,
+                b.percent.1,
+                b.percent.2,
+                b.percent.3,
+                b.mean_abs_error()
             ));
         }
         s.push('\n');
     }
+    s.push_str(&format!(
+        "(bins measured from recorded traces; mean |measured - target| = {:.3} \
+         over {} loops)\n",
+        fig8_mean_abs_error(bars),
+        bars.iter().map(|b| b.loops).sum::<usize>()
+    ));
     s
 }
 
@@ -1796,6 +1951,256 @@ pub fn format_ablation(rows: &[AblationRow]) -> String {
         ));
     }
     s
+}
+
+// --- Trace-driven scenario engine: differential replay -------------------
+
+/// Threads used by the replay differential on both parallel backends.
+pub const REPLAY_THREADS: usize = 4;
+
+/// One backend's replay of a trace: the per-invocation returns, the final
+/// live-out memory, and their combined checksum.
+#[derive(Debug, Clone)]
+pub struct ReplayRun {
+    /// Per-invocation return values.
+    pub returns: Vec<Option<i64>>,
+    /// Every replay node's final value word, in slot order.
+    pub live_out: Vec<i64>,
+    /// FNV checksum over `returns` and `live_out` — the bit-identity probe.
+    pub checksum: u64,
+    /// Backend summary (absent for the plain sequential interpreter).
+    pub summary: Option<BackendRunSummary>,
+}
+
+fn replay_checksum(returns: &[Option<i64>], live_out: &[i64]) -> u64 {
+    let mut h = spice_workloads::trace::Fnv::new();
+    h.word(returns.len() as i64);
+    for r in returns {
+        match r {
+            Some(v) => {
+                h.word(1);
+                h.word(*v);
+            }
+            None => h.word(0),
+        }
+    }
+    h.word(live_out.len() as i64);
+    for &w in live_out {
+        h.word(w);
+    }
+    h.finish()
+}
+
+/// Replays a trace on one parallel backend and captures returns, live-out
+/// memory and checksum.
+///
+/// # Errors
+///
+/// Returns the first backend failure or host-mirror mismatch.
+pub fn replay_on_backend(
+    trace: &WorkloadTrace,
+    choice: BackendChoice,
+    threads: usize,
+) -> Result<ReplayRun, String> {
+    let mut wl = TraceReplayWorkload::new(trace.clone())
+        .map_err(|e| format!("{}: invalid trace: {e}", trace.name))?;
+    let mut backend = make_backend_with(choice, threads, PredictorOptions::default());
+    let summary = run_workload_on(&mut wl, backend.as_mut())?;
+    let live_out = wl.live_out(backend.mem());
+    let checksum = replay_checksum(&summary.return_values, &live_out);
+    Ok(ReplayRun {
+        returns: summary.return_values.clone(),
+        live_out,
+        checksum,
+        summary: Some(summary),
+    })
+}
+
+/// Replays a trace on the plain sequential interpreter — the ground truth
+/// the speculative backends must match bit-for-bit.
+///
+/// # Errors
+///
+/// Returns the first trap or host-mirror mismatch.
+pub fn replay_sequential(trace: &WorkloadTrace) -> Result<ReplayRun, String> {
+    let mut wl = TraceReplayWorkload::new(trace.clone())
+        .map_err(|e| format!("{}: invalid trace: {e}", trace.name))?;
+    let built = wl.build();
+    let mut mem = spice_ir::interp::FlatMemory::for_program(&built.program, 1 << 20);
+    let mut args = wl.init(&mut mem);
+    let mut returns = Vec::new();
+    for inv in 0.. {
+        let expected = wl.expected_result(&mem);
+        let out = spice_ir::interp::run_function(&built.program, built.kernel, &args, &mut mem)
+            .map_err(|e| format!("{}: sequential trap: {e:?}", trace.name))?;
+        if out.return_value != expected {
+            return Err(format!(
+                "{}: sequential invocation {inv} returned {:?}, host mirror expected {:?}",
+                trace.name, out.return_value, expected
+            ));
+        }
+        returns.push(out.return_value);
+        match wl.next_invocation(&mut mem, inv) {
+            Some(a) => args = a,
+            None => break,
+        }
+    }
+    let live_out = wl.live_out(&mem);
+    let checksum = replay_checksum(&returns, &live_out);
+    Ok(ReplayRun {
+        returns,
+        live_out,
+        checksum,
+        summary: None,
+    })
+}
+
+/// One row of the fuzz-differential sweep: a mutant trace replayed on
+/// sim, native and sequential execution, with the three checksums compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzRow {
+    /// Job label (`fuzz/<base>/<seed>`).
+    pub label: String,
+    /// Mutation seed.
+    pub seed: u64,
+    /// Name of the base (recorded) trace.
+    pub base: String,
+    /// Mutant content checksum (identifies the scenario).
+    pub trace_checksum: u64,
+    /// Total iterations the mutant replays.
+    pub iterations: u64,
+    /// Whether the mutant carries dependence-inducing splice writes.
+    pub has_writes: bool,
+    /// The sequential (ground-truth) replay checksum.
+    pub checksum: u64,
+    /// The simulator replay's checksum (equals `checksum` when `agree`).
+    pub sim_checksum: u64,
+    /// The native replay's checksum (equals `checksum` when `agree`).
+    pub native_checksum: u64,
+    /// Dependence-violation squashes the simulator took and recovered.
+    pub sim_violations: usize,
+    /// Dependence-violation squashes the native backend took and recovered.
+    pub native_violations: usize,
+    /// Whether sim, native and sequential replays were bit-identical
+    /// (returns **and** live-out memory).
+    pub agree: bool,
+}
+
+/// Replays one (typically fuzzed) trace across the timing simulator, the
+/// native-thread runtime and the sequential interpreter, and compares the
+/// three bit-for-bit — the headline deliverable of the trace layer: *every*
+/// mutant must agree, dependence-violating ones included.
+///
+/// # Errors
+///
+/// Returns the first execution failure on any substrate. A *divergence*
+/// (all three ran, results differ) is reported through [`FuzzRow::agree`]
+/// so the caller can persist the offending trace before failing.
+pub fn fuzz_differential(
+    label: &str,
+    seed: u64,
+    base_name: &str,
+    trace: &WorkloadTrace,
+    threads: usize,
+) -> Result<FuzzRow, String> {
+    let sequential = replay_sequential(trace)?;
+    let sim = replay_on_backend(trace, BackendChoice::SimTiny, threads)?;
+    let native = replay_on_backend(trace, BackendChoice::Native, threads)?;
+    let agree = sim.checksum == sequential.checksum
+        && native.checksum == sequential.checksum
+        && sim.returns == sequential.returns
+        && native.returns == sequential.returns
+        && sim.live_out == sequential.live_out
+        && native.live_out == sequential.live_out;
+    Ok(FuzzRow {
+        label: label.to_string(),
+        seed,
+        base: base_name.to_string(),
+        trace_checksum: trace.checksum(),
+        iterations: trace.total_iterations(),
+        has_writes: trace.has_writes(),
+        checksum: sequential.checksum,
+        sim_checksum: sim.checksum,
+        native_checksum: native.checksum,
+        sim_violations: sim.summary.as_ref().map_or(0, |s| s.dependence_violations),
+        native_violations: native
+            .summary
+            .as_ref()
+            .map_or(0, |s| s.dependence_violations),
+        agree,
+    })
+}
+
+/// Describes a three-way divergence for forensics (which substrates
+/// disagreed, and on what).
+#[must_use]
+pub fn describe_divergence(sequential: &ReplayRun, sim: &ReplayRun, native: &ReplayRun) -> String {
+    let mut parts = Vec::new();
+    if sim.returns != sequential.returns {
+        parts.push("sim returns != sequential returns".to_string());
+    }
+    if native.returns != sequential.returns {
+        parts.push("native returns != sequential returns".to_string());
+    }
+    if sim.live_out != sequential.live_out {
+        parts.push("sim live-out != sequential live-out".to_string());
+    }
+    if native.live_out != sequential.live_out {
+        parts.push("native live-out != sequential live-out".to_string());
+    }
+    if parts.is_empty() {
+        parts.push("checksums differ".to_string());
+    }
+    format!(
+        "replay divergence (seq {:#x}, sim {:#x}, native {:#x}): {}",
+        sequential.checksum,
+        sim.checksum,
+        native.checksum,
+        parts.join("; ")
+    )
+}
+
+/// The base traces the fuzz sweep mutates: recordings of the real drivers
+/// (the paper's four kernels plus the `mcf_app` miniature application) on
+/// their small configurations — small because a fuzz sweep replays hundreds
+/// of mutants and the scenarios, not the scale, are the point.
+///
+/// # Errors
+///
+/// Returns the first recording failure.
+pub fn fuzz_base_traces() -> Result<Vec<WorkloadTrace>, String> {
+    all_workload_factories(true)
+        .into_iter()
+        .map(|(name, factory)| record_driver_trace(&factory).map_err(|e| format!("{name}: {e}")))
+        .collect()
+}
+
+/// Records and validates one driver's hot-loop trace — the farm's fuzz jobs
+/// build their shared base traces through this.
+///
+/// # Errors
+///
+/// Returns the recording trap or validation failure as a message.
+pub fn record_driver_trace(factory: &WorkloadFactory) -> Result<WorkloadTrace, String> {
+    let mut wl = factory();
+    let trace =
+        record_workload_trace(wl.as_mut(), None).map_err(|e| format!("recording failed: {e:?}"))?;
+    trace
+        .validate()
+        .map_err(|e| format!("recorded an invalid trace: {e}"))?;
+    Ok(trace)
+}
+
+/// The mutation knobs of one fuzz-sweep job: seeded defaults, every axis
+/// exercised.
+#[must_use]
+pub fn fuzz_config_for_seed(seed: u64) -> FuzzConfig {
+    FuzzConfig {
+        seed,
+        splice_rate: 0.15,
+        relink_depth: 4,
+        churn_rate: 0.25,
+    }
 }
 
 #[cfg(test)]

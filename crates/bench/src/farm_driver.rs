@@ -34,19 +34,23 @@ use std::sync::Arc;
 
 use spice_farm::{CacheStats, FarmStats, Job, PreparedCache};
 use spice_ir::TraceEvent;
-use spice_workloads::BackendRunSummary;
+use spice_workloads::trace::{fuzz_trace, WorkloadTrace};
+use spice_workloads::{fig8_corpus, BackendRunSummary};
 
 use crate::experiments::{
     ablation_variants, all_workload_factories, capture_crosscheck_divergence,
     capture_sweep_failure, crosscheck_json_footer, crosscheck_json_header, crosscheck_json_row,
     crosscheck_workload, failure_capture_json, fig7_json_footer, fig7_json_header, fig7_json_row,
-    fig7_row_from_sweep, harness_row_from_sweep, harnessperf_json_footer, harnessperf_json_header,
-    harnessperf_json_row, prepare_sweep, run_prepared_sweep, run_prepared_sweep_traced,
-    sweep_prep_key, table2_hotness_row, table2_json_footer, table2_json_header, table2_json_row,
-    AblationRow, CrosscheckRow, FailureCapture, Fig7Row, HarnessPerfRow, SweepMode, SweepPrep,
-    SweepRun, Table2Row, WorkloadFactory, LINE_GRANULARITY_LOG2,
+    fig7_row_from_sweep, fig8_bar, fig8_json_footer, fig8_json_header, fig8_json_row,
+    fuzz_config_for_seed, fuzz_differential, harness_row_from_sweep, harnessperf_json_footer,
+    harnessperf_json_header, harnessperf_json_row, prepare_sweep, record_driver_trace,
+    run_prepared_sweep, run_prepared_sweep_traced, sweep_prep_key, table2_hotness_row,
+    table2_json_footer, table2_json_header, table2_json_row, AblationRow, CrosscheckRow,
+    FailureCapture, Fig7Row, Fig8Bar, FuzzRow, HarnessPerfRow, SweepMode, SweepPrep, SweepRun,
+    Table2Row, WorkloadFactory, LINE_GRANULARITY_LOG2, REPLAY_THREADS,
 };
 use crate::trace_json::{trace_job_json, trace_json_footer, trace_json_header};
+use crate::tracefile::trace_to_json;
 
 /// Thread count of the cross-check jobs (matches the `crosscheck` binary).
 const CROSSCHECK_THREADS: usize = 4;
@@ -67,16 +71,26 @@ pub enum Figure {
     /// per workload, always on the small/tiny configurations; a divergence
     /// fails the job and routes forensics through the failed-job capture.
     Crosscheck,
+    /// Figure 8 live-in predictability (`BENCH_fig8.json`) — one job per
+    /// corpus benchmark; bins are measured by recording each loop's trace
+    /// and re-analyzing it offline.
+    Fig8,
+    /// Trace-fuzz differential sweep (rows in the report only) — one job
+    /// per seed in the manifest's `fuzz_seeds` range; a replay divergence
+    /// fails the job and persists the offending trace file.
+    Fuzz,
 }
 
 impl Figure {
     /// Every figure, in canonical order.
-    pub const ALL: [Figure; 5] = [
+    pub const ALL: [Figure; 7] = [
         Figure::Fig7,
         Figure::Table2,
         Figure::Ablation,
         Figure::Harness,
         Figure::Crosscheck,
+        Figure::Fig8,
+        Figure::Fuzz,
     ];
 
     /// The manifest name of this figure.
@@ -88,6 +102,8 @@ impl Figure {
             Figure::Ablation => "ablation",
             Figure::Harness => "harness",
             Figure::Crosscheck => "crosscheck",
+            Figure::Fig8 => "fig8",
+            Figure::Fuzz => "fuzz",
         }
     }
 
@@ -107,7 +123,8 @@ impl Figure {
                     .ok_or_else(|| {
                         format!(
                             "unknown figure {p:?} \
-                             (expected fig7, table2, ablation, harness, crosscheck)"
+                             (expected fig7, table2, ablation, harness, crosscheck, \
+                             fig8, fuzz)"
                         )
                     })
             })
@@ -124,7 +141,24 @@ pub struct Manifest {
     pub small: bool,
     /// Worker threads; 0 sizes to the host's parallelism.
     pub jobs: usize,
+    /// Mutation-seed sweep axis for the `fuzz` figure: one differential
+    /// replay job per seed. Ignored unless `fuzz` is requested.
+    pub fuzz_seeds: std::ops::Range<u64>,
 }
+
+impl Default for Manifest {
+    fn default() -> Self {
+        Manifest {
+            figures: Vec::new(),
+            small: false,
+            jobs: 0,
+            fuzz_seeds: 0..DEFAULT_FUZZ_SEEDS,
+        }
+    }
+}
+
+/// Seeds the `fuzz` figure sweeps when no `--fuzz-seeds` width is given.
+pub const DEFAULT_FUZZ_SEEDS: u64 = 8;
 
 impl Manifest {
     fn wants(&self, f: Figure) -> bool {
@@ -144,6 +178,8 @@ pub struct OutPaths {
     pub harness: Option<PathBuf>,
     /// `BENCH_crosscheck.json` destination.
     pub crosscheck: Option<PathBuf>,
+    /// `BENCH_fig8.json` destination.
+    pub fig8: Option<PathBuf>,
     /// `--trace-out` destination. Setting this turns tracing on for every
     /// sweep job (simulator-side only — native traces are not reproducible
     /// for racy workloads, so they never enter this artifact) and streams
@@ -170,6 +206,12 @@ pub struct FarmReport {
     /// Cross-check rows (empty unless requested). Present rows always
     /// agree — a divergence fails its job instead of producing a row.
     pub crosscheck_rows: Vec<CrosscheckRow>,
+    /// Figure 8 bars in corpus order (empty unless requested).
+    pub fig8_bars: Vec<Fig8Bar>,
+    /// Fuzz-differential rows in seed order (empty unless requested).
+    /// Present rows always agree — a divergence fails its job after
+    /// persisting the offending trace.
+    pub fuzz_rows: Vec<FuzzRow>,
     /// Per-Spice-job backend summaries `(job label, summary)` — the
     /// determinism test compares these across worker counts.
     pub sweep_summaries: Vec<(String, BackendRunSummary)>,
@@ -291,6 +333,8 @@ enum Payload {
     },
     Ablation(Box<AblationRow>),
     Crosscheck(Box<CrosscheckRow>),
+    Fig8(Box<Fig8Bar>),
+    Fuzz(Box<FuzzRow>),
 }
 
 /// A file-system-safe rendering of a job label (`sweep/ks/spice4` →
@@ -316,6 +360,30 @@ fn write_failure_artifact(dir: &Path, capture: &FailureCapture) -> Result<PathBu
     let path = dir.join(format!("FAILED_{}.json", sanitize_label(&capture.label)));
     let doc = failure_capture_json(capture);
     crate::json::validate(&doc).map_err(|e| format!("failure artifact invalid: {e}"))?;
+    std::fs::write(&path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Persists a diverging fuzz mutant as `<dir>/FAILED_<label>.json`: the
+/// divergence description plus the full trace-file document, so the exact
+/// scenario replays offline with no recording step.
+fn write_fuzz_failure_artifact(
+    dir: &Path,
+    label: &str,
+    error: &str,
+    trace: &WorkloadTrace,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("FAILED_{}.json", sanitize_label(label)));
+    let trace_doc = trace_to_json(trace);
+    let doc = format!(
+        "{{\n  \"label\": {},\n  \"error\": {},\n  \"trace\": {}}}\n",
+        crate::json::string(label),
+        crate::json::string(error),
+        // The embedded document ends in "}\n"; trim to nest it cleanly.
+        trace_doc.trim_end()
+    );
+    crate::json::validate(&doc).map_err(|e| format!("fuzz artifact invalid: {e}"))?;
     std::fs::write(&path, doc).map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
 }
@@ -561,6 +629,65 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
         }
     }
 
+    if manifest.wants(Figure::Fig8) {
+        // One job per corpus benchmark. Recording + offline analysis is a
+        // pure function of the (seeded) workload, so the rows are
+        // deterministic and the streamed artifact byte-identical at any
+        // worker count.
+        for bench in fig8_corpus() {
+            let label = format!("fig8/{}", bench.name);
+            jobs.push(Job::new(jobs.len() as u64, label, move || {
+                Ok(Payload::Fig8(Box::new(fig8_bar(&bench, small)?)))
+            }));
+        }
+    }
+
+    if manifest.wants(Figure::Fuzz) {
+        // One job per mutation seed; seeds round-robin over the real
+        // drivers. Each driver's base trace is recorded once (small
+        // configurations, like the cross-check) and shared through the
+        // prepared cache; the mutant is derived in-job, replayed on sim,
+        // native and sequential substrates, and any divergence persists the
+        // offending trace file before failing the job.
+        let fuzz_factories: Vec<(&'static str, Arc<WorkloadFactory>)> =
+            all_workload_factories(true)
+                .into_iter()
+                .map(|(name, factory)| (name, Arc::new(factory)))
+                .collect();
+        let trace_cache: Arc<PreparedCache<WorkloadTrace>> = Arc::new(PreparedCache::new());
+        for seed in manifest.fuzz_seeds.clone() {
+            let (base_name, factory) = &fuzz_factories[seed as usize % fuzz_factories.len()];
+            let base_name = *base_name;
+            let factory = Arc::clone(factory);
+            let trace_cache = Arc::clone(&trace_cache);
+            let label = format!("fuzz/{base_name}/{seed}");
+            let failures_dir = outs.failures_dir.clone();
+            jobs.push(Job::new(jobs.len() as u64, label.clone(), move || {
+                let base = trace_cache.try_get_or_build(&format!("trace/{base_name}"), || {
+                    record_driver_trace(&factory).map_err(|e| format!("{base_name}: {e}"))
+                })?;
+                let mutant = fuzz_trace(&base, &fuzz_config_for_seed(seed));
+                let row = fuzz_differential(&label, seed, base_name, &mutant, REPLAY_THREADS)?;
+                if row.agree {
+                    return Ok(Payload::Fuzz(Box::new(row)));
+                }
+                let error = format!(
+                    "replay divergence on mutant {:#x} (seq {:#x}, sim {:#x}, native {:#x})",
+                    row.trace_checksum, row.checksum, row.sim_checksum, row.native_checksum
+                );
+                let Some(dir) = failures_dir else {
+                    return Err(error);
+                };
+                Err(
+                    match write_fuzz_failure_artifact(&dir, &label, &error, &mutant) {
+                        Ok(path) => format!("{error} (trace: {})", path.display()),
+                        Err(e) => format!("{error} (trace capture failed: {e})"),
+                    },
+                )
+            }));
+        }
+    }
+
     // --- Streaming sinks --------------------------------------------------
     let mut fig7_stream = match (&outs.fig7, manifest.wants(Figure::Fig7)) {
         (Some(path), true) => Some(RowStream::create(path, &fig7_json_header(small))?),
@@ -581,6 +708,10 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
         )?),
         _ => None,
     };
+    let mut fig8_stream = match (&outs.fig8, manifest.wants(Figure::Fig8)) {
+        (Some(path), true) => Some(RowStream::create(path, &fig8_json_header(small))?),
+        _ => None,
+    };
     // Only sweep jobs contribute trace rows: the simulator is
     // single-threaded and deterministic, so the artifact byte-diffs across
     // `--jobs` widths. Native (cross-check) traces are deterministic in
@@ -596,6 +727,8 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
     let mut table2_rows: Vec<Table2Row> = Vec::new();
     let mut ablation_rows: Vec<AblationRow> = Vec::new();
     let mut crosscheck_rows: Vec<CrosscheckRow> = Vec::new();
+    let mut fig8_bars: Vec<Fig8Bar> = Vec::new();
+    let mut fuzz_rows: Vec<FuzzRow> = Vec::new();
     let mut sweep_summaries: Vec<(String, BackendRunSummary)> = Vec::new();
     let mut job_observability: HashMap<u64, (u64, u64)> = HashMap::new();
     let mut seq_cycles: HashMap<String, u64> = HashMap::new();
@@ -705,6 +838,17 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
                     }
                     crosscheck_rows.push(*row);
                 }
+                Payload::Fig8(bar) => {
+                    if let Some(s) = &mut fig8_stream {
+                        s.push_row(&fig8_json_row(&bar))?;
+                    }
+                    fig8_bars.push(*bar);
+                }
+                Payload::Fuzz(row) => {
+                    job_observability
+                        .insert(result.id, (row.iterations, row.sim_violations as u64));
+                    fuzz_rows.push(*row);
+                }
             }
             Ok(())
         })();
@@ -732,6 +876,9 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
     if let Some(s) = crosscheck_stream {
         s.finish(&crosscheck_json_footer(&crosscheck_rows))?;
     }
+    if let Some(s) = fig8_stream {
+        s.finish(&fig8_json_footer(&fig8_bars))?;
+    }
     if let Some(s) = trace_stream {
         s.finish(&trace_json_footer())?;
     }
@@ -742,6 +889,8 @@ pub fn run_manifest(manifest: &Manifest, outs: &OutPaths) -> Result<FarmReport, 
         table2_rows,
         ablation_rows,
         crosscheck_rows,
+        fig8_bars,
+        fuzz_rows,
         sweep_summaries,
         stats,
         cache: cache.stats(),
@@ -767,6 +916,10 @@ mod tests {
             Figure::parse_list("crosscheck").unwrap(),
             vec![Figure::Crosscheck]
         );
+        assert_eq!(
+            Figure::parse_list("fig8, fuzz").unwrap(),
+            vec![Figure::Fig8, Figure::Fuzz]
+        );
         assert_eq!(Figure::parse_list("").unwrap(), Vec::<Figure>::new());
         assert!(Figure::parse_list("fig9").is_err());
     }
@@ -779,6 +932,8 @@ mod tests {
             table2_rows: Vec::new(),
             ablation_rows: Vec::new(),
             crosscheck_rows: Vec::new(),
+            fig8_bars: Vec::new(),
+            fuzz_rows: Vec::new(),
             sweep_summaries: Vec::new(),
             stats: FarmStats {
                 jobs: 21,

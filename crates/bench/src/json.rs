@@ -236,6 +236,203 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+/// A parsed JSON value — the reading half of this module, added for the
+/// trace-file format. Object member order is preserved (emitted artifacts
+/// are deterministic, so parse → re-emit stays deterministic too).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent, in `i64` range.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string, escapes decoded.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, members in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses exactly one well-formed JSON value. Same grammar as [`validate`],
+/// but produces the value instead of merely checking it.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, with its byte offset —
+/// never panics, whatever the input.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos).map(Value::Str),
+        Some(b't') => literal(b, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(b, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(b, pos, b"null").map(|()| Value::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected `{}` at byte {}", *c as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    skip_ws(b, pos);
+    let mut members = Vec::new();
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let v = parse_value(b, pos)?;
+        members.push((key, v));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    skip_ws(b, pos);
+    let mut items = Vec::new();
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    jstring(b, pos)?;
+    // The span validated; decode escapes in a second pass.
+    let raw = &b[start + 1..*pos - 1];
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i] != b'\\' {
+            // Multi-byte UTF-8 sequences pass through untouched; the input
+            // is a &str so the bytes are valid UTF-8.
+            let s = std::str::from_utf8(&raw[i..])
+                .map_err(|_| format!("invalid utf-8 at byte {}", start + 1 + i))?;
+            let c = s.chars().next().expect("non-empty");
+            out.push(c);
+            i += c.len_utf8();
+            continue;
+        }
+        i += 1;
+        match raw[i] {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hex = std::str::from_utf8(&raw[i + 1..i + 5]).expect("validated hex");
+                let code = u32::from_str_radix(hex, 16).expect("validated hex");
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                i += 4;
+            }
+            _ => unreachable!("escape validated by jstring"),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    number(b, pos)?;
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii");
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| format!("unrepresentable number at byte {start}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +507,61 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "accepted malformed input: {bad}");
         }
+    }
+
+    #[test]
+    fn parser_produces_values_the_validator_accepts() {
+        let v = parse("{\"a\": 1, \"b\": [true, \"x\\n\", null], \"c\": -2.5}").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        let b = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(b[0], Value::Bool(true));
+        assert_eq!(b[1].as_str(), Some("x\n"));
+        assert_eq!(b[2], Value::Null);
+        assert_eq!(v.get("c"), Some(&Value::Float(-2.5)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_round_trips_emitted_strings() {
+        for s in [
+            "plain",
+            "a\"b",
+            "back\\slash",
+            "new\nline",
+            "\u{7}",
+            "ünïcode",
+        ] {
+            let parsed = parse(&string(s)).unwrap();
+            assert_eq!(parsed.as_str(), Some(s));
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input_without_panicking() {
+        for bad in [
+            "",
+            "{\"a\": }",
+            "[1,]",
+            "\"unterminated",
+            "\"bad \\q\"",
+            "{} trailing",
+            "1e",
+            "--1",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+        // Unpaired surrogate escapes decode to the replacement character
+        // instead of panicking.
+        assert_eq!(parse("\"\\ud800\"").unwrap().as_str(), Some("\u{fffd}"));
+    }
+
+    #[test]
+    fn parser_distinguishes_ints_from_floats() {
+        assert_eq!(parse("7"), Ok(Value::Int(7)));
+        assert_eq!(parse("-9223372036854775808"), Ok(Value::Int(i64::MIN)));
+        assert_eq!(parse("7.0"), Ok(Value::Float(7.0)));
+        assert_eq!(parse("1e3"), Ok(Value::Float(1000.0)));
+        // Out-of-range integers degrade to floats rather than erroring.
+        assert!(matches!(parse("92233720368547758080"), Ok(Value::Float(_))));
     }
 }

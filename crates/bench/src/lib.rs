@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod farm_driver;
 pub mod json;
 pub mod trace_json;
+pub mod tracefile;
 
 /// Returns the `--jobs N` argument (worker threads), or 0 meaning "size to
 /// the host's parallelism".

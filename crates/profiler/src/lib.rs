@@ -29,12 +29,13 @@
 pub mod analyze;
 pub mod instrument;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use spice_ir::cfg::Cfg;
-use spice_ir::interp::{run_function_with, FlatMemory, MemPort, SysPort};
+use spice_ir::interp::{run_function_with, FlatMemory, LocalSys, MemPort, SysPort};
 use spice_ir::loops::LoopForest;
 use spice_ir::{BlockId, FuncId, Program, TrapKind};
+use spice_workloads::trace::{TraceInvocation, TraceIteration, WorkloadTrace};
 use spice_workloads::SpiceWorkload;
 
 pub use analyze::{Analyzer, AnalyzerConfig, LoopVerdict, PredictabilityBin, ProfilingSys};
@@ -83,6 +84,106 @@ pub fn profile_workload(
     }
     analyzer.exit_program();
     Ok(analyzer.verdicts())
+}
+
+/// Records a workload's behaviour trace: builds and instruments its program
+/// exactly like [`profile_workload`], drives every invocation sequentially,
+/// and captures the raw per-iteration live-in tuples of the **hottest
+/// profile site** (the one with the most recorded events over the whole
+/// run — multi-loop programs like `mcf_app` carry several hooks).
+///
+/// The result is the §6 profiler's input signal made portable: replaying or
+/// re-analyzing the trace offline reproduces the predictability the live
+/// analyzer would have measured, without re-executing the driver.
+///
+/// # Errors
+///
+/// Propagates traps from the instrumented program (a workload bug).
+pub fn record_workload_trace(
+    workload: &mut dyn SpiceWorkload,
+    max_invocations: Option<usize>,
+) -> Result<WorkloadTrace, TrapKind> {
+    let built = workload.build();
+    let mut program = built.program;
+    let _sites = instrument_program(&mut program);
+    let mut mem = FlatMemory::for_program(&program, 1 << 22);
+    let mut args = workload.init(&mut mem);
+    let limit = max_invocations.unwrap_or(workload.invocations());
+    // Per invocation, per site: the recorded key sequence.
+    let mut recorded: Vec<HashMap<u32, Vec<Vec<i64>>>> = Vec::new();
+    for inv in 0..limit {
+        let mut sys = LocalSys::new();
+        run_function_with(
+            &program,
+            built.kernel,
+            &args,
+            &mut mem,
+            &mut sys,
+            PROFILE_FUEL,
+            |_, _, _| {},
+        )?;
+        let mut by_site: HashMap<u32, Vec<Vec<i64>>> = HashMap::new();
+        for (site, values) in sys.profile_events() {
+            by_site.entry(site).or_default().push(values.to_vec());
+        }
+        recorded.push(by_site);
+        match workload.next_invocation(&mut mem, inv) {
+            Some(a) => args = a,
+            None => break,
+        }
+    }
+    // The hot site: most events over the run; lowest id breaks ties so the
+    // choice is deterministic.
+    let mut tally: HashMap<u32, usize> = HashMap::new();
+    for by_site in &recorded {
+        for (site, keys) in by_site {
+            *tally.entry(*site).or_insert(0) += keys.len();
+        }
+    }
+    let mut totals: Vec<(u32, usize)> = tally.into_iter().collect();
+    totals.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let site = totals.first().map_or(0, |(s, _)| *s);
+    let invocations = recorded
+        .into_iter()
+        .map(|mut by_site| TraceInvocation {
+            iterations: by_site
+                .remove(&site)
+                .unwrap_or_default()
+                .into_iter()
+                .map(|key| TraceIteration { key, write: None })
+                .collect(),
+        })
+        .collect();
+    Ok(WorkloadTrace {
+        name: workload.name().to_string(),
+        loop_name: workload.loop_name().to_string(),
+        site,
+        invocations,
+    })
+}
+
+/// Re-runs the §6 analysis **offline** over a recorded trace: the keys are
+/// fed through the same [`Analyzer`] (hashing, per-invocation sampling,
+/// threshold, denominator rules) that live profiling uses, so a trace and
+/// the run it was recorded from yield the same verdict by construction.
+///
+/// Returns `None` when the trace's selected site recorded no events at all
+/// (every invocation empty).
+#[must_use]
+pub fn analyze_trace(trace: &WorkloadTrace, config: AnalyzerConfig) -> Option<LoopVerdict> {
+    let mut analyzer = Analyzer::new(config);
+    for inv in &trace.invocations {
+        analyzer.new_invocation();
+        let mut sys = ProfilingSys::new(&mut analyzer);
+        for it in &inv.iterations {
+            sys.profile(trace.site, &it.key);
+        }
+    }
+    analyzer.exit_program();
+    analyzer
+        .verdicts()
+        .into_iter()
+        .find(|v| v.site == trace.site)
 }
 
 /// Dynamic-instruction hotness of a loop: the fraction of all retired
@@ -381,5 +482,52 @@ mod tests {
         let verdicts = profile_workload(&mut wl, config, None).unwrap();
         assert_eq!(verdicts.len(), 1);
         assert!(verdicts[0].sampled_invocations < 20);
+    }
+
+    #[test]
+    fn recorded_traces_reanalyze_to_the_live_verdict() {
+        // The recorder captures the same signal the live analyzer consumes,
+        // so feeding the recording back through `analyze_trace` must
+        // reproduce the live profile exactly — the §6 figure derived from
+        // recorded values is the measured figure.
+        for (label, p) in [("stable", 1.0), ("half", 0.5), ("churny", 0.0)] {
+            let mut live = ChurnListWorkload::new(label, p, 24, 8, 11);
+            let verdicts = profile_workload(&mut live, AnalyzerConfig::default(), None).unwrap();
+            assert_eq!(verdicts.len(), 1);
+
+            let mut recorded = ChurnListWorkload::new(label, p, 24, 8, 11);
+            let trace = record_workload_trace(&mut recorded, None).unwrap();
+            assert_eq!(trace.validate(), Ok(()));
+            assert_eq!(trace.invocations.len(), 8);
+            let offline = analyze_trace(&trace, AnalyzerConfig::default()).unwrap();
+            assert_eq!(offline.sampled_invocations, verdicts[0].sampled_invocations);
+            assert_eq!(
+                offline.predictable_invocations,
+                verdicts[0].predictable_invocations
+            );
+            assert_eq!(offline.total_iterations, verdicts[0].total_iterations);
+            assert_eq!(offline.bin, verdicts[0].bin, "{label}");
+        }
+    }
+
+    #[test]
+    fn recorder_picks_the_hot_site_of_a_multi_loop_program() {
+        // Otter's kernel carries more than one candidate loop; the recorder
+        // must deterministically keep the one with the most events.
+        let config = OtterConfig {
+            initial_len: 24,
+            invocations: 4,
+            ..OtterConfig::default()
+        };
+        let mut wl = OtterWorkload::new(config.clone());
+        let trace = record_workload_trace(&mut wl, None).unwrap();
+        assert_eq!(trace.validate(), Ok(()));
+        assert!(trace.total_iterations() > 0);
+        let again = record_workload_trace(&mut OtterWorkload::new(config), None).unwrap();
+        assert_eq!(
+            trace.checksum(),
+            again.checksum(),
+            "recording is a pure function"
+        );
     }
 }

@@ -22,10 +22,13 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
         Figure::Table2,
         Figure::Harness,
         Figure::Crosscheck,
+        Figure::Fig8,
+        Figure::Fuzz,
     ];
-    let mut artifacts: Vec<(String, String, String, String)> = Vec::new();
+    let mut artifacts: Vec<(String, String, String, String, String)> = Vec::new();
     let mut harness_sims: Vec<Vec<(String, String, u64)>> = Vec::new();
     let mut summaries = Vec::new();
+    let mut fuzz_rows = Vec::new();
 
     for jobs in [1usize, 4] {
         let dir = temp_dir(&format!("j{jobs}"));
@@ -34,6 +37,7 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
             table2: Some(dir.join("BENCH_table2.json")),
             harness: Some(dir.join("BENCH_harness.json")),
             crosscheck: Some(dir.join("BENCH_crosscheck.json")),
+            fig8: Some(dir.join("BENCH_fig8.json")),
             trace: Some(dir.join("BENCH_trace.json")),
             failures_dir: Some(dir.join("failures")),
         };
@@ -41,12 +45,22 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
             figures: figures.clone(),
             small: true,
             jobs,
+            fuzz_seeds: 0..8,
         };
         let report = run_manifest(&manifest, &outs).expect("farm run");
         assert_eq!(report.stats.failures, 0, "jobs={jobs}");
         assert_eq!(report.stats.workers, if jobs == 1 { 1 } else { 4 });
         assert_eq!(report.crosscheck_rows.len(), 7, "jobs={jobs}");
         assert!(report.crosscheck_rows.iter().all(|r| r.agree));
+        // Fig 8 and the fuzz sweep produce one row per corpus benchmark /
+        // seed, and every fuzz row agrees (a divergence fails its job).
+        assert_eq!(report.fig8_bars.len(), 38, "jobs={jobs}");
+        assert_eq!(report.fuzz_rows.len(), 8, "jobs={jobs}");
+        assert!(report.fuzz_rows.iter().all(|r| r.agree));
+        assert!(
+            report.fuzz_rows.iter().any(|r| r.has_writes),
+            "the seed range must produce dependence-carrying mutants"
+        );
         // Per-job observability metrics are annotated for every sweep and
         // cross-check job, and tracing is on, so sweep jobs carry events.
         assert!(report
@@ -66,6 +80,7 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
             read("BENCH_fig7.json"),
             read("BENCH_table2.json"),
             read("BENCH_crosscheck.json"),
+            read("BENCH_fig8.json"),
             read("BENCH_trace.json"),
         ));
         // The harness artifact carries wall-clock fields (host_nanos,
@@ -79,11 +94,12 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
                 .collect(),
         );
         summaries.push(report.sweep_summaries);
+        fuzz_rows.push(report.fuzz_rows);
         std::fs::remove_dir_all(&dir).ok();
     }
 
-    let (fig7_serial, table2_serial, crosscheck_serial, trace_serial) = &artifacts[0];
-    let (fig7_farm, table2_farm, crosscheck_farm, trace_farm) = &artifacts[1];
+    let (fig7_serial, table2_serial, crosscheck_serial, fig8_serial, trace_serial) = &artifacts[0];
+    let (fig7_farm, table2_farm, crosscheck_farm, fig8_farm, trace_farm) = &artifacts[1];
     assert_eq!(
         fig7_serial, fig7_farm,
         "BENCH_fig7.json differs across worker counts"
@@ -95,6 +111,14 @@ fn farm_artifacts_are_byte_identical_across_worker_counts() {
     assert_eq!(
         crosscheck_serial, crosscheck_farm,
         "BENCH_crosscheck.json differs across worker counts"
+    );
+    assert_eq!(
+        fig8_serial, fig8_farm,
+        "BENCH_fig8.json differs across worker counts"
+    );
+    assert_eq!(
+        fuzz_rows[0], fuzz_rows[1],
+        "fuzz-differential rows differ across worker counts"
     );
     assert_eq!(
         trace_serial, trace_farm,
@@ -144,6 +168,7 @@ fn serial_emitters_and_streamed_artifacts_agree() {
         table2: Some(dir.join("BENCH_table2.json")),
         harness: Some(dir.join("BENCH_harness.json")),
         crosscheck: Some(dir.join("BENCH_crosscheck.json")),
+        fig8: Some(dir.join("BENCH_fig8.json")),
         ..OutPaths::default()
     };
     let manifest = Manifest {
@@ -152,9 +177,11 @@ fn serial_emitters_and_streamed_artifacts_agree() {
             Figure::Table2,
             Figure::Harness,
             Figure::Crosscheck,
+            Figure::Fig8,
         ],
         small: true,
         jobs: 2,
+        ..Manifest::default()
     };
     let report = run_manifest(&manifest, &outs).expect("farm run");
 
@@ -164,9 +191,12 @@ fn serial_emitters_and_streamed_artifacts_agree() {
         std::fs::read_to_string(dir.join("BENCH_harness.json")).expect("harness");
     let streamed_crosscheck =
         std::fs::read_to_string(dir.join("BENCH_crosscheck.json")).expect("crosscheck");
+    let streamed_fig8 = std::fs::read_to_string(dir.join("BENCH_fig8.json")).expect("fig8");
     std::fs::remove_dir_all(&dir).ok();
 
-    use spice_bench::experiments::{crosscheck_json, fig7_json, harnessperf_json, table2_json};
+    use spice_bench::experiments::{
+        crosscheck_json, fig7_json, fig8_json, harnessperf_json, table2_json,
+    };
     assert_eq!(streamed_fig7, fig7_json(&report.fig7_rows, true));
     assert_eq!(streamed_table2, table2_json(&report.table2_rows, true));
     assert_eq!(
@@ -177,4 +207,5 @@ fn serial_emitters_and_streamed_artifacts_agree() {
         streamed_crosscheck,
         crosscheck_json(&report.crosscheck_rows)
     );
+    assert_eq!(streamed_fig8, fig8_json(&report.fig8_bars, true));
 }

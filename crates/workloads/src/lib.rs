@@ -25,6 +25,7 @@ pub mod mcf_app;
 pub mod otter;
 pub mod sjeng;
 pub mod suite;
+pub mod trace;
 
 use spice_ir::exec::{ConflictPolicy, LoadOptions, MisspeculationCause};
 use spice_ir::interp::FlatMemory;
@@ -41,6 +42,10 @@ pub use sjeng::{SjengConfig, SjengWorkload};
 pub use suite::{
     app_benchmarks, app_benchmarks_small, conflict_benchmarks, conflict_benchmarks_small,
     fig8_corpus, ChurnListWorkload, Suite, SuiteBenchmark,
+};
+pub use trace::{
+    fuzz_trace, synthetic_trace, FuzzConfig, TraceError, TraceInvocation, TraceIteration,
+    TraceReplayWorkload, WorkloadTrace,
 };
 
 /// An IR program containing one workload's target loop.
